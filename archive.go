@@ -1,0 +1,176 @@
+package repro
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"repro/internal/bitio"
+)
+
+// Archive bundles many named compressed fields into one stream with an
+// index — the shape of a simulation snapshot (e.g. NYX's six fields or
+// CESM-ATM's dozens) as one object. Fields are individually compressed
+// (possibly with different algorithms and bounds) and individually
+// retrievable without decoding the others.
+//
+// Layout: magic | uvarint count | index entries | blobs.
+// Each index entry: uvarint(name len) | name | uvarint(blob len).
+// Each blob is a standard Compress/CompressAbs/CompressParallel stream.
+
+const archiveMagic = 0xC7
+
+// ArchiveWriter accumulates fields.
+type ArchiveWriter struct {
+	names []string
+	blobs [][]byte
+}
+
+// NewArchiveWriter returns an empty archive builder.
+func NewArchiveWriter() *ArchiveWriter { return &ArchiveWriter{} }
+
+// AddCompressed adds an already-compressed stream under name. Names must
+// be unique and non-empty.
+func (w *ArchiveWriter) AddCompressed(name string, stream []byte) error {
+	if name == "" || len(name) > 4096 {
+		return fmt.Errorf("repro: invalid field name %q", name)
+	}
+	for _, n := range w.names {
+		if n == name {
+			return fmt.Errorf("repro: duplicate field %q", name)
+		}
+	}
+	if !IsParallelStream(stream) {
+		if _, err := AlgorithmOf(stream); err != nil {
+			return fmt.Errorf("repro: field %q: %w", name, err)
+		}
+	}
+	w.names = append(w.names, name)
+	w.blobs = append(w.blobs, stream)
+	return nil
+}
+
+// Add compresses data under a point-wise relative bound and adds it.
+func (w *ArchiveWriter) Add(name string, data []float64, dims []int, relBound float64, algo Algorithm, opts *Options) error {
+	buf, err := Compress(data, dims, relBound, algo, opts)
+	if err != nil {
+		return fmt.Errorf("repro: field %q: %w", name, err)
+	}
+	return w.AddCompressed(name, buf)
+}
+
+// Bytes serializes the archive.
+func (w *ArchiveWriter) Bytes() []byte {
+	out := []byte{archiveMagic}
+	out = bitio.AppendUvarint(out, uint64(len(w.names)))
+	for i, n := range w.names {
+		out = bitio.AppendUvarint(out, uint64(len(n)))
+		out = append(out, n...)
+		out = bitio.AppendUvarint(out, uint64(len(w.blobs[i])))
+	}
+	var crc uint32
+	for _, b := range w.blobs {
+		crc = crc32.Update(crc, crc32.IEEETable, b)
+	}
+	out = binary.BigEndian.AppendUint32(out, crc)
+	for _, b := range w.blobs {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// ArchiveReader indexes an archive for random field access.
+type ArchiveReader struct {
+	names  []string
+	blobs  [][]byte
+	byName map[string][]byte
+}
+
+// OpenArchive parses an archive produced by ArchiveWriter.Bytes.
+func OpenArchive(buf []byte) (*ArchiveReader, error) {
+	if len(buf) < 2 || buf[0] != archiveMagic {
+		return nil, ErrCorrupt
+	}
+	off := 1
+	count, k := bitio.Uvarint(buf[off:])
+	if k == 0 || count > 1<<20 {
+		return nil, ErrCorrupt
+	}
+	off += k
+	r := &ArchiveReader{byName: make(map[string][]byte, count)}
+	lengths := make([]int, count)
+	var total uint64
+	for i := uint64(0); i < count; i++ {
+		nlen, k := bitio.Uvarint(buf[off:])
+		if k == 0 || nlen == 0 || nlen > 4096 || int(nlen) > len(buf)-off-k {
+			return nil, ErrCorrupt
+		}
+		off += k
+		name := string(buf[off : off+int(nlen)])
+		off += int(nlen)
+		blen, k := bitio.Uvarint(buf[off:])
+		if k == 0 || blen > uint64(len(buf)) {
+			return nil, ErrCorrupt
+		}
+		off += k
+		if _, dup := r.byName[name]; dup {
+			return nil, fmt.Errorf("%w: duplicate field %q", ErrCorrupt, name)
+		}
+		r.names = append(r.names, name)
+		r.byName[name] = nil
+		lengths[i] = int(blen)
+		total += blen
+	}
+	if off+4 > len(buf) {
+		return nil, ErrCorrupt
+	}
+	wantCRC := binary.BigEndian.Uint32(buf[off:])
+	off += 4
+	if total > uint64(len(buf)-off) {
+		return nil, ErrCorrupt
+	}
+	var crc uint32
+	start := off
+	for i := uint64(0); i < count; i++ {
+		blob := buf[off : off+lengths[i]]
+		r.blobs = append(r.blobs, blob)
+		r.byName[r.names[i]] = blob
+		off += lengths[i]
+	}
+	crc = crc32.ChecksumIEEE(buf[start:off])
+	if crc != wantCRC {
+		return nil, fmt.Errorf("%w: archive checksum mismatch", ErrCorrupt)
+	}
+	return r, nil
+}
+
+// Fields returns the field names in archive order.
+func (r *ArchiveReader) Fields() []string {
+	return append([]string(nil), r.names...)
+}
+
+// SortedFields returns the field names sorted lexicographically.
+func (r *ArchiveReader) SortedFields() []string {
+	out := r.Fields()
+	sort.Strings(out)
+	return out
+}
+
+// Raw returns the compressed stream of a field without decoding it.
+func (r *ArchiveReader) Raw(name string) ([]byte, error) {
+	blob, ok := r.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("repro: no field %q in archive", name)
+	}
+	return blob, nil
+}
+
+// Field decompresses one field by name.
+func (r *ArchiveReader) Field(name string) ([]float64, []int, error) {
+	blob, err := r.Raw(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return DecompressAny(blob)
+}

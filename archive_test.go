@@ -1,0 +1,153 @@
+package repro
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/grid"
+	"repro/internal/metrics"
+)
+
+func TestArchiveRoundTrip(t *testing.T) {
+	fields := datagen.NYX(16, 40)
+	w := NewArchiveWriter()
+	rel := 1e-2
+	for i := range fields {
+		f := &fields[i]
+		if err := w.Add(f.Name, f.Data, f.Dims, rel, SZT, nil); err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+	}
+	buf := w.Bytes()
+
+	r, err := OpenArchive(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Fields()) != len(fields) {
+		t.Fatalf("fields %v", r.Fields())
+	}
+	for i := range fields {
+		f := &fields[i]
+		dec, dims, err := r.Field(f.Name)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		if !grid.EqualDims(dims, f.Dims) {
+			t.Fatalf("%s dims %v", f.Name, dims)
+		}
+		st, err := metrics.RelError(f.Data, dec, rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Max > rel {
+			t.Fatalf("%s: max %g", f.Name, st.Max)
+		}
+	}
+	if _, _, err := r.Field("nope"); err == nil {
+		t.Fatal("missing field accepted")
+	}
+	if got := r.SortedFields(); got[0] > got[len(got)-1] {
+		t.Fatal("SortedFields not sorted")
+	}
+}
+
+func TestArchiveMixedAlgorithmsAndModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	data := make([]float64, 1000)
+	for i := range data {
+		data[i] = math.Exp(rng.NormFloat64())
+	}
+	w := NewArchiveWriter()
+	if err := w.Add("szt", data, []int{1000}, 1e-3, SZT, nil); err != nil {
+		t.Fatal(err)
+	}
+	abs, err := CompressAbs(data, []int{1000}, 0.01, SZABS, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddCompressed("abs", abs); err != nil {
+		t.Fatal(err)
+	}
+	par, err := CompressParallel(data, []int{1000}, 1e-2, FPZIP, &ParallelOptions{Chunks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddCompressed("par", par); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenArchive(w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"szt", "abs", "par"} {
+		dec, _, err := r.Field(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(dec) != 1000 {
+			t.Fatalf("%s: length %d", name, len(dec))
+		}
+	}
+	// Raw access returns the stream unmodified.
+	raw, err := r.Raw("abs")
+	if err != nil || len(raw) != len(abs) {
+		t.Fatalf("Raw: %v len %d vs %d", err, len(raw), len(abs))
+	}
+}
+
+func TestArchiveWriterValidation(t *testing.T) {
+	w := NewArchiveWriter()
+	if err := w.AddCompressed("", []byte{1}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := w.AddCompressed("x", []byte{0xde, 0xad}); err == nil {
+		t.Fatal("garbage stream accepted")
+	}
+	buf, err := Compress([]float64{1, 2}, []int{2}, 0.1, SZT, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddCompressed("a", buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddCompressed("a", buf); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+}
+
+func TestArchiveEmpty(t *testing.T) {
+	buf := NewArchiveWriter().Bytes()
+	r, err := OpenArchive(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Fields()) != 0 {
+		t.Fatal("phantom fields")
+	}
+}
+
+func TestArchiveCorrupt(t *testing.T) {
+	w := NewArchiveWriter()
+	if err := w.Add("f", []float64{1, 2, 3, 4}, []int{4}, 0.1, SZT, nil); err != nil {
+		t.Fatal(err)
+	}
+	buf := w.Bytes()
+	for _, cut := range []int{0, 1, 3, len(buf) - 1} {
+		if _, err := OpenArchive(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Any bit flip in the blob region must be caught by the archive CRC.
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 100; i++ {
+		mut := append([]byte(nil), buf...)
+		mut[len(mut)-1-rng.Intn(8)] ^= byte(1 << rng.Intn(8))
+		if _, err := OpenArchive(mut); err == nil {
+			t.Fatal("blob corruption not detected")
+		}
+	}
+}

@@ -1,0 +1,357 @@
+package repro_test
+
+// Benchmark harness: one benchmark per table/figure of the paper (run the
+// full set with `go test -bench=. -benchmem`), plus per-compressor
+// throughput microbenchmarks. The experiment benchmarks execute the same
+// runners as cmd/benchtables at test scale and report headline numbers as
+// custom metrics; run cmd/benchtables for the full printed tables.
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/datagen"
+	"repro/internal/experiments"
+)
+
+func benchConfig() experiments.Config {
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = datagen.ScaleTest
+	return cfg
+}
+
+// BenchmarkTableII_BaseSelectionSZ regenerates Table II (compression ratio
+// of log bases 2/e/10 for SZ_T on two NYX fields).
+func BenchmarkTableII_BaseSelectionSZ(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TableII(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			// Headline: base-2 CR on density at 1e-2 and max deviation of
+			// other bases from it.
+			base2 := res.Ratio[0][2][0]
+			worstDev := 0.0
+			for fi := range res.Fields {
+				for bi := range res.Bounds {
+					for k := 1; k < 3; k++ {
+						d := res.Ratio[fi][bi][k]/res.Ratio[fi][bi][0] - 1
+						if d < 0 {
+							d = -d
+						}
+						if d > worstDev {
+							worstDev = d
+						}
+					}
+				}
+			}
+			b.ReportMetric(base2, "CR(base2,density,1e-2)")
+			b.ReportMetric(worstDev*100, "max-base-deviation-%")
+		}
+	}
+}
+
+// BenchmarkFigure1_RateDistortionZFP regenerates Figure 1 (rel-PSNR vs
+// bit-rate for ZFP_T under the three bases).
+func BenchmarkFigure1_RateDistortionZFP(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			mid := len(experiments.Figure1Bounds) / 2
+			p := res.Series[0][0][mid]
+			b.ReportMetric(p.BitRate, "bitrate(density,mid)")
+			b.ReportMetric(p.RelPSNR, "relPSNR(density,mid)")
+		}
+	}
+}
+
+// BenchmarkTableIII_TransformOverhead regenerates Table III (pre-/post-
+// processing time per base).
+func BenchmarkTableIII_TransformOverhead(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TableIII(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			// Post-processing slowdown of base 10 vs base 2 (the paper's
+			// reason for fixing base 2).
+			slow := res.PostSeconds[0][2] / res.PostSeconds[0][0]
+			b.ReportMetric(slow, "base10/base2-postproc")
+		}
+	}
+}
+
+// BenchmarkTableIV_StrictBound regenerates Table IV (strict error-bound
+// test across the six compressors).
+func BenchmarkTableIV_StrictBound(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.TableIV(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				if r.Algo == repro.SZT && r.Field == "dark_matter_density" && r.Bound == 1e-2 {
+					b.ReportMetric(r.Ratio, "CR(SZ_T,density,1e-2)")
+					b.ReportMetric(r.MaxE, "maxE(SZ_T,density,1e-2)")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFigure2_CompressionRatio and BenchmarkFigure3_Throughput
+// regenerate the four-application sweeps.
+func BenchmarkFigure2_CompressionRatio(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		r2, err := experiments.Figure2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			// SZ_T win count across all (app, bound) cells.
+			sztIdx := -1
+			for k, a := range experiments.Figure23Algos {
+				if a == repro.SZT {
+					sztIdx = k
+				}
+			}
+			wins, cells := 0, 0
+			for ai := range r2.Apps {
+				for bi := range experiments.Figure23Bounds {
+					cells++
+					best := true
+					for k := range experiments.Figure23Algos {
+						if k != sztIdx && r2.Ratio[ai][k][bi] > r2.Ratio[ai][sztIdx][bi] {
+							best = false
+						}
+					}
+					if best {
+						wins++
+					}
+				}
+			}
+			b.ReportMetric(float64(wins), "SZ_T-wins")
+			b.ReportMetric(float64(cells), "cells")
+		}
+	}
+}
+
+func BenchmarkFigure3_Throughput(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		r3, err := experiments.Figure3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			// NYX SZ_T compression rate at 1e-2.
+			for ai, app := range r3.Apps {
+				if app != "NYX" {
+					continue
+				}
+				for k, a := range experiments.Figure23Algos {
+					if a == repro.SZT {
+						b.ReportMetric(r3.CompressMBs[ai][k][2], "SZ_T-NYX-comp-MB/s")
+						b.ReportMetric(r3.DecompressMBs[ai][k][2], "SZ_T-NYX-decomp-MB/s")
+					}
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFigure4_Multiprecision regenerates the matched-ratio slice
+// distortion comparison.
+func BenchmarkFigure4_Multiprecision(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, e := range res.Entries {
+				switch e.Name {
+				case "SZ_T":
+					b.ReportMetric(e.MaxRel, "maxRel(SZ_T)")
+				case "FPZIP":
+					b.ReportMetric(e.MaxRel, "maxRel(FPZIP)")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFigure5_AngleSkew regenerates the velocity-direction experiment.
+func BenchmarkFigure5_AngleSkew(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, e := range res.Entries {
+				switch e.Name {
+				case "SZ_T":
+					b.ReportMetric(e.Skew.Avg, "avgSkew(SZ_T)")
+				case "SZ_ABS":
+					b.ReportMetric(e.Skew.Avg, "avgSkew(SZ_ABS)")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFigure6_ParallelIO regenerates the parallel dump/load model.
+func BenchmarkFigure6_ParallelIO(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var sztDump, bestOtherDump float64
+			for _, e := range res.Entries {
+				if e.Cores != 4096 {
+					continue
+				}
+				t := e.Dump.Total().Seconds()
+				if e.Algo == repro.SZT {
+					sztDump = t
+				} else if bestOtherDump == 0 || t < bestOtherDump {
+					bestOtherDump = t
+				}
+			}
+			b.ReportMetric(sztDump, "SZ_T-dump-s@4096")
+			b.ReportMetric(bestOtherDump/sztDump, "speedup-vs-2nd-best")
+		}
+	}
+}
+
+// --- Per-compressor throughput microbenchmarks -------------------------
+
+func benchField(b *testing.B) datagen.Field {
+	b.Helper()
+	return datagen.NYX(32, 99)[0] // dark_matter_density 32^3
+}
+
+func benchCompress(b *testing.B, algo repro.Algorithm) {
+	f := benchField(b)
+	b.SetBytes(int64(f.Bytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := repro.Compress(f.Data, f.Dims, 1e-2, algo, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(f.Bytes())/float64(len(buf)), "ratio")
+		}
+	}
+}
+
+func benchDecompress(b *testing.B, algo repro.Algorithm) {
+	f := benchField(b)
+	buf, err := repro.Compress(f.Data, f.Dims, 1e-2, algo, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(f.Bytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := repro.Decompress(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompressSZT(b *testing.B)       { benchCompress(b, repro.SZT) }
+func BenchmarkCompressZFPT(b *testing.B)      { benchCompress(b, repro.ZFPT) }
+func BenchmarkCompressSZPWR(b *testing.B)     { benchCompress(b, repro.SZPWR) }
+func BenchmarkCompressZFPP(b *testing.B)      { benchCompress(b, repro.ZFPP) }
+func BenchmarkCompressFPZIP(b *testing.B)     { benchCompress(b, repro.FPZIP) }
+func BenchmarkCompressISABELA(b *testing.B)   { benchCompress(b, repro.ISABELA) }
+func BenchmarkDecompressSZT(b *testing.B)     { benchDecompress(b, repro.SZT) }
+func BenchmarkDecompressZFPT(b *testing.B)    { benchDecompress(b, repro.ZFPT) }
+func BenchmarkDecompressSZPWR(b *testing.B)   { benchDecompress(b, repro.SZPWR) }
+func BenchmarkDecompressFPZIP(b *testing.B)   { benchDecompress(b, repro.FPZIP) }
+func BenchmarkDecompressISABELA(b *testing.B) { benchDecompress(b, repro.ISABELA) }
+
+// BenchmarkAblationRoundoffGuard measures the cost of Lemma 2's guard.
+func BenchmarkAblationRoundoffGuard(b *testing.B) {
+	f := benchField(b)
+	b.SetBytes(int64(f.Bytes()))
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.Compress(f.Data, f.Dims, 1e-2, repro.SZT, &repro.Options{DisableRoundoffGuard: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSZIntervals sweeps SZ's quantization capacity.
+func BenchmarkAblationSZIntervals(b *testing.B) {
+	f := benchField(b)
+	for _, iv := range []int{256, 4096, 65536} {
+		iv := iv
+		b.Run(intervalName(iv), func(b *testing.B) {
+			b.SetBytes(int64(f.Bytes()))
+			for i := 0; i < b.N; i++ {
+				buf, err := repro.Compress(f.Data, f.Dims, 1e-2, repro.SZT, &repro.Options{Intervals: iv})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(f.Bytes())/float64(len(buf)), "ratio")
+				}
+			}
+		})
+	}
+}
+
+func intervalName(iv int) string {
+	switch iv {
+	case 256:
+		return "intervals256"
+	case 4096:
+		return "intervals4096"
+	default:
+		return "intervals65536"
+	}
+}
+
+// BenchmarkAblationPWRBlockSide sweeps SZ_PWR's block size (the design the
+// paper's transform replaces).
+func BenchmarkAblationPWRBlockSide(b *testing.B) {
+	f := benchField(b)
+	for _, side := range []int{4, 8, 16} {
+		side := side
+		name := map[int]string{4: "side4", 8: "side8", 16: "side16"}[side]
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(f.Bytes()))
+			for i := 0; i < b.N; i++ {
+				buf, err := repro.Compress(f.Data, f.Dims, 1e-2, repro.SZPWR, &repro.Options{BlockSide: side})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(f.Bytes())/float64(len(buf)), "ratio")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,152 @@
+// Command benchtables regenerates every table and figure of the paper's
+// evaluation section from the synthetic datasets and prints them as text.
+//
+// Examples:
+//
+//	benchtables                  # everything at bench scale
+//	benchtables -exp table4      # just the strict-bound table
+//	benchtables -exp fig2,fig3   # the ratio and rate sweeps
+//	benchtables -scale test      # quick smoke run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "all", "comma list: table2,table3,table4,fig1,fig2,fig3,fig4,fig5,fig6 or all")
+		scale   = flag.String("scale", "bench", "dataset scale: test, bench, large")
+		seed    = flag.Int64("seed", 20180704, "workload seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.Seed = *seed
+	switch *scale {
+	case "test":
+		cfg.Scale = datagen.ScaleTest
+	case "bench":
+		cfg.Scale = datagen.ScaleBench
+	case "large":
+		cfg.Scale = datagen.ScaleLarge
+	default:
+		fatalf("unknown scale %q", *scale)
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := want["all"]
+	ran := 0
+
+	runExp := func(name string, fn func() error) {
+		if !all && !want[name] {
+			return
+		}
+		ran++
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	runExp("table2", func() error {
+		r, err := experiments.TableII(cfg)
+		if err != nil {
+			return err
+		}
+		r.Print(os.Stdout)
+		return nil
+	})
+	runExp("fig1", func() error {
+		r, err := experiments.Figure1(cfg)
+		if err != nil {
+			return err
+		}
+		r.Print(os.Stdout)
+		return nil
+	})
+	runExp("table3", func() error {
+		r, err := experiments.TableIII(cfg)
+		if err != nil {
+			return err
+		}
+		r.Print(os.Stdout)
+		return nil
+	})
+	runExp("table4", func() error {
+		rows, err := experiments.TableIV(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.PrintTableIV(os.Stdout, rows)
+		return nil
+	})
+	// fig2 and fig3 share their sweep; run once if either requested.
+	if all || want["fig2"] || want["fig3"] {
+		ran++
+		t0 := time.Now()
+		r2, r3, err := experiments.Figure23(cfg)
+		if err != nil {
+			fatalf("fig2/3: %v", err)
+		}
+		if all || want["fig2"] {
+			r2.Print(os.Stdout)
+		}
+		if all || want["fig3"] {
+			r3.Print(os.Stdout)
+		}
+		fmt.Printf("[fig2+fig3 completed in %v]\n\n", time.Since(t0).Round(time.Millisecond))
+	}
+	runExp("fig4", func() error {
+		r, err := experiments.Figure4(cfg)
+		if err != nil {
+			return err
+		}
+		r.Print(os.Stdout)
+		return nil
+	})
+	runExp("fig5", func() error {
+		r, err := experiments.Figure5(cfg)
+		if err != nil {
+			return err
+		}
+		r.Print(os.Stdout)
+		return nil
+	})
+	runExp("fig6", func() error {
+		r, err := experiments.Figure6(cfg)
+		if err != nil {
+			return err
+		}
+		r.Print(os.Stdout)
+		return nil
+	})
+	runExp("ablation", func() error {
+		r, err := experiments.Ablations(cfg)
+		if err != nil {
+			return err
+		}
+		r.Print(os.Stdout)
+		return nil
+	})
+
+	if ran == 0 {
+		fatalf("no experiment matched %q", *expFlag)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "benchtables: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Command datagen writes the synthetic application datasets used by the
+// experiments to raw little-endian float64 files, one per field, plus a
+// MANIFEST.txt describing dimensions (usable directly with cmd/pwrc).
+//
+// Example:
+//
+//	datagen -out /tmp/fields -scale bench -seed 42
+//	pwrc -c -algo sz_t -rel 1e-3 -dims $(grep velocity_x /tmp/fields/MANIFEST.txt | cut -f2) \
+//	     -in /tmp/fields/HACC.velocity_x.f64 -out /tmp/vx.szt
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/datagen"
+)
+
+func main() {
+	var (
+		out   = flag.String("out", "fields", "output directory")
+		scale = flag.String("scale", "bench", "dataset scale: test, bench, large")
+		seed  = flag.Int64("seed", 20180704, "generator seed")
+		app   = flag.String("app", "", "only this application (HACC, CESM-ATM, NYX, Hurricane)")
+	)
+	flag.Parse()
+
+	var s datagen.Scale
+	switch *scale {
+	case "test":
+		s = datagen.ScaleTest
+	case "bench":
+		s = datagen.ScaleBench
+	case "large":
+		s = datagen.ScaleLarge
+	default:
+		fatalf("unknown scale %q", *scale)
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatalf("%v", err)
+	}
+	fields := datagen.Suite(s, *seed)
+	var manifest strings.Builder
+	total := 0
+	for _, f := range fields {
+		if *app != "" && f.App != *app {
+			continue
+		}
+		name := fmt.Sprintf("%s.%s.f64", f.App, f.Name)
+		path := filepath.Join(*out, name)
+		raw := make([]byte, len(f.Data)*8)
+		for i, v := range f.Data {
+			binary.LittleEndian.PutUint64(raw[i*8:], math.Float64bits(v))
+		}
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		dims := make([]string, len(f.Dims))
+		for i, d := range f.Dims {
+			dims[i] = fmt.Sprint(d)
+		}
+		fmt.Fprintf(&manifest, "%s\t%s\t%d bytes\n", name, strings.Join(dims, ","), len(raw))
+		total += len(raw)
+		fmt.Printf("wrote %s (%v, %.1f MB)\n", path, f.Dims, float64(len(raw))/1e6)
+	}
+	if err := os.WriteFile(filepath.Join(*out, "MANIFEST.txt"), []byte(manifest.String()), 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("total %.1f MB in %s\n", float64(total)/1e6, *out)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "datagen: "+format+"\n", args...)
+	os.Exit(1)
+}

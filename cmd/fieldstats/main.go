@@ -1,0 +1,86 @@
+// Command fieldstats summarizes a raw float array: value distribution,
+// dynamic range, entropy and smoothness — the statistics that determine
+// which compressor and error bound make sense — and recommends a starting
+// point-wise relative bound.
+//
+// Example:
+//
+//	fieldstats -in snap.f64 -dims 512,512,512
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input raw file")
+		dimsFlag = flag.String("dims", "", "comma-separated dimensions (optional; default flat)")
+		f32      = flag.Bool("f32", false, "raw data is float32")
+	)
+	flag.Parse()
+	if *in == "" {
+		fatalf("-in is required")
+	}
+	raw, err := os.ReadFile(*in)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var data []float64
+	if *f32 {
+		if len(raw)%4 != 0 {
+			fatalf("size %d not multiple of 4", len(raw))
+		}
+		data = make([]float64, len(raw)/4)
+		for i := range data {
+			data[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:])))
+		}
+	} else {
+		if len(raw)%8 != 0 {
+			fatalf("size %d not multiple of 8", len(raw))
+		}
+		data = make([]float64, len(raw)/8)
+		for i := range data {
+			data[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+		}
+	}
+	var dims []int
+	if *dimsFlag != "" {
+		for _, p := range strings.Split(*dimsFlag, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil || v <= 0 {
+				fatalf("bad dimension %q", p)
+			}
+			dims = append(dims, v)
+		}
+	}
+	s, err := stats.Compute(data, dims)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("points        %d (finite %d, NaN %d, Inf %d)\n", s.N, s.Finite, s.NaNs, s.Infs)
+	fmt.Printf("signs         %d positive / %d negative / %d zero (%.2f%% zeros)\n",
+		s.Positives, s.Negatives, s.Zeros, 100*float64(s.Zeros)/float64(s.N))
+	fmt.Printf("range         [%g, %g]  mean %g  std %g\n", s.Min, s.Max, s.Mean, s.Std)
+	fmt.Printf("percentiles   1%%=%g 25%%=%g 50%%=%g 75%%=%g 99%%=%g\n", s.P1, s.P25, s.P50, s.P75, s.P99)
+	fmt.Printf("min |v|>0     %g  (dynamic range %.1f decades)\n", s.MinAbsNonzero, s.DynamicRangeDecades)
+	fmt.Printf("entropy       %.2f bits/value (8-bit quantized)\n", s.EntropyBits)
+	fmt.Printf("smoothness    %.3f (1=smooth, 0=noise)\n", s.Smoothness)
+	fmt.Printf("suggested     -rel %g (starting point; validate against your analysis)\n", s.SuggestRelBound())
+	if s.DynamicRangeDecades > 3 {
+		fmt.Println("note          wide dynamic range: point-wise relative bounds (sz_t) will preserve far more detail than absolute bounds")
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "fieldstats: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+// Archive mode: bundle every field of a MANIFEST.txt (as written by
+// cmd/datagen) into one compressed archive, or extract an archive back to
+// raw files.
+//
+//	pwrc -c -archive -manifest fields/MANIFEST.txt -algo sz_t -rel 1e-3 -out snap.arc
+//	pwrc -d -archive -in snap.arc -outdir restored/
+
+func compressArchive(manifest string, algo repro.Algorithm, rel float64, opts *repro.Options, out string, f32 bool) error {
+	dir := filepath.Dir(manifest)
+	mf, err := os.Open(manifest)
+	if err != nil {
+		return err
+	}
+	defer mf.Close()
+
+	w := repro.NewArchiveWriter()
+	scanner := bufio.NewScanner(mf)
+	totalRaw := 0
+	t0 := time.Now()
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) < 2 {
+			return fmt.Errorf("malformed manifest line %q", line)
+		}
+		name, dimsStr := parts[0], parts[1]
+		dims, err := parseDims(dimsStr)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		data, err := readRaw(filepath.Join(dir, name), f32)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		buf, err := repro.Compress(data, dims, rel, algo, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if err := w.AddCompressed(name+"|"+dimsStr, buf); err != nil {
+			return err
+		}
+		totalRaw += len(data) * 8
+		fmt.Printf("  %s: %d -> %d bytes\n", name, len(data)*8, len(buf))
+	}
+	if err := scanner.Err(); err != nil {
+		return err
+	}
+	arc := w.Bytes()
+	if err := os.WriteFile(out, arc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("archive %s: %d -> %d bytes (CR %.2f) in %v\n",
+		out, totalRaw, len(arc), float64(totalRaw)/float64(len(arc)),
+		time.Since(t0).Round(time.Millisecond))
+	return nil
+}
+
+func extractArchive(in, outdir string, f32 bool) error {
+	buf, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	r, err := repro.OpenArchive(buf)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(outdir, 0o755); err != nil {
+		return err
+	}
+	for _, entry := range r.Fields() {
+		name := entry
+		if i := strings.IndexByte(entry, '|'); i >= 0 {
+			name = entry[:i]
+		}
+		data, dims, err := r.Field(entry)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		path := filepath.Join(outdir, name)
+		if err := writeRaw(path, data, f32); err != nil {
+			return err
+		}
+		fmt.Printf("  %s: %d points dims=%v\n", path, len(data), dims)
+	}
+	return nil
+}

@@ -1,0 +1,238 @@
+// Command pwrc is the point-wise-relative compressor CLI: it compresses and
+// decompresses raw binary float arrays with any of the repository's
+// algorithms.
+//
+// Raw input is a little-endian array of float64 (or float32 with -f32).
+//
+// Examples:
+//
+//	pwrc -c -algo sz_t -rel 1e-3 -dims 512,512,512 -in snap.f64 -out snap.szt
+//	pwrc -d -in snap.szt -out snap.out.f64
+//	pwrc -c -algo sz_abs -abs 0.01 -dims 1048576 -in v.f64 -out v.sz
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/metrics"
+)
+
+func main() {
+	var (
+		compress   = flag.Bool("c", false, "compress")
+		decompress = flag.Bool("d", false, "decompress")
+		algoName   = flag.String("algo", "sz_t", "algorithm: sz_t zfp_t sz_pwr zfp_p fpzip isabela sz_abs zfp_acc")
+		rel        = flag.Float64("rel", 0, "point-wise relative error bound (0,1)")
+		abs        = flag.Float64("abs", 0, "absolute error bound (sz_abs / zfp_acc)")
+		dimsFlag   = flag.String("dims", "", "comma-separated dimensions, slowest first (e.g. 512,512,512)")
+		in         = flag.String("in", "", "input file")
+		out        = flag.String("out", "", "output file")
+		f32        = flag.Bool("f32", false, "raw data is float32 instead of float64")
+		verify     = flag.Bool("verify", false, "after compressing, decompress and report error stats")
+		base       = flag.String("base", "2", "log base for sz_t/zfp_t: 2, e, 10")
+		archive    = flag.Bool("archive", false, "archive mode: bundle/extract a whole manifest of fields")
+		manifest   = flag.String("manifest", "", "MANIFEST.txt path (archive compression)")
+		outdir     = flag.String("outdir", "", "output directory (archive extraction)")
+	)
+	flag.Parse()
+
+	if *compress == *decompress {
+		fatalf("exactly one of -c or -d is required")
+	}
+
+	if *archive {
+		algo, err := parseAlgo(*algoName)
+		check(err)
+		switch {
+		case *compress:
+			if *manifest == "" || *out == "" {
+				fatalf("archive compression needs -manifest and -out")
+			}
+			if !(*rel > 0 && *rel < 1) {
+				fatalf("archive compression needs -rel in (0,1)")
+			}
+			check(compressArchive(*manifest, algo, *rel, nil, *out, *f32))
+		default:
+			if *in == "" || *outdir == "" {
+				fatalf("archive extraction needs -in and -outdir")
+			}
+			check(extractArchive(*in, *outdir, *f32))
+		}
+		return
+	}
+
+	if *in == "" || *out == "" {
+		fatalf("-in and -out are required")
+	}
+
+	if *decompress {
+		buf, err := os.ReadFile(*in)
+		check(err)
+		t0 := time.Now()
+		data, dims, err := repro.Decompress(buf)
+		check(err)
+		elapsed := time.Since(t0)
+		check(writeRaw(*out, data, *f32))
+		algo, _ := repro.AlgorithmOf(buf)
+		fmt.Printf("decompressed %s: %d points dims=%v in %v (%.1f MB/s)\n",
+			algo, len(data), dims, elapsed.Round(time.Millisecond),
+			float64(len(data)*8)/1e6/elapsed.Seconds())
+		return
+	}
+
+	dims, err := parseDims(*dimsFlag)
+	check(err)
+	data, err := readRaw(*in, *f32)
+	check(err)
+
+	algo, err := parseAlgo(*algoName)
+	check(err)
+	opts := &repro.Options{}
+	switch *base {
+	case "2":
+	case "e":
+		opts.Base = repro.BaseE
+	case "10":
+		opts.Base = repro.Base10
+	default:
+		fatalf("unknown base %q", *base)
+	}
+
+	var buf []byte
+	t0 := time.Now()
+	switch algo {
+	case repro.SZABS, repro.ZFPACC:
+		if !(*abs > 0) {
+			fatalf("%v needs -abs > 0", algo)
+		}
+		buf, err = repro.CompressAbs(data, dims, *abs, algo, opts)
+	default:
+		if !(*rel > 0 && *rel < 1) {
+			fatalf("%v needs -rel in (0,1)", algo)
+		}
+		buf, err = repro.Compress(data, dims, *rel, algo, opts)
+	}
+	check(err)
+	elapsed := time.Since(t0)
+	check(os.WriteFile(*out, buf, 0o644))
+
+	rawBytes := len(data) * 8
+	fmt.Printf("compressed with %v: %d -> %d bytes (CR %.2f, %.2f bits/pt) in %v (%.1f MB/s)\n",
+		algo, rawBytes, len(buf),
+		metrics.CompressionRatio(rawBytes, len(buf)),
+		metrics.BitRate(len(buf), len(data)),
+		elapsed.Round(time.Millisecond),
+		float64(rawBytes)/1e6/elapsed.Seconds())
+
+	if *verify {
+		dec, _, err := repro.Decompress(buf)
+		check(err)
+		bound := *rel
+		if bound == 0 {
+			bound = math.Inf(1)
+		}
+		st, err := metrics.RelError(data, dec, bound)
+		check(err)
+		fmt.Printf("verify: bounded=%.4f%% avg_rel=%.3g max_rel=%.3g max_abs=%.3g zeros_perturbed=%d\n",
+			st.BoundedFrac*100, st.Avg, st.Max, st.MaxAbs, st.ZeroPerturbed)
+	}
+}
+
+func parseAlgo(s string) (repro.Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "sz_t", "szt":
+		return repro.SZT, nil
+	case "zfp_t", "zfpt":
+		return repro.ZFPT, nil
+	case "sz_pwr", "szpwr":
+		return repro.SZPWR, nil
+	case "zfp_p", "zfpp":
+		return repro.ZFPP, nil
+	case "fpzip":
+		return repro.FPZIP, nil
+	case "isabela":
+		return repro.ISABELA, nil
+	case "sz_abs", "szabs":
+		return repro.SZABS, nil
+	case "zfp_acc", "zfpacc":
+		return repro.ZFPACC, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q", s)
+	}
+}
+
+func parseDims(s string) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-dims is required for compression")
+	}
+	parts := strings.Split(s, ",")
+	dims := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad dimension %q", p)
+		}
+		dims[i] = v
+	}
+	return dims, nil
+}
+
+func readRaw(path string, f32 bool) ([]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if f32 {
+		if len(raw)%4 != 0 {
+			return nil, fmt.Errorf("file size %d not a multiple of 4", len(raw))
+		}
+		out := make([]float64, len(raw)/4)
+		for i := range out {
+			out[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:])))
+		}
+		return out, nil
+	}
+	if len(raw)%8 != 0 {
+		return nil, fmt.Errorf("file size %d not a multiple of 8", len(raw))
+	}
+	out := make([]float64, len(raw)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	return out, nil
+}
+
+func writeRaw(path string, data []float64, f32 bool) error {
+	var raw []byte
+	if f32 {
+		raw = make([]byte, len(data)*4)
+		for i, v := range data {
+			binary.LittleEndian.PutUint32(raw[i*4:], math.Float32bits(float32(v)))
+		}
+	} else {
+		raw = make([]byte, len(data)*8)
+		for i, v := range data {
+			binary.LittleEndian.PutUint64(raw[i*8:], math.Float64bits(v))
+		}
+	}
+	return os.WriteFile(path, raw, 0o644)
+}
+
+func check(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "pwrc: "+format+"\n", args...)
+	os.Exit(1)
+}

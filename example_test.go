@@ -1,0 +1,93 @@
+package repro_test
+
+import (
+	"fmt"
+	"math"
+
+	"repro"
+)
+
+// ExampleCompress shows the basic point-wise-relative round trip with the
+// paper's transform scheme.
+func ExampleCompress() {
+	data := []float64{1.0, 0.001, 250.0, -3.5, 0.0, 1e-6}
+	buf, err := repro.Compress(data, []int{6}, 1e-3, repro.SZT, nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	dec, dims, err := repro.Decompress(buf)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	worst := 0.0
+	for i, o := range data {
+		if o == 0 {
+			continue
+		}
+		if r := math.Abs(dec[i]-o) / math.Abs(o); r > worst {
+			worst = r
+		}
+	}
+	fmt.Println("dims:", dims)
+	fmt.Println("zero preserved:", dec[4] == 0)
+	fmt.Println("within 0.1%:", worst <= 1e-3)
+	// Output:
+	// dims: [6]
+	// zero preserved: true
+	// within 0.1%: true
+}
+
+// ExampleAlgorithmOf shows stream introspection.
+func ExampleAlgorithmOf() {
+	buf, _ := repro.Compress([]float64{1, 2, 3, 4}, []int{4}, 0.01, repro.FPZIP, nil)
+	algo, _ := repro.AlgorithmOf(buf)
+	fmt.Println(algo)
+	// Output:
+	// FPZIP
+}
+
+// ExampleArchiveWriter bundles two fields into one snapshot archive and
+// reads one back by name.
+func ExampleArchiveWriter() {
+	w := repro.NewArchiveWriter()
+	_ = w.Add("density", []float64{0.1, 0.2, 0.4, 0.8}, []int{4}, 1e-3, repro.SZT, nil)
+	_ = w.Add("velocity", []float64{-10, 20, -30, 40}, []int{4}, 1e-3, repro.SZT, nil)
+	archive := w.Bytes()
+
+	r, err := repro.OpenArchive(archive)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("fields:", r.Fields())
+	dec, _, _ := r.Field("velocity")
+	fmt.Println("velocity sign pattern ok:", dec[0] < 0 && dec[1] > 0)
+	// Output:
+	// fields: [density velocity]
+	// velocity sign pattern ok: true
+}
+
+// ExampleCompressParallel compresses a field with a worker pool; the
+// stream remains self-describing.
+func ExampleCompressParallel() {
+	data := make([]float64, 64*64)
+	for i := range data {
+		data[i] = 1 + float64(i%64)*0.01
+	}
+	buf, err := repro.CompressParallel(data, []int{64, 64}, 1e-3, repro.SZT,
+		&repro.ParallelOptions{Workers: 4, Chunks: 4})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	dec, dims, err := repro.DecompressAny(buf)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("dims:", dims, "points:", len(dec))
+	// Output:
+	// dims: [64 64] points: 4096
+}

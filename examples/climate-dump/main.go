@@ -1,0 +1,96 @@
+// climate-dump simulates a CESM-ATM ensemble dump: many 2D climate fields
+// are compressed concurrently by a worker pool (one worker per core, the
+// file-per-process pattern of the paper's parallel evaluation) under a
+// point-wise relative bound, and the resulting dump time is compared
+// against writing the raw data through the same parallel-file-system
+// bandwidth model.
+//
+// Usage: go run ./examples/climate-dump [-members 8] [-rel 1e-3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/datagen"
+	"repro/internal/pfs"
+)
+
+func main() {
+	members := flag.Int("members", 8, "ensemble members (each contributes one CESM field set)")
+	rel := flag.Float64("rel", 1e-3, "point-wise relative error bound")
+	flag.Parse()
+
+	// Generate the ensemble: each member is one CESM-ATM field set with a
+	// different seed (a different simulation in the ensemble).
+	var fields []datagen.Field
+	for m := 0; m < *members; m++ {
+		fields = append(fields, datagen.CESMATM(300, 600, int64(1000+m))...)
+	}
+	totalRaw := 0
+	for _, f := range fields {
+		totalRaw += f.Bytes()
+	}
+	fmt.Printf("ensemble: %d members, %d fields, %.1f MB raw\n",
+		*members, len(fields), float64(totalRaw)/1e6)
+
+	// Worker pool: compress all fields concurrently.
+	workers := runtime.GOMAXPROCS(0)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var totalCompressed atomic.Int64
+	var failed atomic.Int64
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				f := &fields[i]
+				buf, err := repro.Compress(f.Data, f.Dims, *rel, repro.SZT, nil)
+				if err != nil {
+					log.Printf("compress %s: %v", f.String(), err)
+					failed.Add(1)
+					continue
+				}
+				totalCompressed.Add(int64(len(buf)))
+			}
+		}()
+	}
+	for i := range fields {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if failed.Load() > 0 {
+		log.Fatalf("%d fields failed to compress", failed.Load())
+	}
+
+	comp := totalCompressed.Load()
+	ratio := float64(totalRaw) / float64(comp)
+	rate := float64(totalRaw) / 1e6 / elapsed.Seconds()
+	fmt.Printf("compressed to %.1f MB (ratio %.1f) with %d workers in %v (%.0f MB/s aggregate)\n",
+		float64(comp)/1e6, ratio, workers, elapsed.Round(time.Millisecond), rate)
+
+	// Model the dump at cluster scale: 1,024 ranks, 1 GB of raw fields each.
+	sys := pfs.DefaultSystem(1024)
+	perRank := int64(1 << 30)
+	dump, err := sys.DumpTime(perRank, int64(float64(perRank)/ratio), rate*1e6/float64(workers))
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw, err := sys.RawDumpTime(perRank)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("modeled dump at 1024 cores, 1 GB/rank: %v (raw data would take %v, %.1fx longer)\n",
+		dump.Total().Round(time.Second), raw.Total().Round(time.Second),
+		raw.Total().Seconds()/dump.Total().Seconds())
+}

@@ -1,0 +1,83 @@
+// fixed-budget contrasts the two ways to spend a storage budget: ZFP's
+// fixed-rate mode (exact bits per value, no error guarantee) versus SZ_T
+// at the relative bound that lands on the same size (guaranteed point-wise
+// relative error, variable rate). For heavy-tailed scientific data the
+// error-bounded spend preserves small values dramatically better at the
+// same cost.
+//
+// Usage: go run ./examples/fixed-budget [-bits 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"repro"
+	"repro/internal/datagen"
+	"repro/internal/metrics"
+)
+
+func main() {
+	bits := flag.Float64("bits", 8, "storage budget in bits per value")
+	flag.Parse()
+
+	fields := datagen.NYX(48, 77)
+	f := fields[0] // dark_matter_density: heavy lognormal tail
+	rawBits := float64(f.Bytes() * 8)
+
+	// Spend the budget with fixed-rate ZFP.
+	rateBuf, err := repro.CompressFixedRate(f.Data, f.Dims, *bits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rateDec, _, err := repro.Decompress(rateBuf)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Find the SZ_T relative bound that produces (at most) the same size.
+	lo, hi := 1e-6, 0.5
+	var sztBuf []byte
+	var sztRel float64
+	for i := 0; i < 22; i++ {
+		mid := math.Sqrt(lo * hi)
+		buf, err := repro.Compress(f.Data, f.Dims, mid, repro.SZT, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(buf) <= len(rateBuf) {
+			sztBuf, sztRel = buf, mid
+			hi = mid // can afford a tighter bound
+		} else {
+			lo = mid
+		}
+	}
+	if sztBuf == nil {
+		log.Fatalf("SZ_T could not meet the %g bits/value budget", *bits)
+	}
+	sztDec, _, err := repro.Decompress(sztBuf)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report := func(name string, buf []byte, dec []float64) {
+		st, err := metrics.RelError(f.Data, dec, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		psnr, err := metrics.RelPSNR(f.Data, dec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s %6.2f bits/val  max rel err %10.3g  avg %10.3g  rel-PSNR %6.1f dB\n",
+			name, float64(len(buf)*8)/float64(f.Size()), st.Max, st.Avg, psnr)
+	}
+	fmt.Printf("budget: %.1f bits/value on %s (%.1fx reduction)\n\n",
+		*bits, f.String(), rawBits/(float64(len(rateBuf))*8))
+	report("ZFP fixed-rate", rateBuf, rateDec)
+	report(fmt.Sprintf("SZ_T (rel %.3g)", sztRel), sztBuf, sztDec)
+	fmt.Println("\nsame budget — the error-bounded spend caps the worst case;")
+	fmt.Println("the fixed-rate spend leaves small values with unbounded relative error.")
+}

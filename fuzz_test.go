@@ -1,0 +1,141 @@
+package repro
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// Fuzz targets: run with `go test -fuzz=FuzzDecompress` etc.; in a normal
+// `go test` run they execute their seed corpus, acting as additional
+// regression tests for the parsers' robustness.
+
+func fuzzSeedStreams(f *testing.F) {
+	data := []float64{1, 2, 3, 4, 0, -5, 6, 7}
+	for _, algo := range RelativeAlgorithms() {
+		if buf, err := Compress(data, []int{8}, 0.01, algo, nil); err == nil {
+			f.Add(buf)
+		}
+	}
+	if buf, err := CompressAbs(data, []int{2, 4}, 0.01, SZABS, nil); err == nil {
+		f.Add(buf)
+	}
+	if buf, err := CompressFixedRate(data, []int{8}, 8); err == nil {
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{containerMagic})
+	f.Add([]byte{containerMagic, byte(SZT), 0, 0, 0, 0})
+}
+
+// FuzzDecompress asserts the top-level decoder never panics and that any
+// successfully decoded stream has a consistent shape.
+func FuzzDecompress(f *testing.F) {
+	fuzzSeedStreams(f)
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		data, dims, err := Decompress(buf)
+		if err != nil {
+			return
+		}
+		n := 1
+		for _, d := range dims {
+			if d <= 0 {
+				t.Fatalf("nonpositive dim %v", dims)
+			}
+			n *= d
+		}
+		if n != len(data) {
+			t.Fatalf("dims %v product %d != len %d", dims, n, len(data))
+		}
+	})
+}
+
+// FuzzDecompressParallel covers the chunked container.
+func FuzzDecompressParallel(f *testing.F) {
+	data := make([]float64, 64)
+	for i := range data {
+		data[i] = float64(i) + 1
+	}
+	if buf, err := CompressParallel(data, []int{8, 8}, 0.01, SZT, &ParallelOptions{Chunks: 3}); err == nil {
+		f.Add(buf)
+	}
+	f.Add([]byte{parallelMagic, 1, 8})
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		data, dims, err := DecompressParallel(buf, 2)
+		if err != nil {
+			return
+		}
+		n := 1
+		for _, d := range dims {
+			n *= d
+		}
+		if n != len(data) {
+			t.Fatalf("shape mismatch")
+		}
+	})
+}
+
+// FuzzOpenArchive covers the archive index parser.
+func FuzzOpenArchive(f *testing.F) {
+	w := NewArchiveWriter()
+	_ = w.Add("a", []float64{1, 2, 3, 4}, []int{4}, 0.1, SZT, nil)
+	f.Add(w.Bytes())
+	f.Add([]byte{archiveMagic, 0})
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		r, err := OpenArchive(buf)
+		if err != nil {
+			return
+		}
+		for _, name := range r.Fields() {
+			_, _, _ = r.Field(name)
+		}
+	})
+}
+
+// FuzzCompressRoundTrip drives the full SZ_T pipeline with arbitrary data
+// bytes reinterpreted as floats, asserting the bound on every finite
+// nonzero value.
+func FuzzCompressRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Add(make([]byte, 80))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		n := len(raw) / 8
+		if n == 0 || n > 1<<14 {
+			return
+		}
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+		}
+		const rel = 1e-2
+		buf, err := Compress(data, []int{n}, rel, SZT, nil)
+		if err != nil {
+			return // e.g. log-range too extreme for the bound: a valid refusal
+		}
+		dec, _, err := Decompress(buf)
+		if err != nil {
+			t.Fatalf("own stream failed to decode: %v", err)
+		}
+		for i := range data {
+			o := data[i]
+			switch {
+			case math.IsNaN(o):
+				if !math.IsNaN(dec[i]) {
+					t.Fatalf("NaN lost at %d", i)
+				}
+			case math.IsInf(o, 0):
+				if dec[i] != o {
+					t.Fatalf("Inf lost at %d", i)
+				}
+			case o == 0:
+				if dec[i] != 0 {
+					t.Fatalf("zero perturbed at %d", i)
+				}
+			default:
+				if math.Abs(dec[i]-o)/math.Abs(o) > rel {
+					t.Fatalf("bound violated at %d: %g vs %g", i, dec[i], o)
+				}
+			}
+		}
+	})
+}

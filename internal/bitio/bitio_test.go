@@ -1,0 +1,323 @@
+package bitio
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadSingleBits(t *testing.T) {
+	w := NewWriter(16)
+	pattern := []uint{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1}
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	if got, want := w.BitsWritten(), uint64(len(pattern)); got != want {
+		t.Fatalf("BitsWritten = %d, want %d", got, want)
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range pattern {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatalf("bit %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("bit %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestWriteBitsWidths(t *testing.T) {
+	w := NewWriter(64)
+	vals := []struct {
+		v uint64
+		n uint
+	}{
+		{0x1, 1}, {0x3, 2}, {0x7f, 7}, {0xff, 8}, {0x1234, 16},
+		{0xdeadbeef, 32}, {0x0123456789abcdef, 64}, {0, 0}, {0x15, 5},
+		{1<<63 | 1, 64}, {0x3ffff, 18},
+	}
+	for _, tc := range vals {
+		w.WriteBits(tc.v, tc.n)
+	}
+	r := NewReader(w.Bytes())
+	for i, tc := range vals {
+		got, err := r.ReadBits(tc.n)
+		if err != nil {
+			t.Fatalf("field %d: %v", i, err)
+		}
+		want := tc.v
+		if tc.n < 64 {
+			want &= (1 << tc.n) - 1
+		}
+		if got != want {
+			t.Fatalf("field %d = %#x, want %#x", i, got, want)
+		}
+	}
+}
+
+func TestWriterBytesPadding(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0b101, 3)
+	b := w.Bytes()
+	if len(b) != 1 {
+		t.Fatalf("len = %d, want 1", len(b))
+	}
+	if b[0] != 0b10100000 {
+		t.Fatalf("byte = %#08b, want 10100000", b[0])
+	}
+}
+
+func TestReaderEOF(t *testing.T) {
+	r := NewReader([]byte{0xff})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatalf("ReadBits(8): %v", err)
+	}
+	if _, err := r.ReadBit(); err != ErrUnexpectedEOF {
+		t.Fatalf("expected ErrUnexpectedEOF, got %v", err)
+	}
+	if _, err := r.ReadBits(4); err != ErrUnexpectedEOF {
+		t.Fatalf("expected ErrUnexpectedEOF, got %v", err)
+	}
+}
+
+func TestReaderAlign(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0xab, 8) // crosses into second byte
+	r := NewReader(w.Bytes())
+	if _, err := r.ReadBits(3); err != nil {
+		t.Fatal(err)
+	}
+	r.Align()
+	if got := r.BitsRead(); got != 8 {
+		t.Fatalf("BitsRead after align = %d, want 8", got)
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(0xffff, 16)
+	w.Reset()
+	if w.BitsWritten() != 0 || len(w.Bytes()) != 0 {
+		t.Fatalf("Reset did not clear state")
+	}
+	w.WriteBits(0xa, 4)
+	if b := w.Bytes(); len(b) != 1 || b[0] != 0xa0 {
+		t.Fatalf("post-reset bytes = %x", b)
+	}
+}
+
+// Property: any sequence of (value,width) fields round-trips.
+func TestQuickFieldRoundTrip(t *testing.T) {
+	f := func(seed int64, count uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(count%200) + 1
+		vals := make([]uint64, n)
+		widths := make([]uint, n)
+		w := NewWriter(0)
+		for i := range vals {
+			widths[i] = uint(rng.Intn(65))
+			vals[i] = rng.Uint64()
+			if widths[i] < 64 {
+				vals[i] &= (1 << widths[i]) - 1
+			}
+			w.WriteBits(vals[i], widths[i])
+		}
+		r := NewReader(w.Bytes())
+		for i := range vals {
+			got, err := r.ReadBits(widths[i])
+			if err != nil || got != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mixed bit/field writes round-trip.
+func TestQuickMixedRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		type op struct {
+			bit   bool
+			v     uint64
+			width uint
+		}
+		ops := make([]op, rng.Intn(300)+1)
+		w := NewWriter(0)
+		for i := range ops {
+			if rng.Intn(2) == 0 {
+				ops[i] = op{bit: true, v: uint64(rng.Intn(2)), width: 1}
+				w.WriteBit(uint(ops[i].v))
+			} else {
+				wd := uint(rng.Intn(64) + 1)
+				v := rng.Uint64() & ((1 << wd) - 1)
+				if wd == 64 {
+					v = rng.Uint64()
+				}
+				ops[i] = op{v: v, width: wd}
+				w.WriteBits(v, wd)
+			}
+		}
+		r := NewReader(w.Bytes())
+		for _, o := range ops {
+			if o.bit {
+				b, err := r.ReadBit()
+				if err != nil || uint64(b) != o.v {
+					return false
+				}
+			} else {
+				v, err := r.ReadBits(o.width)
+				if err != nil || v != o.v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUvarintRoundTrip(t *testing.T) {
+	cases := []uint64{0, 1, 127, 128, 300, 1 << 20, 1<<63 - 1, 1 << 63, ^uint64(0)}
+	for _, v := range cases {
+		buf := AppendUvarint(nil, v)
+		got, n := Uvarint(buf)
+		if n != len(buf) || got != v {
+			t.Fatalf("Uvarint(%d): got %d, n=%d len=%d", v, got, n, len(buf))
+		}
+	}
+}
+
+func TestUvarintTruncated(t *testing.T) {
+	buf := AppendUvarint(nil, 1<<40)
+	if _, n := Uvarint(buf[:2]); n != 0 {
+		t.Fatalf("truncated varint should return n=0, got %d", n)
+	}
+	if _, n := Uvarint(nil); n != 0 {
+		t.Fatalf("empty varint should return n=0, got %d", n)
+	}
+}
+
+func TestUvarintOverflow(t *testing.T) {
+	buf := []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02}
+	if _, n := Uvarint(buf); n != 0 {
+		t.Fatalf("overflowing varint should return n=0, got %d", n)
+	}
+}
+
+func TestZigZag(t *testing.T) {
+	cases := map[int64]uint64{0: 0, -1: 1, 1: 2, -2: 3, 2: 4, 1<<62 - 1: 1<<63 - 2}
+	for v, want := range cases {
+		if got := ZigZag(v); got != want {
+			t.Errorf("ZigZag(%d) = %d, want %d", v, got, want)
+		}
+		if back := UnZigZag(want); back != v {
+			t.Errorf("UnZigZag(%d) = %d, want %d", want, back, v)
+		}
+	}
+}
+
+func TestQuickZigZag(t *testing.T) {
+	f := func(v int64) bool { return UnZigZag(ZigZag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWriteBits(b *testing.B) {
+	w := NewWriter(1 << 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if i%100000 == 0 {
+			w.Reset()
+		}
+		w.WriteBits(uint64(i), 17)
+	}
+}
+
+func BenchmarkReadBits(b *testing.B) {
+	w := NewWriter(1 << 20)
+	for i := 0; i < 100000; i++ {
+		w.WriteBits(uint64(i), 17)
+	}
+	data := w.Bytes()
+	b.ResetTimer()
+	b.ReportAllocs()
+	r := NewReader(data)
+	for i := 0; i < b.N; i++ {
+		if i%100000 == 0 {
+			r = NewReader(data)
+		}
+		if _, err := r.ReadBits(17); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestPeekAndSkip(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0b1011001110001111, 16)
+	r := NewReader(w.Bytes())
+	v, got := r.PeekBits(6)
+	if got != 6 || v != 0b101100 {
+		t.Fatalf("peek = %b (%d bits)", v, got)
+	}
+	// Peek must not consume.
+	v2, got2 := r.PeekBits(6)
+	if v2 != v || got2 != got {
+		t.Fatal("peek consumed bits")
+	}
+	r.Skip(6)
+	rest, err := r.ReadBits(10)
+	if err != nil || rest != 0b1110001111 {
+		t.Fatalf("rest = %b, %v", rest, err)
+	}
+	// Near EOF: fewer bits available than requested.
+	v, got = r.PeekBits(8)
+	if got != 0 || v != 0 {
+		t.Fatalf("empty peek = %b (%d bits)", v, got)
+	}
+}
+
+func TestPeekNearEOF(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0b101, 3)
+	r := NewReader(w.Bytes())
+	// The writer padded to a byte, so 8 bits exist.
+	if _, got := r.PeekBits(16); got != 8 {
+		t.Fatalf("got %d bits", got)
+	}
+}
+
+func TestQuickPeekMatchesRead(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := NewWriter(0)
+		n := rng.Intn(100) + 10
+		for i := 0; i < n; i++ {
+			w.WriteBits(rng.Uint64(), uint(rng.Intn(33)))
+		}
+		r := NewReader(w.Bytes())
+		for {
+			width := uint(rng.Intn(24) + 1)
+			v, got := r.PeekBits(width)
+			if got == 0 {
+				return true
+			}
+			rv, err := r.ReadBits(got)
+			if err != nil || rv != v {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

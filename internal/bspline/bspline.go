@@ -1,0 +1,156 @@
+// Package bspline implements uniform cubic B-spline evaluation and banded
+// least-squares fitting. It is the curve-approximation substrate of the
+// ISABELA baseline, which fits a cubic B-spline to each sorted window of
+// data (Lakshminarasimhan et al., CCPE 2013).
+package bspline
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSingular is returned when the normal-equation system cannot be solved,
+// e.g. with fewer samples than control points.
+var ErrSingular = errors.New("bspline: singular fitting system")
+
+// Curve is a uniform cubic B-spline over the parameter range [0, 1] with
+// len(Ctrl) control points (minimum 4).
+type Curve struct {
+	Ctrl []float64
+}
+
+// basis evaluates the four cubic B-spline basis functions at local
+// parameter u in [0,1).
+func basis(u float64) (b0, b1, b2, b3 float64) {
+	v := 1 - u
+	b0 = v * v * v / 6
+	b1 = (3*u*u*u - 6*u*u + 4) / 6
+	b2 = (-3*u*u*u + 3*u*u + 3*u + 1) / 6
+	b3 = u * u * u / 6
+	return
+}
+
+// segment maps global parameter t in [0,1] to a segment index and local u,
+// for a spline with c control points (c-3 segments).
+func segment(t float64, c int) (seg int, u float64) {
+	nseg := c - 3
+	x := t * float64(nseg)
+	seg = int(x)
+	if seg >= nseg {
+		seg = nseg - 1
+	}
+	if seg < 0 {
+		seg = 0
+	}
+	u = x - float64(seg)
+	return
+}
+
+// Eval evaluates the curve at t in [0, 1].
+func (c *Curve) Eval(t float64) float64 {
+	seg, u := segment(t, len(c.Ctrl))
+	b0, b1, b2, b3 := basis(u)
+	return b0*c.Ctrl[seg] + b1*c.Ctrl[seg+1] + b2*c.Ctrl[seg+2] + b3*c.Ctrl[seg+3]
+}
+
+// EvalAll evaluates the curve at n uniformly spaced parameters t_i =
+// i/(n-1) (or t_0 = 0 when n == 1), filling dst and returning it.
+func (c *Curve) EvalAll(n int, dst []float64) []float64 {
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	for i := 0; i < n; i++ {
+		t := 0.0
+		if n > 1 {
+			t = float64(i) / float64(n-1)
+		}
+		dst[i] = c.Eval(t)
+	}
+	return dst
+}
+
+// Fit computes the least-squares cubic B-spline with nctrl control points
+// through the samples y (taken at uniform parameters). nctrl must be >= 4
+// and len(y) >= nctrl for a well-posed system.
+func Fit(y []float64, nctrl int) (*Curve, error) {
+	n := len(y)
+	if nctrl < 4 {
+		return nil, fmt.Errorf("bspline: need >= 4 control points, got %d", nctrl)
+	}
+	if n < nctrl {
+		return nil, fmt.Errorf("%w: %d samples < %d control points", ErrSingular, n, nctrl)
+	}
+	// Normal equations A^T A x = A^T y. Each row of A has 4 consecutive
+	// nonzeros, so A^T A is banded with half-bandwidth 3.
+	const hb = 3
+	ata := make([][7]float64, nctrl) // ata[i][j-i+3] = (A^T A)[i][j]
+	aty := make([]float64, nctrl)
+	for r := 0; r < n; r++ {
+		t := 0.0
+		if n > 1 {
+			t = float64(r) / float64(n-1)
+		}
+		seg, u := segment(t, nctrl)
+		var b [4]float64
+		b[0], b[1], b[2], b[3] = basis(u)
+		for i := 0; i < 4; i++ {
+			ci := seg + i
+			aty[ci] += b[i] * y[r]
+			for j := 0; j < 4; j++ {
+				cj := seg + j
+				d := cj - ci + hb
+				if d >= 0 && d < 7 {
+					ata[ci][d] += b[i] * b[j]
+				}
+			}
+		}
+	}
+	// Tiny Tikhonov ridge keeps the system well-conditioned when samples
+	// cluster (e.g. long constant runs in sorted data).
+	for i := 0; i < nctrl; i++ {
+		ata[i][hb] += 1e-12
+	}
+	x, err := solveBanded(ata, aty, hb)
+	if err != nil {
+		return nil, err
+	}
+	return &Curve{Ctrl: x}, nil
+}
+
+// solveBanded performs in-place Gaussian elimination (no pivoting — the
+// normal matrix is symmetric positive definite) on a banded system.
+func solveBanded(a [][7]float64, b []float64, hb int) ([]float64, error) {
+	n := len(a)
+	for k := 0; k < n; k++ {
+		piv := a[k][hb]
+		if piv == 0 || piv != piv {
+			return nil, ErrSingular
+		}
+		for i := k + 1; i <= k+hb && i < n; i++ {
+			d := k - i + hb // column k in row i's band
+			f := a[i][d] / piv
+			if f == 0 {
+				continue
+			}
+			a[i][d] = 0
+			for j := k + 1; j <= k+hb && j < n; j++ {
+				a[i][j-i+hb] -= f * a[k][j-k+hb]
+			}
+			b[i] -= f * b[k]
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j <= i+hb && j < n; j++ {
+			s -= a[i][j-i+hb] * x[j]
+		}
+		piv := a[i][hb]
+		if piv == 0 || piv != piv {
+			return nil, ErrSingular
+		}
+		x[i] = s / piv
+	}
+	return x, nil
+}

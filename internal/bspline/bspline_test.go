@@ -1,0 +1,163 @@
+package bspline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBasisPartitionOfUnity(t *testing.T) {
+	for u := 0.0; u < 1.0; u += 0.01 {
+		b0, b1, b2, b3 := basis(u)
+		if s := b0 + b1 + b2 + b3; math.Abs(s-1) > 1e-12 {
+			t.Fatalf("basis sum at u=%g is %g", u, s)
+		}
+		for _, b := range []float64{b0, b1, b2, b3} {
+			if b < 0 {
+				t.Fatalf("negative basis value at u=%g", u)
+			}
+		}
+	}
+}
+
+func TestFitConstant(t *testing.T) {
+	y := make([]float64, 100)
+	for i := range y {
+		y[i] = 7.5
+	}
+	c, err := Fit(y, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := c.EvalAll(100, nil)
+	for i, v := range out {
+		if math.Abs(v-7.5) > 1e-8 {
+			t.Fatalf("constant fit at %d = %g", i, v)
+		}
+	}
+}
+
+func TestFitLine(t *testing.T) {
+	n := 200
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = 3*float64(i)/float64(n-1) - 1
+	}
+	c, err := Fit(y, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := c.EvalAll(n, nil)
+	for i := range y {
+		if math.Abs(out[i]-y[i]) > 1e-6 {
+			t.Fatalf("line fit at %d: %g vs %g", i, out[i], y[i])
+		}
+	}
+}
+
+func TestFitSmoothCurve(t *testing.T) {
+	n := 1024
+	y := make([]float64, n)
+	for i := range y {
+		x := float64(i) / float64(n-1)
+		y[i] = math.Sin(2*math.Pi*x) + 0.5*math.Cos(6*math.Pi*x)
+	}
+	c, err := Fit(y, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := c.EvalAll(n, nil)
+	maxErr := 0.0
+	for i := range y {
+		if d := math.Abs(out[i] - y[i]); d > maxErr {
+			maxErr = d
+		}
+	}
+	if maxErr > 0.01 {
+		t.Fatalf("smooth fit max error %g", maxErr)
+	}
+}
+
+func TestFitMonotoneSortedData(t *testing.T) {
+	// The ISABELA use case: sorted (monotone) data fits very well.
+	rng := rand.New(rand.NewSource(1))
+	n := 1024
+	y := make([]float64, n)
+	v := 0.0
+	for i := range y {
+		v += rng.Float64()
+		y[i] = v
+	}
+	c, err := Fit(y, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := c.EvalAll(n, nil)
+	rng2 := 0.0
+	for i := range y {
+		if d := math.Abs(out[i] - y[i]); d > rng2 {
+			rng2 = d
+		}
+	}
+	span := y[n-1] - y[0]
+	if rng2 > span*0.01 {
+		t.Fatalf("sorted-data fit error %g of span %g", rng2, span)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(make([]float64, 10), 3); err == nil {
+		t.Fatal("nctrl<4 accepted")
+	}
+	if _, err := Fit(make([]float64, 3), 8); err == nil {
+		t.Fatal("underdetermined system accepted")
+	}
+}
+
+func TestFitExactSamplesEqualsCtrl(t *testing.T) {
+	// n == nctrl is admissible (square system).
+	y := []float64{0, 1, 2, 3}
+	c, err := Fit(y, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := c.EvalAll(4, nil)
+	for i := range y {
+		if math.Abs(out[i]-y[i]) > 1e-6 {
+			t.Fatalf("square fit at %d: %g vs %g", i, out[i], y[i])
+		}
+	}
+}
+
+func TestEvalAllSingle(t *testing.T) {
+	c := &Curve{Ctrl: []float64{1, 1, 1, 1}}
+	out := c.EvalAll(1, nil)
+	if len(out) != 1 || math.Abs(out[0]-1) > 1e-12 {
+		t.Fatalf("single eval = %v", out)
+	}
+}
+
+func TestEvalEndpointsClamped(t *testing.T) {
+	c := &Curve{Ctrl: []float64{0, 1, 2, 3, 4, 5}}
+	// t slightly out of range must not panic or index out of bounds.
+	_ = c.Eval(0)
+	_ = c.Eval(1)
+	_ = c.Eval(1.0000001)
+	_ = c.Eval(-0.0000001)
+}
+
+func BenchmarkFit1024x30(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	y := make([]float64, 1024)
+	v := 0.0
+	for i := range y {
+		v += rng.Float64()
+		y[i] = v
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(y, 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

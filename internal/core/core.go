@@ -1,0 +1,491 @@
+// Package core implements the paper's contribution: the logarithmic
+// transformation scheme that converts a point-wise relative-error-bounded
+// compression problem into an absolute-error-bounded one (Liang et al.,
+// CLUSTER 2018).
+//
+// Theorem 2 of the paper shows f(x) = log_a(x) + C is the *unique*
+// continuous bijection with this property, with the error bound mapping
+// b_a = log_a(1 + b_r). This package implements Algorithm 1:
+//
+//  1. Compute the adjusted absolute bound b'_a = log_a(1+b_r) −
+//     max_x|log_a x|·ε₀ (Lemma 2's round-off guard).
+//  2. Extract signs into a bitmap (losslessly DEFLATE-compressed) when the
+//     data is not single-signed.
+//  3. Map zeros to a sentinel placed below the representable logarithm
+//     range so they decompress back to exact zeros.
+//  4. Transform d_i = log_a|x_i| and hand the transformed field to any
+//     absolute-error-bounded backend (SZ or ZFP here).
+//
+// Decompression inverts: backend decode → exp_a → sign restore → exact
+// zeros. The paper fixes a = 2 after the base study in Section IV/VI-B;
+// bases e and 10 are implemented for that study (Tables II/III, Figure 1).
+package core
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/bitio"
+	"repro/internal/grid"
+)
+
+// Base selects the logarithm base of the transform.
+type Base int
+
+const (
+	// Base2 is the paper's choice: fastest forward (Log2) and inverse
+	// (Exp2) on every platform's math library.
+	Base2 Base = iota
+	// BaseE uses the natural logarithm.
+	BaseE
+	// Base10 uses the decimal logarithm; its inverse requires Pow(10, x),
+	// which is why Table III finds it slow in post-processing.
+	Base10
+)
+
+// String returns the conventional name of the base.
+func (b Base) String() string {
+	switch b {
+	case Base2:
+		return "2"
+	case BaseE:
+		return "e"
+	case Base10:
+		return "10"
+	default:
+		return fmt.Sprintf("Base(%d)", int(b))
+	}
+}
+
+func (b Base) log(x float64) float64 {
+	switch b {
+	case BaseE:
+		return math.Log(x)
+	case Base10:
+		return math.Log10(x)
+	default:
+		return math.Log2(x)
+	}
+}
+
+func (b Base) exp(x float64) float64 {
+	switch b {
+	case BaseE:
+		return math.Exp(x)
+	case Base10:
+		return math.Pow(10, x)
+	default:
+		return math.Exp2(x)
+	}
+}
+
+// log2of returns log2(a) for base a, so that log_a|x| = log2|x| / log2of().
+func (b Base) log2of() float64 {
+	switch b {
+	case BaseE:
+		return math.Log2E
+	case Base10:
+		return math.Ln10 / math.Ln2
+	default:
+		return 1
+	}
+}
+
+// sentinelLog is the base-2 logarithm below which a transformed value is
+// treated as an encoded zero. Real float64 values (including denormals)
+// have log2|x| ≥ −1074, so −1200 can never collide (the paper uses the
+// lower-bound exponent of the value range for the same purpose).
+const sentinelLog2 = -1200
+
+// machineEps is ε₀ in Lemma 2 (double-precision unit round-off).
+const machineEps = 0x1p-52
+
+// isDenormal reports a nonzero value below the smallest positive normal
+// float64.
+func isDenormal(v float64) bool {
+	a := math.Abs(v)
+	return a > 0 && a < 0x1p-1022
+}
+
+// roundoffFactor scales Lemma 2's guard: one ε₀ for the forward log, one
+// for the backend's arithmetic on the mapped value, and two for the inverse
+// exponential (math.Exp2/Exp/Pow are faithful to ~1 ulp).
+const roundoffFactor = 4
+
+var (
+	// ErrCorrupt reports a malformed container.
+	ErrCorrupt = errors.New("core: corrupt stream")
+	// ErrBadBound reports a relative bound outside (0, 1).
+	ErrBadBound = errors.New("core: relative bound must be in (0, 1)")
+	// ErrUnknownBackend reports a container whose backend is not registered
+	// with the decompressor.
+	ErrUnknownBackend = errors.New("core: unknown backend")
+)
+
+// Backend abstracts any absolute-error-bounded lossy compressor usable
+// under the transform scheme.
+type Backend interface {
+	// Name identifies the backend inside containers (e.g. "sz", "zfp").
+	Name() string
+	// CompressAbs compresses data so every value is within bound of the
+	// original.
+	CompressAbs(data []float64, dims []int, bound float64) ([]byte, error)
+	// Decompress decodes a stream produced by CompressAbs.
+	Decompress(buf []byte) ([]float64, []int, error)
+}
+
+// Options tunes the transform.
+type Options struct {
+	// Base is the logarithm base (default Base2, the paper's choice).
+	Base Base
+	// DisableRoundoffGuard skips Lemma 2's bound adjustment. Ablation use
+	// only: without the guard, values can exceed the relative bound by a
+	// few ulps.
+	DisableRoundoffGuard bool
+}
+
+func (o *Options) withDefaults() Options {
+	if o == nil {
+		return Options{}
+	}
+	return *o
+}
+
+// Transformed is the output of Forward: the log-domain field plus the side
+// information needed to invert it.
+type Transformed struct {
+	// Log is the transformed field (log_a|x|, with zeros/non-finite values
+	// at the sentinel).
+	Log []float64
+	// AbsBound is b'_a, the absolute bound to compress Log with.
+	AbsBound float64
+
+	base        Base
+	relBound    float64
+	allPositive bool
+	signs       []byte   // packed bitmap, 1 = negative (nil if allPositive)
+	excIdx      []uint64 // positions of non-finite values (delta-encoded at serialization)
+	excVal      []uint64 // their raw IEEE bits
+	n           int
+}
+
+// Forward applies the logarithmic transform (Algorithm 1, lines 1–17).
+func Forward(data []float64, relBound float64, opts *Options) (*Transformed, error) {
+	if !(relBound > 0) || relBound >= 1 {
+		return nil, ErrBadBound
+	}
+	opt := opts.withDefaults()
+	base := opt.Base
+	n := len(data)
+
+	tr := &Transformed{
+		Log:         make([]float64, n),
+		base:        base,
+		relBound:    relBound,
+		allPositive: true,
+		n:           n,
+	}
+
+	// Pass 1: signs, exceptions, max |log|.
+	maxLog := 0.0
+	negSeen := false
+	for _, v := range data {
+		if math.IsNaN(v) || math.IsInf(v, 0) || isDenormal(v) {
+			continue
+		}
+		if v < 0 {
+			negSeen = true
+		}
+		if v != 0 {
+			if l := math.Abs(base.log(math.Abs(v))); l > maxLog {
+				maxLog = l
+			}
+		}
+	}
+
+	ba := base.log(1 + relBound)
+	if !opt.DisableRoundoffGuard {
+		ba -= roundoffFactor * maxLog * machineEps
+	}
+	if !(ba > 0) {
+		return nil, fmt.Errorf("core: bound %g too small for data magnitude (log range %g)", relBound, maxLog)
+	}
+	tr.AbsBound = ba
+
+	sentinel := base.sentinelValue()
+	var signs []byte
+	if negSeen {
+		signs = make([]byte, (n+7)/8)
+		tr.allPositive = false
+	}
+	for i, v := range data {
+		switch {
+		case math.IsNaN(v) || math.IsInf(v, 0) || isDenormal(v):
+			// Denormals join NaN/Inf in the exact-exception list: with only
+			// a handful of mantissa ulps, the inverse exponential's rounding
+			// alone can exceed any relative bound, which Lemma 2's guard
+			// (sized for normal values) does not cover.
+			tr.excIdx = append(tr.excIdx, uint64(i))
+			tr.excVal = append(tr.excVal, math.Float64bits(v))
+			tr.Log[i] = sentinel
+		case v == 0:
+			tr.Log[i] = sentinel
+		default:
+			if v < 0 {
+				signs[i/8] |= 1 << uint(i%8)
+			}
+			tr.Log[i] = base.log(math.Abs(v))
+		}
+	}
+	tr.signs = signs
+	return tr, nil
+}
+
+// zeroThreshold returns the decode threshold: transformed values at or
+// below it reconstruct to exact zero. It sits 60 binary orders above the
+// sentinel (so any bound b'_a < log_a 2·60 keeps the sentinel below it) and
+// 66 binary orders below the smallest representable logarithm (−1074).
+func (b Base) zeroThreshold() float64 {
+	return (float64(sentinelLog2) + 60) / b.log2of()
+}
+
+// sentinelValue returns the encode-side sentinel, safely below the
+// threshold by many multiples of any admissible bound.
+func (b Base) sentinelValue() float64 {
+	return float64(sentinelLog2) / b.log2of()
+}
+
+// Inverse maps a decompressed log-domain field back to the original domain
+// (Algorithm 1's decompression side), writing into dst (allocated if nil).
+func (tr *SideInfo) Inverse(logData []float64, dst []float64) ([]float64, error) {
+	n := len(logData)
+	if n != tr.N {
+		return nil, fmt.Errorf("%w: length %d != %d", ErrCorrupt, n, tr.N)
+	}
+	if dst == nil {
+		dst = make([]float64, n)
+	}
+	thr := tr.Base.zeroThreshold()
+	for i, d := range logData {
+		if d <= thr {
+			dst[i] = 0
+			continue
+		}
+		v := tr.Base.exp(d)
+		if !tr.AllPositive && tr.Signs[i/8]&(1<<uint(i%8)) != 0 {
+			v = -v
+		}
+		dst[i] = v
+	}
+	// Exceptions override whatever the backend reconstructed.
+	for k, idx := range tr.ExcIdx {
+		if idx >= uint64(n) {
+			return nil, ErrCorrupt
+		}
+		dst[idx] = math.Float64frombits(tr.ExcVal[k])
+	}
+	return dst, nil
+}
+
+// SideInfo is the deserialized transform metadata needed by Inverse.
+type SideInfo struct {
+	Base        Base
+	RelBound    float64
+	AbsBound    float64
+	AllPositive bool
+	Signs       []byte
+	ExcIdx      []uint64
+	ExcVal      []uint64
+	N           int
+}
+
+// header layout: magic | base | flags | relBound | absBound | n |
+// [signs: flate | raw] | exceptions.
+const headerMagic = 0x54505731 // "TPW1"
+
+const (
+	flagAllPositive = 1 << 0
+	flagSignsFlate  = 1 << 1
+)
+
+// AppendHeader serializes the transform side information.
+func (tr *Transformed) AppendHeader(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, headerMagic)
+	dst = append(dst, byte(tr.base))
+	flags := byte(0)
+	var signBlob []byte
+	if tr.allPositive {
+		flags |= flagAllPositive
+	} else {
+		// Compress the sign bitmap losslessly (Algorithm 1 line 16).
+		var zbuf bytes.Buffer
+		zw, err := flate.NewWriter(&zbuf, flate.BestSpeed)
+		if err == nil {
+			if _, werr := zw.Write(tr.signs); werr == nil && zw.Close() == nil &&
+				zbuf.Len() < len(tr.signs) {
+				signBlob = zbuf.Bytes()
+				flags |= flagSignsFlate
+			}
+		}
+		if signBlob == nil {
+			signBlob = tr.signs
+		}
+	}
+	dst = append(dst, flags)
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(tr.relBound))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(tr.AbsBound))
+	dst = bitio.AppendUvarint(dst, uint64(tr.n))
+	if !tr.allPositive {
+		dst = bitio.AppendUvarint(dst, uint64(len(signBlob)))
+		dst = append(dst, signBlob...)
+	}
+	dst = bitio.AppendUvarint(dst, uint64(len(tr.excIdx)))
+	prev := uint64(0)
+	for k, idx := range tr.excIdx {
+		dst = bitio.AppendUvarint(dst, idx-prev)
+		prev = idx
+		dst = binary.BigEndian.AppendUint64(dst, tr.excVal[k])
+	}
+	return dst
+}
+
+// ParseHeader deserializes side information, returning it and the number of
+// bytes consumed.
+func ParseHeader(buf []byte) (*SideInfo, int, error) {
+	if len(buf) < 4+1+1+8+8 || binary.BigEndian.Uint32(buf) != headerMagic {
+		return nil, 0, ErrCorrupt
+	}
+	off := 4
+	base := Base(buf[off])
+	off++
+	if base != Base2 && base != BaseE && base != Base10 {
+		return nil, 0, ErrCorrupt
+	}
+	flags := buf[off]
+	off++
+	relBound := math.Float64frombits(binary.BigEndian.Uint64(buf[off:]))
+	off += 8
+	absBound := math.Float64frombits(binary.BigEndian.Uint64(buf[off:]))
+	off += 8
+	if !(relBound > 0) || relBound >= 1 || !(absBound > 0) {
+		return nil, 0, ErrCorrupt
+	}
+	nU, k := bitio.Uvarint(buf[off:])
+	if k == 0 || nU > 1<<40 {
+		return nil, 0, ErrCorrupt
+	}
+	off += k
+	si := &SideInfo{
+		Base:        base,
+		RelBound:    relBound,
+		AbsBound:    absBound,
+		AllPositive: flags&flagAllPositive != 0,
+		N:           int(nU),
+	}
+	if !si.AllPositive {
+		blobLen, k := bitio.Uvarint(buf[off:])
+		if k == 0 || int(blobLen) > len(buf)-off-k {
+			return nil, 0, ErrCorrupt
+		}
+		off += k
+		blob := buf[off : off+int(blobLen)]
+		off += int(blobLen)
+		want := (si.N + 7) / 8
+		if flags&flagSignsFlate != 0 {
+			zr := flate.NewReader(bytes.NewReader(blob))
+			dec, err := io.ReadAll(io.LimitReader(zr, int64(want)+16))
+			zr.Close()
+			if err != nil || len(dec) != want {
+				return nil, 0, ErrCorrupt
+			}
+			si.Signs = dec
+		} else {
+			if len(blob) != want {
+				return nil, 0, ErrCorrupt
+			}
+			si.Signs = blob
+		}
+	}
+	excN, k := bitio.Uvarint(buf[off:])
+	if k == 0 || excN > nU {
+		return nil, 0, ErrCorrupt
+	}
+	off += k
+	prev := uint64(0)
+	for i := uint64(0); i < excN; i++ {
+		d, k := bitio.Uvarint(buf[off:])
+		if k == 0 {
+			return nil, 0, ErrCorrupt
+		}
+		off += k
+		prev += d
+		if off+8 > len(buf) {
+			return nil, 0, ErrCorrupt
+		}
+		si.ExcIdx = append(si.ExcIdx, prev)
+		si.ExcVal = append(si.ExcVal, binary.BigEndian.Uint64(buf[off:]))
+		off += 8
+	}
+	return si, off, nil
+}
+
+// Compress runs the full pipeline: Forward transform, then the backend's
+// absolute-error-bounded compression, producing a self-describing stream.
+func Compress(data []float64, dims []int, relBound float64, backend Backend, opts *Options) ([]byte, error) {
+	if err := grid.Validate(dims, len(data)); err != nil {
+		return nil, err
+	}
+	tr, err := Forward(data, relBound, opts)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := backend.CompressAbs(tr.Log, dims, tr.AbsBound)
+	if err != nil {
+		return nil, err
+	}
+	out := tr.AppendHeader(nil)
+	name := backend.Name()
+	out = bitio.AppendUvarint(out, uint64(len(name)))
+	out = append(out, name...)
+	out = bitio.AppendUvarint(out, uint64(len(inner)))
+	return append(out, inner...), nil
+}
+
+// Decompress inverts Compress. resolve maps a backend name from the
+// container to the Backend that can decode it.
+func Decompress(buf []byte, resolve func(name string) Backend) ([]float64, []int, error) {
+	si, off, err := ParseHeader(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	nameLen, k := bitio.Uvarint(buf[off:])
+	if k == 0 || nameLen > 64 || int(nameLen) > len(buf)-off-k {
+		return nil, nil, ErrCorrupt
+	}
+	off += k
+	name := string(buf[off : off+int(nameLen)])
+	off += int(nameLen)
+	innerLen, k := bitio.Uvarint(buf[off:])
+	if k == 0 || int(innerLen) > len(buf)-off-k {
+		return nil, nil, ErrCorrupt
+	}
+	off += k
+	backend := resolve(name)
+	if backend == nil {
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownBackend, name)
+	}
+	logData, dims, err := backend.Decompress(buf[off : off+int(innerLen)])
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := si.Inverse(logData, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, dims, nil
+}

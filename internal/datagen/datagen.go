@@ -1,0 +1,392 @@
+// Package datagen synthesizes scalar fields with the statistical character
+// of the four applications in the paper's evaluation (Table I): HACC
+// cosmology particle velocities, CESM-ATM 2D climate fields, NYX 3D
+// cosmology fields and Hurricane-ISABEL 3D storm fields.
+//
+// The real snapshots (3.1/1.9/1.2/3 GB per time step) are not
+// redistributable, so each generator reproduces the properties that drive
+// relative-error-bounded compression behaviour instead: value distribution
+// (heavy lognormal tails, sign mixes, zero fraction), dynamic range, and
+// spatial smoothness (via correlated random fields). All generators are
+// deterministic in their seed.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/grid"
+)
+
+// Field is a named scalar field with row-major data.
+type Field struct {
+	App  string // application name ("NYX", "HACC", ...)
+	Name string // field name ("dark_matter_density", ...)
+	Data []float64
+	Dims []int
+}
+
+// Size returns the number of points in the field.
+func (f *Field) Size() int { return len(f.Data) }
+
+// Bytes returns the uncompressed size in bytes (float64 storage).
+func (f *Field) Bytes() int { return len(f.Data) * 8 }
+
+// String describes the field.
+func (f *Field) String() string {
+	return fmt.Sprintf("%s/%s%v", f.App, f.Name, f.Dims)
+}
+
+// smoothField returns a spatially correlated random field in roughly
+// [-1, 1]: white noise repeatedly box-blurred along each axis (periodic),
+// which converges to a Gaussian-correlated field.
+func smoothField(dims []int, passes, radius int, rng *rand.Rand) []float64 {
+	n := grid.Size(dims)
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	tmp := make([]float64, n)
+	strides := grid.Strides(dims)
+	for p := 0; p < passes; p++ {
+		for d := range dims {
+			boxBlurAxis(data, tmp, dims, strides, d, radius)
+			data, tmp = tmp, data
+		}
+	}
+	// Normalize to unit-ish amplitude.
+	maxAbs := 0.0
+	for _, v := range data {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs > 0 {
+		inv := 1 / maxAbs
+		for i := range data {
+			data[i] *= inv
+		}
+	}
+	return data
+}
+
+// boxBlurAxis applies a periodic box blur of the given radius along axis d.
+func boxBlurAxis(src, dst []float64, dims, strides []int, d, radius int) {
+	length := dims[d]
+	stride := strides[d]
+	lines := len(src) / length
+	window := float64(2*radius + 1)
+	// Enumerate all 1D lines along axis d.
+	lineStart := make([]int, 0, lines)
+	var rec func(axis, base int)
+	rec = func(axis, base int) {
+		if axis == len(dims) {
+			lineStart = append(lineStart, base)
+			return
+		}
+		if axis == d {
+			rec(axis+1, base)
+			return
+		}
+		for i := 0; i < dims[axis]; i++ {
+			rec(axis+1, base+i*strides[axis])
+		}
+	}
+	rec(0, 0)
+	for _, s := range lineStart {
+		// Periodic prefix trick per line.
+		var sum float64
+		for k := -radius; k <= radius; k++ {
+			sum += src[s+mod(k, length)*stride]
+		}
+		for i := 0; i < length; i++ {
+			dst[s+i*stride] = sum / window
+			sum -= src[s+mod(i-radius, length)*stride]
+			sum += src[s+mod(i+radius+1, length)*stride]
+		}
+	}
+}
+
+func mod(a, m int) int {
+	a %= m
+	if a < 0 {
+		a += m
+	}
+	return a
+}
+
+// standardize returns the z-scores of data (zero mean, unit variance).
+func standardize(data []float64) []float64 {
+	n := float64(len(data))
+	mean := 0.0
+	for _, v := range data {
+		mean += v
+	}
+	mean /= n
+	variance := 0.0
+	for _, v := range data {
+		d := v - mean
+		variance += d * d
+	}
+	variance /= n
+	std := math.Sqrt(variance)
+	if std == 0 {
+		std = 1
+	}
+	out := make([]float64, len(data))
+	for i, v := range data {
+		out[i] = (v - mean) / std
+	}
+	return out
+}
+
+// HACC generates the three 1D particle velocity fields. Particle order is
+// not spatially coherent, so the fields combine slow bulk-flow structure
+// with strong per-particle dispersion — the "sharply varying" behaviour
+// that hurts block-minimum PWR designs on HACC (Section VI-D).
+func HACC(n int, seed int64) []Field {
+	rng := rand.New(rand.NewSource(seed))
+	// Per-particle velocity dispersion, shared by the three components
+	// (particles live in a common environment): lognormal across ~2 orders
+	// of magnitude, so a large population of slow particles coexists with
+	// fast halo members. Slow particles are the ones whose *direction* an
+	// absolute error bound destroys (Figure 5) while a relative bound
+	// preserves it.
+	sigma := make([]float64, n)
+	for i := range sigma {
+		sigma[i] = 150 * math.Exp(rng.NormFloat64()*1.1)
+	}
+	fields := make([]Field, 0, 3)
+	for _, name := range []string{"velocity_x", "velocity_y", "velocity_z"} {
+		data := make([]float64, n)
+		phase := rng.Float64() * 2 * math.Pi
+		freq := 1e-5 * (1 + rng.Float64())
+		for i := range data {
+			bulk := 50 * math.Sin(float64(i)*freq+phase)
+			data[i] = bulk + rng.NormFloat64()*sigma[i]
+		}
+		fields = append(fields, Field{App: "HACC", Name: name, Data: data, Dims: []int{n}})
+	}
+	return fields
+}
+
+// CESMATM generates 2D climate fields on a (lat, lon) grid. Cloud-fraction
+// fields are smooth in [0, 1] with exact-zero clear-sky regions; the "HGH"
+// variant has larger clear areas. FLNS-like fields are smooth with a
+// latitudinal gradient and moderate dynamic range.
+func CESMATM(nlat, nlon int, seed int64) []Field {
+	rng := rand.New(rand.NewSource(seed))
+	dims := []int{nlat, nlon}
+	var fields []Field
+
+	cloud := func(name string, clearCut float64) Field {
+		f := smoothField(dims, 3, 6, rng)
+		data := make([]float64, len(f))
+		for i, v := range f {
+			c := (v + 1) / 2      // [0,1]
+			c = c * c * (3 - 2*c) // smoothstep sharpens fronts
+			if c < clearCut {
+				c = 0 // exact clear sky
+			}
+			data[i] = c
+		}
+		return Field{App: "CESM-ATM", Name: name, Data: data, Dims: dims}
+	}
+	fields = append(fields, cloud("CLDHGH", 0.35), cloud("CLDLOW", 0.2))
+
+	// Surface flux: smooth, positive, latitude gradient, range ~ [20, 400].
+	flux := smoothField(dims, 3, 8, rng)
+	fdata := make([]float64, len(flux))
+	for i, v := range flux {
+		lat := float64(i/nlon) / float64(nlat-1) // 0..1
+		base := 80 + 250*math.Sin(lat*math.Pi)
+		fdata[i] = base * (1 + 0.3*v)
+	}
+	fields = append(fields, Field{App: "CESM-ATM", Name: "FLNS", Data: fdata, Dims: dims})
+
+	// Humidity-like field: positive, 4 orders of magnitude vertical-ish
+	// variation across latitude (stresses relative bounds).
+	hum := smoothField(dims, 3, 6, rng)
+	hdata := make([]float64, len(hum))
+	for i, v := range hum {
+		lat := float64(i/nlon) / float64(nlat-1)
+		hdata[i] = 1e-6 * math.Pow(10, 3*lat) * (1 + 0.4*v) * 20
+	}
+	fields = append(fields, Field{App: "CESM-ATM", Name: "QREFHT", Data: hdata, Dims: dims})
+	return fields
+}
+
+// NYX generates 3D cosmology fields on a side³ grid. dark_matter_density
+// reproduces the distribution the paper describes in Section VI-B: ~84% of
+// the mass in [0, 1] with a heavy tail up to ~1.4e4. velocity_x is signed
+// with large magnitudes; temperature is positive with a wide range.
+func NYX(side int, seed int64) []Field {
+	rng := rand.New(rand.NewSource(seed))
+	dims := []int{side, side, side}
+	var fields []Field
+
+	// Density: exponentiated correlated Gaussian — lognormal marginals.
+	// Standardizing before exp() places ~84% of the mass below 1 (one
+	// standard deviation) with a tail reaching ~1e3–1e4, matching the
+	// distribution described in Section VI-B.
+	g := smoothField(dims, 2, 3, rng)
+	z := standardize(g)
+	den := make([]float64, len(g))
+	for i, v := range z {
+		den[i] = math.Exp(2.2*v - 2.2)
+	}
+	fields = append(fields, Field{App: "NYX", Name: "dark_matter_density", Data: den, Dims: dims})
+
+	// Velocity: signed, ±~1e7, smooth.
+	vg := smoothField(dims, 3, 4, rng)
+	vel := make([]float64, len(vg))
+	for i, v := range vg {
+		vel[i] = v * 8e6
+	}
+	fields = append(fields, Field{App: "NYX", Name: "velocity_x", Data: vel, Dims: dims})
+
+	// Temperature: positive, 1e2..1e7 K.
+	tg := smoothField(dims, 2, 4, rng)
+	temp := make([]float64, len(tg))
+	for i, v := range tg {
+		temp[i] = 1e4 * math.Pow(10, 2.2*v)
+	}
+	fields = append(fields, Field{App: "NYX", Name: "temperature", Data: temp, Dims: dims})
+
+	// Baryon density: correlated with dark matter, positive.
+	bg := smoothField(dims, 2, 3, rng)
+	mix := make([]float64, len(bg))
+	for i := range bg {
+		mix[i] = 0.7*z[i] + 0.3*bg[i]
+	}
+	zb := standardize(mix)
+	bar := make([]float64, len(bg))
+	for i := range zb {
+		bar[i] = math.Exp(1.8*zb[i] - 1.2)
+	}
+	fields = append(fields, Field{App: "NYX", Name: "baryon_density", Data: bar, Dims: dims})
+	return fields
+}
+
+// Hurricane generates 3D storm fields on an (nz, ny, nx) grid mimicking the
+// Hurricane-ISABEL benchmark: a cloud field with many exact zeros and a
+// vortex-structured wind field.
+func Hurricane(nz, ny, nx int, seed int64) []Field {
+	rng := rand.New(rand.NewSource(seed))
+	dims := []int{nz, ny, nx}
+	var fields []Field
+
+	// CLOUDf48: nonnegative, sparse (mostly zero), concentrated in a band.
+	cg := smoothField(dims, 2, 4, rng)
+	cloud := make([]float64, len(cg))
+	i := 0
+	for z := 0; z < nz; z++ {
+		zf := float64(z) / float64(nz-1+1)
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				v := cg[i] - 0.45 + 0.3*math.Sin(zf*math.Pi)
+				if v < 0 {
+					cloud[i] = 0
+				} else {
+					cloud[i] = v * 2e-3
+				}
+				i++
+			}
+		}
+	}
+	fields = append(fields, Field{App: "Hurricane", Name: "CLOUDf48", Data: cloud, Dims: dims})
+
+	// Uf48: horizontal wind with a vortex around the eye, range ±80 m/s.
+	ug := smoothField(dims, 3, 5, rng)
+	wind := make([]float64, len(ug))
+	cy, cx := float64(ny)/2, float64(nx)/2
+	i = 0
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				dy, dx := float64(y)-cy, float64(x)-cx
+				r := math.Hypot(dx, dy) + 1
+				// Rankine-like vortex tangential speed.
+				vt := 60 * r / 20 * math.Exp(1-r/20)
+				wind[i] = vt*(-dy/r) + 10*ug[i] + 5
+				i++
+			}
+		}
+	}
+	fields = append(fields, Field{App: "Hurricane", Name: "Uf48", Data: wind, Dims: dims})
+
+	// TCf48: temperature, smooth, 200..300 K with altitude gradient.
+	tg := smoothField(dims, 3, 5, rng)
+	temp := make([]float64, len(tg))
+	i = 0
+	for z := 0; z < nz; z++ {
+		lapse := 300 - 70*float64(z)/float64(nz)
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				temp[i] = lapse + 5*tg[i]
+				i++
+			}
+		}
+	}
+	fields = append(fields, Field{App: "Hurricane", Name: "TCf48", Data: temp, Dims: dims})
+
+	// PRECIPf48: nonnegative, very heavy-tailed, many zeros.
+	pg := smoothField(dims, 2, 3, rng)
+	precip := make([]float64, len(pg))
+	for i, v := range pg {
+		if v < 0.2 {
+			precip[i] = 0
+		} else {
+			precip[i] = 1e-4 * math.Expm1(6*(v-0.2))
+		}
+	}
+	fields = append(fields, Field{App: "Hurricane", Name: "PRECIPf48", Data: precip, Dims: dims})
+	return fields
+}
+
+// Scale selects the evaluation problem size.
+type Scale int
+
+const (
+	// ScaleTest is small, for unit tests (sub-second everything).
+	ScaleTest Scale = iota
+	// ScaleBench matches the benchmark harness (a few hundred MB across
+	// all apps, minutes for the full table sweep).
+	ScaleBench
+	// ScaleLarge approaches the shape of one real snapshot per app.
+	ScaleLarge
+)
+
+// Suite generates the full four-application field suite used across the
+// experiments, at the given scale, deterministically from seed.
+func Suite(s Scale, seed int64) []Field {
+	var fields []Field
+	switch s {
+	case ScaleLarge:
+		fields = append(fields, HACC(1<<24, seed)...)
+		fields = append(fields, CESMATM(900, 1800, seed+1)...)
+		fields = append(fields, NYX(192, seed+2)...)
+		fields = append(fields, Hurricane(50, 250, 250, seed+3)...)
+	case ScaleBench:
+		fields = append(fields, HACC(1<<20, seed)...)
+		fields = append(fields, CESMATM(300, 600, seed+1)...)
+		fields = append(fields, NYX(64, seed+2)...)
+		fields = append(fields, Hurricane(25, 125, 125, seed+3)...)
+	default:
+		fields = append(fields, HACC(1<<14, seed)...)
+		fields = append(fields, CESMATM(60, 120, seed+1)...)
+		fields = append(fields, NYX(24, seed+2)...)
+		fields = append(fields, Hurricane(10, 40, 40, seed+3)...)
+	}
+	return fields
+}
+
+// ByApp groups fields by application name preserving order.
+func ByApp(fields []Field) map[string][]Field {
+	m := make(map[string][]Field)
+	for _, f := range fields {
+		m[f.App] = append(m[f.App], f)
+	}
+	return m
+}

@@ -1,0 +1,184 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestDeterministic(t *testing.T) {
+	a := NYX(16, 42)
+	b := NYX(16, 42)
+	for i := range a {
+		for j := range a[i].Data {
+			if a[i].Data[j] != b[i].Data[j] {
+				t.Fatalf("field %s not deterministic at %d", a[i].Name, j)
+			}
+		}
+	}
+	c := NYX(16, 43)
+	same := true
+	for j := range a[0].Data {
+		if a[0].Data[j] != c[0].Data[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestDimsMatchData(t *testing.T) {
+	for _, f := range Suite(ScaleTest, 1) {
+		if err := grid.Validate(f.Dims, len(f.Data)); err != nil {
+			t.Errorf("%s: %v", f.String(), err)
+		}
+		if f.Bytes() != len(f.Data)*8 {
+			t.Errorf("%s: Bytes() mismatch", f.Name)
+		}
+	}
+}
+
+func TestNYXDensityDistribution(t *testing.T) {
+	fields := NYX(32, 7)
+	var den *Field
+	for i := range fields {
+		if fields[i].Name == "dark_matter_density" {
+			den = &fields[i]
+		}
+	}
+	if den == nil {
+		t.Fatal("no density field")
+	}
+	vals := append([]float64(nil), den.Data...)
+	sort.Float64s(vals)
+	n := len(vals)
+	// All strictly positive.
+	if vals[0] <= 0 {
+		t.Fatalf("density has nonpositive value %g", vals[0])
+	}
+	// Most of the mass below 1 (paper: 84%); accept a broad band.
+	below1 := sort.SearchFloat64s(vals, 1.0)
+	frac := float64(below1) / float64(n)
+	if frac < 0.6 || frac > 0.95 {
+		t.Fatalf("density fraction below 1 = %.2f, want ~0.84", frac)
+	}
+	// Heavy tail: max at least 1e2 above the median.
+	if vals[n-1] < 100*vals[n/2] {
+		t.Fatalf("density tail too light: max %g median %g", vals[n-1], vals[n/2])
+	}
+}
+
+func TestHACCVelocityCharacter(t *testing.T) {
+	fields := HACC(1<<14, 3)
+	if len(fields) != 3 {
+		t.Fatalf("want 3 velocity fields, got %d", len(fields))
+	}
+	for _, f := range fields {
+		pos, neg := 0, 0
+		maxAbs := 0.0
+		for _, v := range f.Data {
+			if v > 0 {
+				pos++
+			} else if v < 0 {
+				neg++
+			}
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if pos == 0 || neg == 0 {
+			t.Fatalf("%s: not mixed-sign (pos=%d neg=%d)", f.Name, pos, neg)
+		}
+		if maxAbs < 1000 {
+			t.Fatalf("%s: max |v| = %g, want large velocities", f.Name, maxAbs)
+		}
+	}
+}
+
+func TestCESMCloudFieldsInRangeWithZeros(t *testing.T) {
+	fields := CESMATM(60, 120, 4)
+	for _, f := range fields {
+		if f.Name != "CLDHGH" && f.Name != "CLDLOW" {
+			continue
+		}
+		zeros := 0
+		for _, v := range f.Data {
+			if v < 0 || v > 1 {
+				t.Fatalf("%s: value %g outside [0,1]", f.Name, v)
+			}
+			if v == 0 {
+				zeros++
+			}
+		}
+		if zeros == 0 {
+			t.Fatalf("%s: expected exact-zero clear-sky regions", f.Name)
+		}
+	}
+}
+
+func TestHurricaneCloudSparse(t *testing.T) {
+	fields := Hurricane(10, 40, 40, 5)
+	for _, f := range fields {
+		if f.Name != "CLOUDf48" && f.Name != "PRECIPf48" {
+			continue
+		}
+		zeros := 0
+		for _, v := range f.Data {
+			if v < 0 {
+				t.Fatalf("%s: negative value %g", f.Name, v)
+			}
+			if v == 0 {
+				zeros++
+			}
+		}
+		if frac := float64(zeros) / float64(len(f.Data)); frac < 0.1 {
+			t.Fatalf("%s: zero fraction %.2f too low", f.Name, frac)
+		}
+	}
+}
+
+func TestSmoothFieldIsSmooth(t *testing.T) {
+	// Spatial correlation: mean |∇| should be far below the value range.
+	dims := []int{48, 48}
+	f := smoothField(dims, 3, 5, rand.New(rand.NewSource(9)))
+	var sumDiff float64
+	cnt := 0
+	for y := 0; y < 48; y++ {
+		for x := 1; x < 48; x++ {
+			sumDiff += math.Abs(f[y*48+x] - f[y*48+x-1])
+			cnt++
+		}
+	}
+	meanDiff := sumDiff / float64(cnt)
+	if meanDiff > 0.15 {
+		t.Fatalf("mean gradient %.3f too high for smooth field", meanDiff)
+	}
+}
+
+func TestSuiteScales(t *testing.T) {
+	small := Suite(ScaleTest, 1)
+	if len(small) != 3+4+4+4 {
+		t.Fatalf("suite has %d fields", len(small))
+	}
+	apps := ByApp(small)
+	for _, app := range []string{"HACC", "CESM-ATM", "NYX", "Hurricane"} {
+		if len(apps[app]) == 0 {
+			t.Fatalf("missing app %s", app)
+		}
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	for _, f := range Suite(ScaleTest, 2) {
+		for i, v := range f.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s: non-finite at %d", f.String(), i)
+			}
+		}
+	}
+}

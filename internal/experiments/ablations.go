@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro"
+	"repro/internal/metrics"
+)
+
+// AblationResult collects the design-choice studies DESIGN.md §5 calls
+// for, beyond the paper's own base study.
+type AblationResult struct {
+	// Round-off guard study (Lemma 2): max observed relative error over an
+	// extreme-log-range workload with and without the adjustment, as a
+	// multiple of the requested bound.
+	GuardOnMaxRel, GuardOffMaxRel float64
+	GuardBound                    float64
+
+	// SZ quantization capacity sweep: intervals → (ratio, MB/s).
+	Intervals     []int
+	IntervalRatio []float64
+	IntervalRate  []float64
+
+	// SZ_PWR block-side sweep: side → ratio (the block-minimum design's
+	// sensitivity that the transform removes).
+	BlockSides      []int
+	BlockSideRatio  []float64
+	TransformRatio  float64 // SZ_T at the same bound, for reference
+	BlockSweepBound float64
+}
+
+// Ablations runs the three studies on NYX-like data.
+func Ablations(cfg Config) (*AblationResult, error) {
+	res := &AblationResult{}
+
+	// 1. Round-off guard on extreme magnitudes (log₂|x| up to ~±700).
+	rng := rand.New(rand.NewSource(cfg.Seed + 100))
+	extreme := make([]float64, 20000)
+	for i := range extreme {
+		extreme[i] = math.Exp(rng.NormFloat64()*200) * 1e-50
+	}
+	res.GuardBound = 1e-4
+	for _, disable := range []bool{false, true} {
+		buf, err := repro.Compress(extreme, []int{len(extreme)}, res.GuardBound,
+			repro.SZT, &repro.Options{DisableRoundoffGuard: disable})
+		if err != nil {
+			return nil, err
+		}
+		dec, _, err := repro.Decompress(buf)
+		if err != nil {
+			return nil, err
+		}
+		st, err := metrics.RelError(extreme, dec, res.GuardBound)
+		if err != nil {
+			return nil, err
+		}
+		if disable {
+			res.GuardOffMaxRel = st.Max
+		} else {
+			res.GuardOnMaxRel = st.Max
+		}
+	}
+
+	// 2. SZ interval-capacity sweep.
+	density, _ := nyxPair(cfg)
+	res.Intervals = []int{64, 256, 4096, 65536}
+	for _, iv := range res.Intervals {
+		t0 := time.Now()
+		buf, err := repro.Compress(density.Data, density.Dims, 1e-2, repro.SZT,
+			&repro.Options{Intervals: iv})
+		if err != nil {
+			return nil, err
+		}
+		el := time.Since(t0)
+		res.IntervalRatio = append(res.IntervalRatio, metrics.CompressionRatio(density.Bytes(), len(buf)))
+		res.IntervalRate = append(res.IntervalRate, float64(density.Bytes())/1e6/el.Seconds())
+	}
+
+	// 3. SZ_PWR block-side sweep vs SZ_T.
+	res.BlockSweepBound = 1e-2
+	res.BlockSides = []int{4, 8, 16, 32}
+	for _, side := range res.BlockSides {
+		buf, err := repro.Compress(density.Data, density.Dims, res.BlockSweepBound,
+			repro.SZPWR, &repro.Options{BlockSide: side})
+		if err != nil {
+			return nil, err
+		}
+		res.BlockSideRatio = append(res.BlockSideRatio, metrics.CompressionRatio(density.Bytes(), len(buf)))
+	}
+	buf, err := repro.Compress(density.Data, density.Dims, res.BlockSweepBound, repro.SZT, nil)
+	if err != nil {
+		return nil, err
+	}
+	res.TransformRatio = metrics.CompressionRatio(density.Bytes(), len(buf))
+	return res, nil
+}
+
+// Print renders the ablation studies.
+func (r *AblationResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Ablations (design choices from DESIGN.md §5)")
+	fmt.Fprintf(w, "1. Lemma-2 round-off guard @bound %g on extreme-magnitude data:\n", r.GuardBound)
+	fmt.Fprintf(w, "   guard on : max rel err %.6g (%.4f of bound)\n", r.GuardOnMaxRel, r.GuardOnMaxRel/r.GuardBound)
+	fmt.Fprintf(w, "   guard off: max rel err %.6g (%.4f of bound)\n", r.GuardOffMaxRel, r.GuardOffMaxRel/r.GuardBound)
+	fmt.Fprintln(w, "2. SZ quantization capacity (NYX density @1e-2):")
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "   intervals\tCR\tMB/s")
+	for i, iv := range r.Intervals {
+		fmt.Fprintf(tw, "   %d\t%.2f\t%.0f\n", iv, r.IntervalRatio[i], r.IntervalRate[i])
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "3. SZ_PWR block side (NYX density @%g) vs SZ_T %.2f:\n", r.BlockSweepBound, r.TransformRatio)
+	tw = newTabWriter(w)
+	fmt.Fprintln(tw, "   side\tCR")
+	for i, s := range r.BlockSides {
+		fmt.Fprintf(tw, "   %d\t%.2f\n", s, r.BlockSideRatio[i])
+	}
+	tw.Flush()
+}

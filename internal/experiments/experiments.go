@@ -1,0 +1,251 @@
+// Package experiments contains one runner per table and figure in the
+// paper's evaluation (Section VI). Each runner generates its workload from
+// internal/datagen, executes the relevant compressors, and returns
+// structured results that cmd/benchtables prints and bench_test.go reports.
+//
+// Experiment index (see DESIGN.md §4):
+//
+//	TableII  — compression ratio of log bases {2, e, 10} for SZ_T
+//	Figure1  — rate distortion (rel-PSNR vs bit-rate) of bases for ZFP_T
+//	TableIII — pre-/post-processing time per base
+//	TableIV  — strict error-bound test across all six compressors
+//	Figure2  — compression ratio vs relative bound, four applications
+//	Figure3  — compression / decompression rate, four applications
+//	Figure4  — multiprecision slice distortion at matched ratio
+//	Figure5  — HACC velocity angle skew at matched ratio
+//	Figure6  — parallel dumping / loading time model
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"repro"
+	"repro/internal/datagen"
+	"repro/internal/metrics"
+)
+
+// Config controls workload sizes shared by the runners.
+type Config struct {
+	// Scale selects the synthetic dataset size.
+	Scale datagen.Scale
+	// Seed makes all workloads deterministic.
+	Seed int64
+}
+
+// DefaultConfig is used by cmd/benchtables and the benchmarks.
+func DefaultConfig() Config {
+	return Config{Scale: datagen.ScaleBench, Seed: 20180704}
+}
+
+// Measurement is one compressor run on one field.
+type Measurement struct {
+	Algo           repro.Algorithm
+	Field          string
+	RelBound       float64
+	CompressedSize int
+	RawSize        int
+	CompressTime   time.Duration
+	DecompressTime time.Duration
+	Stats          metrics.RelErrorStats
+}
+
+// Ratio returns the compression ratio.
+func (m Measurement) Ratio() float64 {
+	return metrics.CompressionRatio(m.RawSize, m.CompressedSize)
+}
+
+// CompressRateMBs returns the compression rate in MB/s of raw data.
+func (m Measurement) CompressRateMBs() float64 {
+	if m.CompressTime <= 0 {
+		return 0
+	}
+	return float64(m.RawSize) / 1e6 / m.CompressTime.Seconds()
+}
+
+// DecompressRateMBs returns the decompression rate in MB/s of raw data.
+func (m Measurement) DecompressRateMBs() float64 {
+	if m.DecompressTime <= 0 {
+		return 0
+	}
+	return float64(m.RawSize) / 1e6 / m.DecompressTime.Seconds()
+}
+
+// run executes one compressor on one field under a relative bound.
+func run(f *datagen.Field, rel float64, algo repro.Algorithm, opts *repro.Options) (Measurement, error) {
+	t0 := time.Now()
+	buf, err := repro.Compress(f.Data, f.Dims, rel, algo, opts)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("%v on %s: %w", algo, f.String(), err)
+	}
+	ct := time.Since(t0)
+	t0 = time.Now()
+	dec, _, err := repro.Decompress(buf)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("%v on %s: %w", algo, f.String(), err)
+	}
+	dt := time.Since(t0)
+	st, err := metrics.RelError(f.Data, dec, rel)
+	if err != nil {
+		return Measurement{}, err
+	}
+	return Measurement{
+		Algo:           algo,
+		Field:          f.String(),
+		RelBound:       rel,
+		CompressedSize: len(buf),
+		RawSize:        f.Bytes(),
+		CompressTime:   ct,
+		DecompressTime: dt,
+		Stats:          st,
+	}, nil
+}
+
+// nyxPair returns the two representative NYX fields the paper uses in
+// Tables II–IV (dark_matter_density and velocity_x).
+func nyxPair(cfg Config) (density, velocity datagen.Field) {
+	side := 64
+	switch cfg.Scale {
+	case datagen.ScaleTest:
+		side = 24
+	case datagen.ScaleLarge:
+		side = 192
+	}
+	fields := datagen.NYX(side, cfg.Seed+2)
+	for _, f := range fields {
+		switch f.Name {
+		case "dark_matter_density":
+			density = f
+		case "velocity_x":
+			velocity = f
+		}
+	}
+	return density, velocity
+}
+
+// newTabWriter returns the aligned-text writer the runners print with.
+func newTabWriter(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// fmtPct renders a bounded fraction the way Table IV does.
+func fmtPct(frac float64, zeroPerturbed int) string {
+	s := ""
+	switch {
+	case frac >= 1:
+		s = "100%"
+	case frac >= 0.99999:
+		s = "~100%"
+	default:
+		s = fmt.Sprintf("%.3f%%", frac*100)
+	}
+	if zeroPerturbed > 0 {
+		s += "*"
+	}
+	return s
+}
+
+// searchBoundForRatio bisects the relative error bound until the
+// compressor reaches targetRatio within tol (used by Figures 4/5, which
+// compare compressors at a matched compression ratio).
+func searchBoundForRatio(f *datagen.Field, algo repro.Algorithm, targetRatio, tol float64) (bound float64, m Measurement, err error) {
+	lo, hi := 1e-6, 0.9
+	var best Measurement
+	bestBound := math.NaN()
+	bestGap := math.Inf(1)
+	for iter := 0; iter < 24; iter++ {
+		mid := math.Sqrt(lo * hi) // geometric bisection over decades
+		mm, rerr := run(f, mid, algo, nil)
+		if rerr != nil {
+			return 0, Measurement{}, rerr
+		}
+		r := mm.Ratio()
+		if gap := math.Abs(r - targetRatio); gap < bestGap {
+			bestGap, best, bestBound = gap, mm, mid
+		}
+		if math.Abs(r-targetRatio) <= tol*targetRatio {
+			return mid, mm, nil
+		}
+		if r < targetRatio {
+			lo = mid // need looser bound
+		} else {
+			hi = mid
+		}
+	}
+	return bestBound, best, nil
+}
+
+// searchAbsBoundForRatio does the same for the absolute-bound compressors.
+func searchAbsBoundForRatio(f *datagen.Field, algo repro.Algorithm, targetRatio, tol float64) (bound float64, size int, dec []float64, err error) {
+	// Range the absolute bound across the data's magnitude scale.
+	maxAbs := 0.0
+	for _, v := range f.Data {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	lo, hi := maxAbs*1e-12, maxAbs
+	var bestBound float64
+	bestGap := math.Inf(1)
+	var bestSize int
+	var bestDec []float64
+	for iter := 0; iter < 24; iter++ {
+		mid := math.Sqrt(lo * hi)
+		buf, cerr := repro.CompressAbs(f.Data, f.Dims, mid, algo, nil)
+		if cerr != nil {
+			return 0, 0, nil, cerr
+		}
+		d, _, derr := repro.Decompress(buf)
+		if derr != nil {
+			return 0, 0, nil, derr
+		}
+		r := metrics.CompressionRatio(f.Bytes(), len(buf))
+		if gap := math.Abs(r - targetRatio); gap < bestGap {
+			bestGap, bestBound, bestSize, bestDec = gap, mid, len(buf), d
+		}
+		if math.Abs(r-targetRatio) <= tol*targetRatio {
+			return mid, len(buf), d, nil
+		}
+		if r < targetRatio {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return bestBound, bestSize, bestDec, nil
+}
+
+// appOrder fixes the application display order used by Figures 2/3.
+var appOrder = []string{"HACC", "CESM-ATM", "NYX", "Hurricane"}
+
+// sortedApps returns the present apps in canonical order.
+func sortedApps(byApp map[string][]datagen.Field) []string {
+	var out []string
+	for _, a := range appOrder {
+		if len(byApp[a]) > 0 {
+			out = append(out, a)
+		}
+	}
+	var rest []string
+	for a := range byApp {
+		found := false
+		for _, b := range appOrder {
+			if a == b {
+				found = true
+				break
+			}
+		}
+		if !found {
+			rest = append(rest, a)
+		}
+	}
+	sort.Strings(rest)
+	return append(out, rest...)
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro"
+	"repro/internal/datagen"
+	"repro/internal/metrics"
+)
+
+// Figure1Point is one (bit-rate, relative-error PSNR) sample of a
+// rate-distortion curve.
+type Figure1Point struct {
+	RelBound float64
+	BitRate  float64
+	RelPSNR  float64
+}
+
+// Figure1Result holds per-field, per-base rate-distortion series.
+type Figure1Result struct {
+	Fields []string
+	// Series[fieldIdx][baseIdx] is the curve for one base.
+	Series [][][]Figure1Point
+}
+
+// Figure1Bounds sweeps the bounds that trace the rate-distortion curves.
+var Figure1Bounds = []float64{1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1}
+
+// Figure1 reproduces Figure 1: point-wise-relative rate distortion of
+// ZFP_T under logarithm bases 2, e and 10 on the two NYX fields. The
+// curves for the three bases should nearly coincide (Lemma 4).
+func Figure1(cfg Config) (*Figure1Result, error) {
+	density, velocity := nyxPair(cfg)
+	fields := []datagen.Field{density, velocity}
+	res := &Figure1Result{}
+	for _, f := range fields {
+		res.Fields = append(res.Fields, f.Name)
+		perBase := make([][]Figure1Point, 0, len(Bases))
+		for _, base := range Bases {
+			var curve []Figure1Point
+			for _, eb := range Figure1Bounds {
+				buf, err := repro.Compress(f.Data, f.Dims, eb, repro.ZFPT, &repro.Options{Base: base})
+				if err != nil {
+					return nil, err
+				}
+				dec, _, err := repro.Decompress(buf)
+				if err != nil {
+					return nil, err
+				}
+				psnr, err := metrics.RelPSNR(f.Data, dec)
+				if err != nil {
+					return nil, err
+				}
+				curve = append(curve, Figure1Point{
+					RelBound: eb,
+					BitRate:  metrics.BitRate(len(buf), f.Size()),
+					RelPSNR:  psnr,
+				})
+			}
+			perBase = append(perBase, curve)
+		}
+		res.Series = append(res.Series, perBase)
+	}
+	return res, nil
+}
+
+// Print renders the curves as aligned columns (bit-rate, PSNR per base).
+func (r *Figure1Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 1: rate distortion of different bases for ZFP_T (NYX)")
+	for fi, field := range r.Fields {
+		fmt.Fprintf(w, "(%c) %s\n", 'a'+fi, field)
+		tw := newTabWriter(w)
+		fmt.Fprintln(tw, "pwr_eb\tBR(base2)\tPSNR(base2)\tBR(base_e)\tPSNR(base_e)\tBR(base10)\tPSNR(base10)")
+		for pi := range r.Series[fi][0] {
+			fmt.Fprintf(tw, "%g", r.Series[fi][0][pi].RelBound)
+			for bi := range Bases {
+				p := r.Series[fi][bi][pi]
+				fmt.Fprintf(tw, "\t%.3f\t%.2f", p.BitRate, p.RelPSNR)
+			}
+			fmt.Fprintln(tw)
+		}
+		tw.Flush()
+	}
+}
+
+// Figure23Bounds are the bounds swept in Figures 2 and 3.
+var Figure23Bounds = []float64{1e-4, 1e-3, 1e-2, 1e-1}
+
+// Figure23Algos are the five compressors in Figures 2 and 3.
+var Figure23Algos = []repro.Algorithm{repro.SZPWR, repro.FPZIP, repro.ISABELA, repro.ZFPT, repro.SZT}
+
+// Figure2Result holds per-application compression ratios.
+type Figure2Result struct {
+	Apps []string
+	// Ratio[appIdx][algoIdx][boundIdx] is the application-aggregate
+	// compression ratio (total raw bytes / total compressed bytes).
+	Ratio [][][]float64
+}
+
+// Figure2 reproduces the compression-ratio sweep over the four application
+// datasets and five point-wise-relative compressors.
+func Figure2(cfg Config) (*Figure2Result, error) {
+	r2, _, err := figure23(cfg)
+	return r2, err
+}
+
+// Figure3Result holds per-application compression/decompression rates.
+type Figure3Result struct {
+	Apps []string
+	// CompressMBs[appIdx][algoIdx][boundIdx] and likewise DecompressMBs.
+	CompressMBs   [][][]float64
+	DecompressMBs [][][]float64
+}
+
+// Figure3 reproduces the throughput sweep of Figure 3.
+func Figure3(cfg Config) (*Figure3Result, error) {
+	_, r3, err := figure23(cfg)
+	return r3, err
+}
+
+// Figure23 runs the shared sweep once and returns both results (the paper
+// derives Figures 2 and 3 from the same runs).
+func Figure23(cfg Config) (*Figure2Result, *Figure3Result, error) {
+	return figure23(cfg)
+}
+
+func figure23(cfg Config) (*Figure2Result, *Figure3Result, error) {
+	byApp := datagen.ByApp(datagen.Suite(cfg.Scale, cfg.Seed))
+	apps := sortedApps(byApp)
+	r2 := &Figure2Result{Apps: apps}
+	r3 := &Figure3Result{Apps: apps}
+	for _, app := range apps {
+		fields := byApp[app]
+		ratios := make([][]float64, len(Figure23Algos))
+		crate := make([][]float64, len(Figure23Algos))
+		drate := make([][]float64, len(Figure23Algos))
+		for ai, algo := range Figure23Algos {
+			for _, eb := range Figure23Bounds {
+				totalRaw, totalComp := 0, 0
+				var compSec, decSec float64
+				for i := range fields {
+					m, err := run(&fields[i], eb, algo, nil)
+					if err != nil {
+						return nil, nil, err
+					}
+					if m.Stats.Max > eb && algo != repro.ZFPP {
+						return nil, nil, fmt.Errorf("figure2: %v violated bound on %s (%g > %g)",
+							algo, fields[i].String(), m.Stats.Max, eb)
+					}
+					totalRaw += m.RawSize
+					totalComp += m.CompressedSize
+					compSec += m.CompressTime.Seconds()
+					decSec += m.DecompressTime.Seconds()
+				}
+				ratios[ai] = append(ratios[ai], metrics.CompressionRatio(totalRaw, totalComp))
+				crate[ai] = append(crate[ai], float64(totalRaw)/1e6/compSec)
+				drate[ai] = append(drate[ai], float64(totalRaw)/1e6/decSec)
+			}
+		}
+		r2.Ratio = append(r2.Ratio, ratios)
+		r3.CompressMBs = append(r3.CompressMBs, crate)
+		r3.DecompressMBs = append(r3.DecompressMBs, drate)
+	}
+	return r2, r3, nil
+}
+
+// Print renders Figure 2's series.
+func (r *Figure2Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 2: compression ratio vs point-wise relative error bound")
+	for ai, app := range r.Apps {
+		fmt.Fprintf(w, "(%c) %s\n", 'a'+ai, app)
+		tw := newTabWriter(w)
+		fmt.Fprint(tw, "pwr_eb")
+		for _, algo := range Figure23Algos {
+			fmt.Fprintf(tw, "\t%s", algo)
+		}
+		fmt.Fprintln(tw)
+		for bi, eb := range Figure23Bounds {
+			fmt.Fprintf(tw, "%g", eb)
+			for algoIdx := range Figure23Algos {
+				fmt.Fprintf(tw, "\t%.2f", r.Ratio[ai][algoIdx][bi])
+			}
+			fmt.Fprintln(tw)
+		}
+		tw.Flush()
+	}
+}
+
+// Print renders Figure 3's series.
+func (r *Figure3Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 3: compression/decompression rate (MB/s)")
+	dump := func(title string, series [][][]float64) {
+		for ai, app := range r.Apps {
+			fmt.Fprintf(w, "%s — %s\n", app, title)
+			tw := newTabWriter(w)
+			fmt.Fprint(tw, "pwr_eb")
+			for _, algo := range Figure23Algos {
+				fmt.Fprintf(tw, "\t%s", algo)
+			}
+			fmt.Fprintln(tw)
+			for bi, eb := range Figure23Bounds {
+				fmt.Fprintf(tw, "%g", eb)
+				for algoIdx := range Figure23Algos {
+					fmt.Fprintf(tw, "\t%.1f", series[ai][algoIdx][bi])
+				}
+				fmt.Fprintln(tw)
+			}
+			tw.Flush()
+		}
+	}
+	dump("compression rate", r.CompressMBs)
+	dump("decompression rate", r.DecompressMBs)
+}

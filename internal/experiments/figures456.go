@@ -1,0 +1,371 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro"
+	"repro/internal/datagen"
+	"repro/internal/metrics"
+	"repro/internal/pfs"
+)
+
+// Figure4Entry is one compressor's matched-ratio distortion summary.
+type Figure4Entry struct {
+	Name string
+	// BoundUsed is the error bound found by the ratio search (absolute for
+	// SZ_ABS, relative for the others).
+	BoundUsed float64
+	Ratio     float64
+	// MaxRel is the maximum point-wise relative error over the field.
+	MaxRel float64
+	// WindowRMSE is the RMSE restricted to the high-precision window
+	// [0, 0.1] that Figure 4's zoomed views show.
+	WindowRMSE float64
+	// Slice holds the reconstructed middle z-slice for rendering.
+	Slice []float64
+}
+
+// Figure4Result compares SZ_ABS, FPZIP and SZ_T at one matched ratio.
+type Figure4Result struct {
+	TargetRatio float64
+	SliceDims   []int // (ny, nx) of the extracted slice
+	Original    []float64
+	Entries     []Figure4Entry
+}
+
+// Figure4 reproduces the multiprecision-distortion experiment: at a fixed
+// compression ratio (the paper uses 7), the absolute-error mode distorts
+// the dense [0, 0.1] region badly, FPZIP needs a loose relative bound, and
+// SZ_T needs the tightest bound — hence the least distortion.
+func Figure4(cfg Config) (*Figure4Result, error) {
+	density, _ := nyxPair(cfg)
+	const target = 7.0
+	res := &Figure4Result{TargetRatio: target}
+
+	nz, ny, nx := density.Dims[0], density.Dims[1], density.Dims[2]
+	mid := nz / 2
+	slice := func(vals []float64) []float64 {
+		out := make([]float64, ny*nx)
+		copy(out, vals[mid*ny*nx:(mid+1)*ny*nx])
+		return out
+	}
+	res.SliceDims = []int{ny, nx}
+	res.Original = slice(density.Data)
+
+	windowRMSE := func(dec []float64) float64 {
+		var sum float64
+		n := 0
+		for i, o := range density.Data {
+			if o < 0 || o > 0.1 {
+				continue
+			}
+			d := dec[i] - o
+			sum += d * d
+			n++
+		}
+		if n == 0 {
+			return 0
+		}
+		return math.Sqrt(sum / float64(n))
+	}
+	maxRel := func(dec []float64) float64 {
+		st, _ := metrics.RelError(density.Data, dec, 1)
+		return st.Max
+	}
+
+	// SZ_ABS at matched ratio.
+	absBound, absSize, absDec, err := searchAbsBoundForRatio(&density, repro.SZABS, target, 0.05)
+	if err != nil {
+		return nil, err
+	}
+	res.Entries = append(res.Entries, Figure4Entry{
+		Name: "SZ_ABS", BoundUsed: absBound,
+		Ratio:  metrics.CompressionRatio(density.Bytes(), absSize),
+		MaxRel: maxRel(absDec), WindowRMSE: windowRMSE(absDec), Slice: slice(absDec),
+	})
+
+	// FPZIP and SZ_T at matched ratio.
+	for _, algo := range []repro.Algorithm{repro.FPZIP, repro.SZT} {
+		bound, m, err := searchBoundForRatio(&density, algo, target, 0.05)
+		if err != nil {
+			return nil, err
+		}
+		buf, err := repro.Compress(density.Data, density.Dims, bound, algo, nil)
+		if err != nil {
+			return nil, err
+		}
+		dec, _, err := repro.Decompress(buf)
+		if err != nil {
+			return nil, err
+		}
+		res.Entries = append(res.Entries, Figure4Entry{
+			Name: algo.String(), BoundUsed: bound, Ratio: m.Ratio(),
+			MaxRel: maxRel(dec), WindowRMSE: windowRMSE(dec), Slice: slice(dec),
+		})
+	}
+	return res, nil
+}
+
+// Print summarizes Figure 4 (the slices themselves are rendered by
+// examples/nyx-multiprecision).
+func (r *Figure4Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 4: multiprecision distortion at CR≈%.0f (NYX dark_matter_density, middle slice)\n", r.TargetRatio)
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "compressor\tbound used\tachieved CR\tmax point-wise rel err\tRMSE in [0,0.1]")
+	for _, e := range r.Entries {
+		fmt.Fprintf(tw, "%s\t%.4g\t%.2f\t%.3g\t%.3g\n", e.Name, e.BoundUsed, e.Ratio, e.MaxRel, e.WindowRMSE)
+	}
+	tw.Flush()
+}
+
+// Figure5Entry is one compressor's angle-skew summary.
+type Figure5Entry struct {
+	Name      string
+	BoundUsed float64
+	Ratio     float64
+	Skew      metrics.SkewAngleStats
+}
+
+// Figure5Result compares velocity direction preservation at matched ratio.
+type Figure5Result struct {
+	TargetRatio float64
+	Entries     []Figure5Entry
+}
+
+// Figure5 reproduces the HACC angle-skew experiment: at a fixed ratio (the
+// paper uses 8), the reconstructed 3D velocity direction skews most under
+// the absolute-error mode and least under SZ_T.
+func Figure5(cfg Config) (*Figure5Result, error) {
+	n := 1 << 18
+	switch cfg.Scale {
+	case datagen.ScaleTest:
+		n = 1 << 14
+	case datagen.ScaleLarge:
+		n = 1 << 22
+	}
+	fields := datagen.HACC(n, cfg.Seed)
+	vx, vy, vz := fields[0], fields[1], fields[2]
+	const target = 8.0
+	res := &Figure5Result{TargetRatio: target}
+
+	rawBytes := vx.Bytes() + vy.Bytes() + vz.Bytes()
+
+	// Generic matched-ratio search over the velocity triple.
+	type compressFn func(bound float64) (size int, dx, dy, dz []float64, err error)
+	search := func(name string, lo, hi float64, fn compressFn) error {
+		bestGap := math.Inf(1)
+		var best Figure5Entry
+		for iter := 0; iter < 20; iter++ {
+			mid := math.Sqrt(lo * hi)
+			size, dx, dy, dz, err := fn(mid)
+			if err != nil {
+				return err
+			}
+			ratio := metrics.CompressionRatio(rawBytes, size)
+			gap := math.Abs(ratio - target)
+			if gap < bestGap {
+				skew, err := metrics.SkewAngles(vx.Data, vy.Data, vz.Data, dx, dy, dz)
+				if err != nil {
+					return err
+				}
+				bestGap = gap
+				best = Figure5Entry{Name: name, BoundUsed: mid, Ratio: ratio, Skew: skew}
+			}
+			if gap <= 0.05*target {
+				break
+			}
+			if ratio < target {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		res.Entries = append(res.Entries, best)
+		return nil
+	}
+
+	// SZ_ABS: one absolute bound shared by the three components.
+	maxAbs := 0.0
+	for _, f := range []datagen.Field{vx, vy, vz} {
+		for _, v := range f.Data {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+	}
+	err := search("SZ_ABS", maxAbs*1e-9, maxAbs, func(bound float64) (int, []float64, []float64, []float64, error) {
+		size := 0
+		var outs [][]float64
+		for _, f := range []datagen.Field{vx, vy, vz} {
+			buf, err := repro.CompressAbs(f.Data, f.Dims, bound, repro.SZABS, nil)
+			if err != nil {
+				return 0, nil, nil, nil, err
+			}
+			dec, _, err := repro.Decompress(buf)
+			if err != nil {
+				return 0, nil, nil, nil, err
+			}
+			size += len(buf)
+			outs = append(outs, dec)
+		}
+		return size, outs[0], outs[1], outs[2], nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, algo := range []repro.Algorithm{repro.FPZIP, repro.SZT} {
+		algo := algo
+		err := search(algo.String(), 1e-5, 0.9, func(bound float64) (int, []float64, []float64, []float64, error) {
+			size := 0
+			var outs [][]float64
+			for _, f := range []datagen.Field{vx, vy, vz} {
+				buf, err := repro.Compress(f.Data, f.Dims, bound, algo, nil)
+				if err != nil {
+					return 0, nil, nil, nil, err
+				}
+				dec, _, err := repro.Decompress(buf)
+				if err != nil {
+					return 0, nil, nil, nil, err
+				}
+				size += len(buf)
+				outs = append(outs, dec)
+			}
+			return size, outs[0], outs[1], outs[2], nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Print renders Figure 5's summary.
+func (r *Figure5Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 5: HACC velocity angle skew at CR≈%.0f\n", r.TargetRatio)
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "compressor\tbound used\tachieved CR\tavg skew(deg)\tp99 skew\tmax skew")
+	for _, e := range r.Entries {
+		fmt.Fprintf(tw, "%s\t%.4g\t%.2f\t%.4f\t%.4f\t%.4f\n",
+			e.Name, e.BoundUsed, e.Ratio, e.Skew.Avg, e.Skew.P99, e.Skew.Max)
+	}
+	tw.Flush()
+}
+
+// Figure6Algos are the three compressors of the parallel experiment.
+var Figure6Algos = []repro.Algorithm{repro.SZPWR, repro.FPZIP, repro.SZT}
+
+// Figure6Entry is one (cores, compressor) bar pair of Figure 6.
+type Figure6Entry struct {
+	Cores     int
+	Algo      repro.Algorithm
+	Ratio     float64
+	Dump      pfs.Breakdown
+	Load      pfs.Breakdown
+	RatesMBps [2]float64 // measured compress/decompress MB/s per core
+}
+
+// Figure6Result also records the uncompressed baseline.
+type Figure6Result struct {
+	BytesPerRank int64
+	RawDump      map[int]pfs.Breakdown
+	Entries      []Figure6Entry
+}
+
+// Figure6 reproduces the parallel dumping/loading experiment: compression
+// and decompression rates are measured with the real Go compressors on
+// local cores; writes and reads go through the analytic GPFS bandwidth
+// model at 1,024 / 2,048 / 4,096 cores with 3 GB per rank (matching the
+// paper's 3–12 TB totals).
+func Figure6(cfg Config) (*Figure6Result, error) {
+	const eb = 1e-2
+	fields := datagen.NYX(benchNYXSide(cfg), cfg.Seed+2)
+	res := &Figure6Result{BytesPerRank: 3 << 30, RawDump: map[int]pfs.Breakdown{}}
+
+	coresList := []int{1024, 2048, 4096}
+	for _, cores := range coresList {
+		sys := pfs.DefaultSystem(cores)
+		raw, err := sys.RawDumpTime(res.BytesPerRank)
+		if err != nil {
+			return nil, err
+		}
+		res.RawDump[cores] = raw
+	}
+
+	for _, algo := range Figure6Algos {
+		algo := algo
+		// Measure aggregate rate and ratio over the NYX fields.
+		var totalRaw, totalComp int
+		var compSec, decSec float64
+		for i := range fields {
+			f := &fields[i]
+			rates, err := pfs.Measure(f.Bytes(),
+				func() ([]byte, error) { return repro.Compress(f.Data, f.Dims, eb, algo, nil) },
+				func(buf []byte) error { _, _, err := repro.Decompress(buf); return err })
+			if err != nil {
+				return nil, err
+			}
+			totalRaw += f.Bytes()
+			totalComp += int(float64(f.Bytes()) / rates.Ratio)
+			compSec += float64(f.Bytes()) / rates.CompressRate
+			decSec += float64(f.Bytes()) / rates.DecompressRate
+		}
+		ratio := float64(totalRaw) / float64(totalComp)
+		compressRate := float64(totalRaw) / compSec
+		decompressRate := float64(totalRaw) / decSec
+		compressedPerRank := int64(float64(res.BytesPerRank) / ratio)
+
+		for _, cores := range coresList {
+			sys := pfs.DefaultSystem(cores)
+			dump, err := sys.DumpTime(res.BytesPerRank, compressedPerRank, compressRate)
+			if err != nil {
+				return nil, err
+			}
+			load, err := sys.LoadTime(res.BytesPerRank, compressedPerRank, decompressRate)
+			if err != nil {
+				return nil, err
+			}
+			res.Entries = append(res.Entries, Figure6Entry{
+				Cores: cores, Algo: algo, Ratio: ratio, Dump: dump, Load: load,
+				RatesMBps: [2]float64{compressRate / 1e6, decompressRate / 1e6},
+			})
+		}
+	}
+	return res, nil
+}
+
+func benchNYXSide(cfg Config) int {
+	switch cfg.Scale {
+	case datagen.ScaleTest:
+		return 24
+	case datagen.ScaleLarge:
+		return 128
+	default:
+		return 64
+	}
+}
+
+// Print renders Figure 6's bars.
+func (r *Figure6Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 6: parallel dumping/loading of NYX (3 GB per rank, pwr_eb=1e-2)\n")
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "cores\tcompressor\tCR\tcomp MB/s\tdecomp MB/s\tdump compute(s)\tdump IO(s)\tdump total(s)\tload IO(s)\tload compute(s)\tload total(s)")
+	for _, e := range r.Entries {
+		fmt.Fprintf(tw, "%d\t%s\t%.2f\t%.0f\t%.0f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\n",
+			e.Cores, e.Algo, e.Ratio, e.RatesMBps[0], e.RatesMBps[1],
+			e.Dump.Compute.Seconds(), e.Dump.IO.Seconds(), e.Dump.Total().Seconds(),
+			e.Load.IO.Seconds(), e.Load.Compute.Seconds(), e.Load.Total().Seconds())
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "uncompressed baseline:")
+	tw = newTabWriter(w)
+	fmt.Fprintln(tw, "cores\traw dump total(s)")
+	for _, cores := range []int{1024, 2048, 4096} {
+		if b, ok := r.RawDump[cores]; ok {
+			fmt.Fprintf(tw, "%d\t%.0f\n", cores, b.Total().Seconds())
+		}
+	}
+	tw.Flush()
+}

@@ -1,0 +1,184 @@
+package floatbits
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrderedIntRoundTrip(t *testing.T) {
+	cases := []float64{0, math.Copysign(0, -1), 1, -1, 1e300, -1e300,
+		5e-324, -5e-324, math.MaxFloat64, -math.MaxFloat64, 0.1, -0.1}
+	for _, f := range cases {
+		got := FromOrderedInt(ToOrderedInt(f))
+		if math.Float64bits(got) != math.Float64bits(f) {
+			t.Errorf("round trip %v -> %v", f, got)
+		}
+	}
+}
+
+func TestOrderedIntMonotone(t *testing.T) {
+	vals := []float64{math.Inf(-1), -math.MaxFloat64, -1e10, -2, -1, -0.5,
+		-5e-324, 0, 5e-324, 0.5, 1, 2, 1e10, math.MaxFloat64, math.Inf(1)}
+	for i := 1; i < len(vals); i++ {
+		a, b := ToOrderedInt(vals[i-1]), ToOrderedInt(vals[i])
+		if a >= b {
+			t.Errorf("order violated: %v (%d) !< %v (%d)", vals[i-1], a, vals[i], b)
+		}
+	}
+}
+
+func TestQuickOrderedIntRoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) {
+			return true
+		}
+		return FromOrderedInt(ToOrderedInt(v)) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickOrderedIntMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ia, ib := ToOrderedInt(a), ToOrderedInt(b)
+		switch {
+		case a < b:
+			return ia < ib
+		case a > b:
+			return ia > ib
+		default:
+			return true // ±0 pair allowed either order between themselves
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderedIntSortMatchesFloatSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(20)-10))
+	}
+	ints := make([]int64, len(vals))
+	for i, v := range vals {
+		ints[i] = ToOrderedInt(v)
+	}
+	sort.Float64s(vals)
+	sort.Slice(ints, func(i, j int) bool { return ints[i] < ints[j] })
+	for i := range vals {
+		if FromOrderedInt(ints[i]) != vals[i] {
+			t.Fatalf("index %d: %v vs %v", i, FromOrderedInt(ints[i]), vals[i])
+		}
+	}
+}
+
+func TestExponent(t *testing.T) {
+	cases := map[float64]int{1: 0, 2: 1, 3: 1, 0.5: -1, 0.75: -1, 1024: 10}
+	for v, want := range cases {
+		if got := Exponent(v); got != want {
+			t.Errorf("Exponent(%v) = %d, want %d", v, got, want)
+		}
+	}
+	if Exponent(0) != MinExp {
+		t.Error("Exponent(0) should be MinExp")
+	}
+	if Exponent(-8) != 3 {
+		t.Error("Exponent(-8) should be 3")
+	}
+}
+
+func TestMaxExponent(t *testing.T) {
+	if got := MaxExponent([]float64{0, 0.25, -7, 0.5}); got != 2 {
+		t.Fatalf("MaxExponent = %d, want 2", got)
+	}
+	if got := MaxExponent([]float64{0, 0}); got != MinExp {
+		t.Fatalf("MaxExponent zeros = %d, want MinExp", got)
+	}
+	if got := MaxExponent(nil); got != MinExp {
+		t.Fatalf("MaxExponent(nil) = %d, want MinExp", got)
+	}
+}
+
+func TestTruncateToErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		v := rng.NormFloat64() * math.Pow(10, float64(rng.Intn(12)-6))
+		tol := math.Pow(10, float64(rng.Intn(8)-8)) * math.Abs(v)
+		if tol == 0 {
+			continue
+		}
+		tv, nb := TruncateToError(v, tol)
+		if math.Abs(tv-v) > tol {
+			t.Fatalf("truncation error %g > tol %g for v=%g", math.Abs(tv-v), tol, v)
+		}
+		if nb < 0 || nb > 8 {
+			t.Fatalf("byte count %d out of range", nb)
+		}
+	}
+}
+
+func TestTruncateToErrorEdgeCases(t *testing.T) {
+	if v, n := TruncateToError(0, 1e-3); v != 0 || n != 0 {
+		t.Fatalf("zero: got %v,%d", v, n)
+	}
+	if v, _ := TruncateToError(5.0, 0); v != 5.0 {
+		t.Fatal("tol=0 must pass value through")
+	}
+	inf := math.Inf(1)
+	if v, _ := TruncateToError(inf, 1e-3); !math.IsInf(v, 1) {
+		t.Fatal("inf must pass through")
+	}
+	if v, _ := TruncateToError(math.NaN(), 1e-3); !math.IsNaN(v) {
+		t.Fatal("nan must pass through")
+	}
+	// Value far below tolerance truncates to (near) zero with small storage.
+	v, _ := TruncateToError(1e-20, 1.0)
+	if math.Abs(v-1e-20) > 1.0 {
+		t.Fatal("sub-tolerance truncation out of bound")
+	}
+}
+
+func TestTruncationSavesBytes(t *testing.T) {
+	// Coarse tolerance should need far fewer than 8 bytes.
+	_, nb := TruncateToError(123.456789, 1.0)
+	if nb > 3 {
+		t.Fatalf("coarse truncation kept %d bytes", nb)
+	}
+	_, nb = TruncateToError(123.456789, 1e-12)
+	if nb < 6 {
+		t.Fatalf("fine truncation kept only %d bytes", nb)
+	}
+}
+
+func TestLog2Exp2Inverse(t *testing.T) {
+	vals := []float64{1, 2, 0.5, 3.7, 1e-300, 1e300, 0.1}
+	for _, v := range vals {
+		// The round-trip relative error grows with |log2 v|*eps — this is
+		// precisely the round-off effect Lemma 2 of the paper guards against.
+		tol := (math.Abs(Log2Abs(v)) + 2) * 4 * MachineEpsilon
+		if got := Exp2(Log2Abs(v)); math.Abs(got-v)/v > tol {
+			t.Errorf("Exp2(Log2Abs(%v)) = %v (tol %g)", v, got, tol)
+		}
+	}
+	if got := Exp2(Log2Abs(-4)); got != 4 {
+		t.Errorf("Log2Abs drops sign: got %v", got)
+	}
+}
+
+func TestIsDenormalOrZero(t *testing.T) {
+	if !IsDenormalOrZero(0) || !IsDenormalOrZero(1e-320) {
+		t.Fatal("zero/denormal misclassified")
+	}
+	if IsDenormalOrZero(1e-300) || IsDenormalOrZero(-1) {
+		t.Fatal("normal misclassified")
+	}
+}

@@ -1,0 +1,329 @@
+package huffman
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitio"
+)
+
+func roundTrip(t *testing.T, symbols []int, alphabet int) {
+	t.Helper()
+	buf, err := EncodeAll(symbols, alphabet)
+	if err != nil {
+		t.Fatalf("EncodeAll: %v", err)
+	}
+	got, n, err := DecodeAll(buf)
+	if err != nil {
+		t.Fatalf("DecodeAll: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n, len(buf))
+	}
+	if len(got) != len(symbols) {
+		t.Fatalf("len = %d, want %d", len(got), len(symbols))
+	}
+	for i := range got {
+		if got[i] != symbols[i] {
+			t.Fatalf("symbol %d = %d, want %d", i, got[i], symbols[i])
+		}
+	}
+}
+
+func TestRoundTripSmall(t *testing.T) {
+	roundTrip(t, []int{0, 1, 2, 1, 0, 1, 1, 1, 3}, 4)
+}
+
+func TestRoundTripSingleSymbol(t *testing.T) {
+	syms := make([]int, 1000)
+	for i := range syms {
+		syms[i] = 7
+	}
+	roundTrip(t, syms, 16)
+}
+
+func TestRoundTripTwoSymbols(t *testing.T) {
+	syms := make([]int, 100)
+	for i := range syms {
+		syms[i] = i % 2
+	}
+	roundTrip(t, syms, 2)
+}
+
+func TestRoundTripSkewed(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	syms := make([]int, 50000)
+	for i := range syms {
+		// Geometric-ish distribution centered at 32768, like SZ quant codes.
+		v := 32768 + int(rng.NormFloat64()*3)
+		if v < 0 {
+			v = 0
+		}
+		if v > 65536 {
+			v = 65536
+		}
+		syms[i] = v
+	}
+	roundTrip(t, syms, 65537)
+}
+
+func TestRoundTripUniformLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	syms := make([]int, 20000)
+	for i := range syms {
+		syms[i] = rng.Intn(1024)
+	}
+	roundTrip(t, syms, 1024)
+}
+
+func TestCompressionBeatsRaw(t *testing.T) {
+	// Highly skewed stream must compress well below 8 bits/symbol.
+	rng := rand.New(rand.NewSource(3))
+	syms := make([]int, 100000)
+	for i := range syms {
+		if rng.Float64() < 0.95 {
+			syms[i] = 0
+		} else {
+			syms[i] = 1 + rng.Intn(255)
+		}
+	}
+	buf, err := EncodeAll(syms, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) > len(syms)/2 {
+		t.Fatalf("poor compression: %d bytes for %d symbols", len(buf), len(syms))
+	}
+}
+
+func TestEncodeAbsentSymbol(t *testing.T) {
+	c, err := Build([]uint64{5, 0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bitio.NewWriter(0)
+	if err := c.Encode(w, 1); err == nil {
+		t.Fatal("expected error encoding zero-frequency symbol")
+	}
+	if err := c.Encode(w, 99); err == nil {
+		t.Fatal("expected error encoding out-of-range symbol")
+	}
+}
+
+func TestEmptyFrequencies(t *testing.T) {
+	if _, err := Build([]uint64{0, 0, 0}); err == nil {
+		t.Fatal("expected error for empty frequency table")
+	}
+}
+
+func TestEncodeAllRejectsOutOfRange(t *testing.T) {
+	if _, err := EncodeAll([]int{0, 5}, 4); err == nil {
+		t.Fatal("expected range error")
+	}
+	if _, err := EncodeAll([]int{-1}, 4); err == nil {
+		t.Fatal("expected range error for negative symbol")
+	}
+}
+
+func TestParseTableCorrupt(t *testing.T) {
+	syms := []int{0, 1, 2, 3, 2, 1}
+	buf, err := EncodeAll(syms, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncations at every prefix must error, never panic.
+	for i := 0; i < len(buf)-1; i++ {
+		if _, _, err := DecodeAll(buf[:i]); err == nil {
+			// Some truncations may still decode fewer bytes validly only if
+			// the full payload happens to be self-contained; the table or
+			// count parse must fail for very short prefixes.
+			if i < 4 {
+				t.Fatalf("prefix %d decoded without error", i)
+			}
+		}
+	}
+	// Bit flips in the table region must not panic.
+	for i := 0; i < len(buf); i++ {
+		mut := append([]byte(nil), buf...)
+		mut[i] ^= 0xff
+		_, _, _ = DecodeAll(mut)
+	}
+}
+
+func TestCodeLengthsAreKraftFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	freqs := make([]uint64, 300)
+	for i := range freqs {
+		freqs[i] = uint64(rng.Intn(1000))
+	}
+	freqs[0] = 1 << 40 // extreme skew
+	c, err := Build(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kraft float64
+	for s := 0; s < c.Alphabet(); s++ {
+		if l := c.Length(s); l > 0 {
+			kraft += 1 / float64(uint64(1)<<l)
+			if l > MaxCodeLen {
+				t.Fatalf("code length %d exceeds max", l)
+			}
+		}
+	}
+	if kraft > 1.0000001 {
+		t.Fatalf("Kraft sum %v > 1", kraft)
+	}
+}
+
+func TestLimitDepths(t *testing.T) {
+	// Fibonacci-like frequencies force deep trees; verify repair keeps codes
+	// decodable.
+	n := 80
+	freqs := make([]uint64, n)
+	a, b := uint64(1), uint64(1)
+	for i := 0; i < n; i++ {
+		freqs[i] = a
+		a, b = b, a+b
+		if a > 1<<55 {
+			a = 1 << 55
+		}
+		if b > 1<<55 {
+			b = 1 << 55
+		}
+	}
+	syms := make([]int, 500)
+	rng := rand.New(rand.NewSource(5))
+	for i := range syms {
+		syms[i] = rng.Intn(n)
+	}
+	roundTrip(t, syms, n)
+}
+
+// Property: random symbol streams round-trip for arbitrary alphabets.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, alphaSel uint16, length uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alphabet := int(alphaSel%2000) + 1
+		n := int(length%5000) + 1
+		syms := make([]int, n)
+		for i := range syms {
+			syms[i] = rng.Intn(alphabet)
+		}
+		buf, err := EncodeAll(syms, alphabet)
+		if err != nil {
+			return false
+		}
+		got, _, err := DecodeAll(buf)
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range got {
+			if got[i] != syms[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRoundTripPreservesLengths(t *testing.T) {
+	freqs := []uint64{10, 0, 5, 5, 0, 0, 1, 100}
+	c, err := Build(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := c.AppendTable(nil)
+	c2, n, err := ParseTable(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(table) {
+		t.Fatalf("consumed %d of %d", n, len(table))
+	}
+	for s := range freqs {
+		if c.Length(s) != c2.Length(s) {
+			t.Fatalf("symbol %d length mismatch: %d vs %d", s, c.Length(s), c2.Length(s))
+		}
+	}
+}
+
+func BenchmarkEncode64K(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	syms := make([]int, 1<<16)
+	for i := range syms {
+		syms[i] = 32768 + int(rng.NormFloat64()*2)
+	}
+	b.SetBytes(int64(len(syms) * 4))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeAll(syms, 65537); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode64K(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	syms := make([]int, 1<<16)
+	for i := range syms {
+		syms[i] = 32768 + int(rng.NormFloat64()*2)
+	}
+	buf, err := EncodeAll(syms, 65537)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(syms) * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeAll(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestLUTDecodeMatchesSlowPath(t *testing.T) {
+	// Random skewed codecs: the fast table path must agree with canonical
+	// decoding for every symbol, including codes longer than the table.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		alphabet := rng.Intn(3000) + 2
+		freqs := make([]uint64, alphabet)
+		for i := range freqs {
+			if rng.Float64() < 0.3 {
+				freqs[i] = uint64(rng.Intn(1_000_000)) + 1
+			}
+		}
+		freqs[rng.Intn(alphabet)] = 1 << 50 // force long codes for the rare ones
+		c, err := Build(freqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var syms []int
+		for s := 0; s < alphabet; s++ {
+			if c.Length(s) > 0 {
+				syms = append(syms, s, s, s)
+			}
+		}
+		w := bitio.NewWriter(0)
+		for _, s := range syms {
+			if err := c.Encode(w, s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r := bitio.NewReader(w.Bytes())
+		for i, want := range syms {
+			got, err := c.Decode(r)
+			if err != nil {
+				t.Fatalf("trial %d symbol %d: %v", trial, i, err)
+			}
+			if got != want {
+				t.Fatalf("trial %d symbol %d: %d != %d", trial, i, got, want)
+			}
+		}
+	}
+}

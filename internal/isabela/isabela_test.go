@@ -1,0 +1,284 @@
+package isabela
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+)
+
+func checkRel(t *testing.T, orig, dec []float64, rel float64) {
+	t.Helper()
+	for i := range orig {
+		if orig[i] == 0 {
+			if dec[i] != 0 {
+				t.Fatalf("index %d: zero perturbed to %g", i, dec[i])
+			}
+			continue
+		}
+		if math.IsNaN(orig[i]) {
+			if !math.IsNaN(dec[i]) {
+				t.Fatalf("index %d: NaN lost", i)
+			}
+			continue
+		}
+		r := math.Abs(dec[i]-orig[i]) / math.Abs(orig[i])
+		if r > rel*(1+1e-9) {
+			t.Fatalf("index %d: rel err %g > %g (orig %g dec %g)", i, r, rel, orig[i], dec[i])
+		}
+	}
+}
+
+func TestRoundTripSmooth(t *testing.T) {
+	n := 4096
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = 100 + 50*math.Sin(float64(i)*0.01)
+	}
+	for _, rel := range []float64{1e-1, 1e-2, 1e-3} {
+		buf, err := Compress(data, []int{n}, rel, nil)
+		if err != nil {
+			t.Fatalf("rel %g: %v", rel, err)
+		}
+		dec, dims, err := Decompress(buf)
+		if err != nil {
+			t.Fatalf("rel %g: %v", rel, err)
+		}
+		if !grid.EqualDims(dims, []int{n}) {
+			t.Fatalf("dims %v", dims)
+		}
+		checkRel(t, data, dec, rel)
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 5000
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(10)-5))
+	}
+	rel := 0.01
+	buf, err := Compress(data, []int{n}, rel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, err := Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRel(t, data, dec, rel)
+}
+
+func TestRoundTripMixedSignsAndZeros(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 3000
+	data := make([]float64, n)
+	for i := range data {
+		switch rng.Intn(4) {
+		case 0:
+			data[i] = 0
+		case 1:
+			data[i] = -math.Abs(rng.NormFloat64() * 100)
+		default:
+			data[i] = math.Abs(rng.NormFloat64() * 100)
+		}
+	}
+	rel := 0.05
+	buf, err := Compress(data, []int{n}, rel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, err := Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRel(t, data, dec, rel)
+}
+
+func TestShortWindowTail(t *testing.T) {
+	// n not a multiple of window, with a tiny tail.
+	n := 1024 + 3
+	rng := rand.New(rand.NewSource(3))
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = 1 + rng.Float64()
+	}
+	rel := 0.01
+	buf, err := Compress(data, []int{n}, rel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, err := Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRel(t, data, dec, rel)
+}
+
+func TestTinyInput(t *testing.T) {
+	data := []float64{3.7}
+	buf, err := Compress(data, []int{1}, 0.01, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, err := Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRel(t, data, dec, 0.01)
+}
+
+func TestMultiDimFlattened(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	dims := []int{20, 30, 10}
+	data := make([]float64, grid.Size(dims))
+	for i := range data {
+		data[i] = 1000 * (1 + rng.NormFloat64()*0.1)
+	}
+	buf, err := Compress(data, dims, 0.01, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, gotDims, err := Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !grid.EqualDims(gotDims, dims) {
+		t.Fatalf("dims %v, want %v", gotDims, dims)
+	}
+	checkRel(t, data, dec, 0.01)
+}
+
+func TestIndexOverheadCapsRatio(t *testing.T) {
+	// Even on perfectly compressible data, the permutation index bits cap
+	// the ratio — the structural weakness the paper describes.
+	n := 8192
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = 42.0
+	}
+	buf, err := Compress(data, []int{n}, 0.01, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := float64(n*8) / float64(len(buf))
+	if cr > 8 {
+		t.Fatalf("CR %.1f implausibly high for ISABELA (index overhead missing?)", cr)
+	}
+	dec, _, err := Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRel(t, data, dec, 0.01)
+}
+
+func TestOptions(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 2048
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = 5 + rng.Float64()
+	}
+	for _, opt := range []*Options{
+		{Window: 256, Coeffs: 16},
+		{Window: 2048, Coeffs: 60},
+		{Window: 10, Coeffs: 2}, // clamped to minimums
+	} {
+		buf, err := Compress(data, []int{n}, 0.01, opt)
+		if err != nil {
+			t.Fatalf("%+v: %v", opt, err)
+		}
+		dec, _, err := Decompress(buf)
+		if err != nil {
+			t.Fatalf("%+v: %v", opt, err)
+		}
+		checkRel(t, data, dec, 0.01)
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if _, err := Compress([]float64{1}, []int{1}, 0, nil); err == nil {
+		t.Fatal("rel=0 accepted")
+	}
+	if _, err := Compress([]float64{1}, []int{1}, 1, nil); err == nil {
+		t.Fatal("rel=1 accepted")
+	}
+	if _, err := Compress([]float64{1, 2}, []int{3}, 0.1, nil); err == nil {
+		t.Fatal("dims mismatch accepted")
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	data := make([]float64, 600)
+	for i := range data {
+		data[i] = rng.NormFloat64() * 10
+	}
+	buf, err := Compress(data, []int{600}, 0.01, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 4, 8, 20, len(buf) / 2} {
+		if _, _, err := Decompress(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	for i := 0; i < 150; i++ {
+		mut := append([]byte(nil), buf...)
+		mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
+		_, _, _ = Decompress(mut) // must not panic
+	}
+}
+
+func TestQuickRelBoundInvariant(t *testing.T) {
+	f := func(seed int64, relSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(2000) + 1
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(6)-3))
+		}
+		rel := math.Pow(10, -float64(relSel%4)-1)
+		buf, err := Compress(data, []int{n}, rel, nil)
+		if err != nil {
+			return false
+		}
+		dec, _, err := Decompress(buf)
+		if err != nil || len(dec) != n {
+			return false
+		}
+		for i := range data {
+			if data[i] == 0 {
+				if dec[i] != 0 {
+					return false
+				}
+				continue
+			}
+			if math.Abs(dec[i]-data[i])/math.Abs(data[i]) > rel*(1+1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	data := make([]float64, 1<<15)
+	for i := range data {
+		data[i] = 100 + rng.NormFloat64()
+	}
+	b.SetBytes(int64(len(data) * 8))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(data, []int{len(data)}, 0.01, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

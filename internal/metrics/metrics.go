@@ -1,0 +1,253 @@
+// Package metrics computes the error and performance statistics reported in
+// the paper's evaluation: point-wise relative error (max/avg, bounded
+// fraction — Table IV), compression ratio and bit-rate (Table II, Fig. 2),
+// relative-error-based PSNR (Fig. 1), multiprecision slice distortion
+// (Fig. 4) and velocity angle skew (Fig. 5).
+package metrics
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrLengthMismatch reports original/decompressed length disagreement.
+var ErrLengthMismatch = errors.New("metrics: length mismatch")
+
+// RelErrorStats summarizes point-wise relative errors of a reconstruction.
+type RelErrorStats struct {
+	// Max and Avg are the maximum and mean point-wise relative errors over
+	// points with nonzero original value.
+	Max, Avg float64
+	// BoundedFrac is the fraction of points within the bound (Table IV's
+	// "bounded" column); 1.0 prints as "100%".
+	BoundedFrac float64
+	// ZeroPerturbed counts original zeros that did not decompress to zero
+	// (Table IV's "*" annotation).
+	ZeroPerturbed int
+	// MaxAbs is the maximum absolute error (all points).
+	MaxAbs float64
+	// N is the number of points compared.
+	N int
+}
+
+// RelError computes relative-error statistics against the given bound.
+// Points whose original value is zero contribute to ZeroPerturbed rather
+// than the relative aggregates; non-finite originals are skipped.
+func RelError(orig, dec []float64, bound float64) (RelErrorStats, error) {
+	if len(orig) != len(dec) {
+		return RelErrorStats{}, ErrLengthMismatch
+	}
+	st := RelErrorStats{N: len(orig)}
+	counted := 0
+	bounded := 0
+	var sum float64
+	for i := range orig {
+		o := orig[i]
+		if math.IsNaN(o) || math.IsInf(o, 0) {
+			bounded++ // preserved specials count as bounded
+			continue
+		}
+		if a := math.Abs(dec[i] - o); a > st.MaxAbs {
+			st.MaxAbs = a
+		}
+		if o == 0 {
+			if dec[i] != 0 {
+				st.ZeroPerturbed++
+			} else {
+				bounded++
+			}
+			continue
+		}
+		r := math.Abs(dec[i]-o) / math.Abs(o)
+		counted++
+		sum += r
+		if r > st.Max {
+			st.Max = r
+		}
+		if r <= bound {
+			bounded++
+		}
+	}
+	if counted > 0 {
+		st.Avg = sum / float64(counted)
+	}
+	if st.N > 0 {
+		st.BoundedFrac = float64(bounded) / float64(st.N)
+	}
+	return st, nil
+}
+
+// CompressionRatio returns originalBytes / compressedBytes.
+func CompressionRatio(originalBytes, compressedBytes int) float64 {
+	if compressedBytes <= 0 {
+		return math.Inf(1)
+	}
+	return float64(originalBytes) / float64(compressedBytes)
+}
+
+// BitRate returns the average number of compressed bits per data point.
+func BitRate(compressedBytes, points int) float64 {
+	if points <= 0 {
+		return 0
+	}
+	return float64(compressedBytes) * 8 / float64(points)
+}
+
+// RelPSNR computes the relative-error-based PSNR of Figure 1: standard
+// PSNR formula applied to the point-wise relative errors with the value
+// range fixed to 1. Zero originals are skipped.
+func RelPSNR(orig, dec []float64) (float64, error) {
+	if len(orig) != len(dec) {
+		return 0, ErrLengthMismatch
+	}
+	var mse float64
+	n := 0
+	for i := range orig {
+		o := orig[i]
+		if o == 0 || math.IsNaN(o) || math.IsInf(o, 0) {
+			continue
+		}
+		r := (dec[i] - o) / o
+		mse += r * r
+		n++
+	}
+	if n == 0 {
+		return math.Inf(1), nil
+	}
+	mse /= float64(n)
+	if mse == 0 {
+		return math.Inf(1), nil
+	}
+	return -10 * math.Log10(mse), nil
+}
+
+// PSNR computes the conventional value-range PSNR.
+func PSNR(orig, dec []float64) (float64, error) {
+	if len(orig) != len(dec) {
+		return 0, ErrLengthMismatch
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	var mse float64
+	n := 0
+	for i := range orig {
+		o := orig[i]
+		if math.IsNaN(o) || math.IsInf(o, 0) {
+			continue
+		}
+		if o < lo {
+			lo = o
+		}
+		if o > hi {
+			hi = o
+		}
+		d := dec[i] - o
+		mse += d * d
+		n++
+	}
+	if n == 0 || hi <= lo {
+		return math.Inf(1), nil
+	}
+	mse /= float64(n)
+	if mse == 0 {
+		return math.Inf(1), nil
+	}
+	return 20*math.Log10(hi-lo) - 10*math.Log10(mse), nil
+}
+
+// SkewAngle returns the angle in degrees between the original and
+// reconstructed 3D velocity of one particle (Figure 5's metric):
+// θ = arccos(v·v_d / (|v||v_d|)).
+func SkewAngle(vx, vy, vz, dx, dy, dz float64) float64 {
+	no := math.Sqrt(vx*vx + vy*vy + vz*vz)
+	nd := math.Sqrt(dx*dx + dy*dy + dz*dz)
+	if no == 0 || nd == 0 {
+		if no == nd {
+			return 0
+		}
+		return 90
+	}
+	c := (vx*dx + vy*dy + vz*dz) / (no * nd)
+	if c > 1 {
+		c = 1
+	}
+	if c < -1 {
+		c = -1
+	}
+	return math.Acos(c) * 180 / math.Pi
+}
+
+// SkewAngleStats aggregates the per-particle skew angles of a velocity
+// triple reconstruction.
+type SkewAngleStats struct {
+	Avg, Max float64
+	// P99 is the 99th-percentile angle estimated from a fixed histogram.
+	P99 float64
+}
+
+// SkewAngles computes angle-skew statistics over particle velocity triples.
+func SkewAngles(ox, oy, oz, dx, dy, dz []float64) (SkewAngleStats, error) {
+	n := len(ox)
+	if len(oy) != n || len(oz) != n || len(dx) != n || len(dy) != n || len(dz) != n {
+		return SkewAngleStats{}, ErrLengthMismatch
+	}
+	var st SkewAngleStats
+	if n == 0 {
+		return st, nil
+	}
+	// Histogram at 0.01° resolution up to 180°.
+	const res = 0.01
+	hist := make([]int, int(180/res)+2)
+	var sum float64
+	for i := 0; i < n; i++ {
+		a := SkewAngle(ox[i], oy[i], oz[i], dx[i], dy[i], dz[i])
+		sum += a
+		if a > st.Max {
+			st.Max = a
+		}
+		b := int(a / res)
+		if b >= len(hist) {
+			b = len(hist) - 1
+		}
+		hist[b]++
+	}
+	st.Avg = sum / float64(n)
+	target := int(math.Ceil(float64(n) * 0.99))
+	acc := 0
+	for b, c := range hist {
+		acc += c
+		if acc >= target {
+			st.P99 = float64(b) * res
+			break
+		}
+	}
+	return st, nil
+}
+
+// BlockAverages divides a field into side³ spatial blocks and returns the
+// per-block mean of values (used for the Figure 5 visualization grid).
+func BlockAverages(vals []float64, dims []int, side int) []float64 {
+	if len(dims) != 3 || side <= 0 {
+		return nil
+	}
+	nz, ny, nx := dims[0], dims[1], dims[2]
+	bz, by, bx := (nz+side-1)/side, (ny+side-1)/side, (nx+side-1)/side
+	sums := make([]float64, bz*by*bx)
+	counts := make([]int, bz*by*bx)
+	i := 0
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				b := (z/side*by+y/side)*bx + x/side
+				sums[b] += vals[i]
+				counts[b]++
+				i++
+			}
+		}
+	}
+	for b := range sums {
+		if counts[b] > 0 {
+			sums[b] /= float64(counts[b])
+		}
+	}
+	return sums
+}

@@ -1,0 +1,179 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRelErrorBasic(t *testing.T) {
+	orig := []float64{1, 2, 4, 0, -16}
+	dec := []float64{1.01, 2, 4.125, 0, -16.5} // exact binary fractions
+	st, err := RelError(orig, dec, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.Max-0.03125) > 1e-12 {
+		t.Fatalf("Max = %g, want 0.03125", st.Max)
+	}
+	wantAvg := (0.01 + 0 + 0.03125 + 0.03125) / 4
+	if math.Abs(st.Avg-wantAvg) > 1e-12 {
+		t.Fatalf("Avg = %g, want %g", st.Avg, wantAvg)
+	}
+	if st.BoundedFrac != 1.0 {
+		t.Fatalf("BoundedFrac = %g", st.BoundedFrac)
+	}
+	if st.ZeroPerturbed != 0 {
+		t.Fatalf("ZeroPerturbed = %d", st.ZeroPerturbed)
+	}
+}
+
+func TestRelErrorViolations(t *testing.T) {
+	orig := []float64{1, 1, 0}
+	dec := []float64{1.2, 1.0, 0.001}
+	st, err := RelError(orig, dec, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ZeroPerturbed != 1 {
+		t.Fatalf("ZeroPerturbed = %d", st.ZeroPerturbed)
+	}
+	// 1 of 3 bounded (1.0 exact); 1.2 violates; zero perturbed.
+	if math.Abs(st.BoundedFrac-1.0/3) > 1e-12 {
+		t.Fatalf("BoundedFrac = %g", st.BoundedFrac)
+	}
+}
+
+func TestRelErrorLengthMismatch(t *testing.T) {
+	if _, err := RelError([]float64{1}, []float64{1, 2}, 0.1); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestRelErrorNonFinite(t *testing.T) {
+	orig := []float64{math.NaN(), math.Inf(1), 2}
+	dec := []float64{math.NaN(), math.Inf(1), 2}
+	st, err := RelError(orig, dec, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BoundedFrac != 1 || st.Max != 0 {
+		t.Fatalf("specials mishandled: %+v", st)
+	}
+}
+
+func TestCompressionRatioAndBitRate(t *testing.T) {
+	if cr := CompressionRatio(800, 100); cr != 8 {
+		t.Fatalf("CR = %g", cr)
+	}
+	if !math.IsInf(CompressionRatio(800, 0), 1) {
+		t.Fatal("CR with zero bytes should be +Inf")
+	}
+	if br := BitRate(100, 100); br != 8 {
+		t.Fatalf("BitRate = %g", br)
+	}
+	if br := BitRate(100, 0); br != 0 {
+		t.Fatalf("BitRate(n=0) = %g", br)
+	}
+}
+
+func TestRelPSNR(t *testing.T) {
+	orig := []float64{1, 2, 4}
+	dec := []float64{1.01, 2.02, 4.04} // uniform 1% relative error
+	p, err := RelPSNR(orig, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := -10 * math.Log10(1e-4) // 40 dB
+	if math.Abs(p-want) > 1e-9 {
+		t.Fatalf("RelPSNR = %g, want %g", p, want)
+	}
+	exact, err := RelPSNR(orig, orig)
+	if err != nil || !math.IsInf(exact, 1) {
+		t.Fatalf("exact RelPSNR = %g, %v", exact, err)
+	}
+}
+
+func TestPSNR(t *testing.T) {
+	orig := []float64{0, 1, 2, 3, 4}
+	dec := []float64{0.1, 1.1, 2.1, 3.1, 4.1}
+	p, err := PSNR(orig, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 20*math.Log10(4) - 10*math.Log10(0.01)
+	if math.Abs(p-want) > 1e-9 {
+		t.Fatalf("PSNR = %g, want %g", p, want)
+	}
+}
+
+func TestSkewAngle(t *testing.T) {
+	if a := SkewAngle(1, 0, 0, 1, 0, 0); a != 0 {
+		t.Fatalf("parallel = %g", a)
+	}
+	if a := SkewAngle(1, 0, 0, 0, 1, 0); math.Abs(a-90) > 1e-9 {
+		t.Fatalf("orthogonal = %g", a)
+	}
+	if a := SkewAngle(1, 0, 0, -1, 0, 0); math.Abs(a-180) > 1e-9 {
+		t.Fatalf("antiparallel = %g", a)
+	}
+	if a := SkewAngle(0, 0, 0, 0, 0, 0); a != 0 {
+		t.Fatalf("both zero = %g", a)
+	}
+	if a := SkewAngle(0, 0, 0, 1, 0, 0); a != 90 {
+		t.Fatalf("one zero = %g", a)
+	}
+	// Tiny perturbation: angle scales with relative error.
+	a := SkewAngle(1000, 0, 0, 1000, 10, 0)
+	if math.Abs(a-math.Atan2(10, 1000)*180/math.Pi) > 1e-6 {
+		t.Fatalf("small perturbation angle = %g", a)
+	}
+}
+
+func TestSkewAngles(t *testing.T) {
+	ox := []float64{1, 1, 1}
+	oy := []float64{0, 0, 0}
+	oz := []float64{0, 0, 0}
+	dx := []float64{1, 1, 0}
+	dy := []float64{0, 1, 1}
+	dz := []float64{0, 0, 0}
+	st, err := SkewAngles(ox, oy, oz, dx, dy, dz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.Max-90) > 1e-9 {
+		t.Fatalf("Max = %g", st.Max)
+	}
+	wantAvg := (0 + 45 + 90) / 3.0
+	if math.Abs(st.Avg-wantAvg) > 1e-9 {
+		t.Fatalf("Avg = %g, want %g", st.Avg, wantAvg)
+	}
+	if st.P99 < 89 || st.P99 > 90.1 {
+		t.Fatalf("P99 = %g", st.P99)
+	}
+	if _, err := SkewAngles(ox, oy, oz, dx, dy, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestBlockAverages(t *testing.T) {
+	dims := []int{2, 2, 4}
+	vals := []float64{
+		1, 1, 3, 3,
+		1, 1, 3, 3,
+		5, 5, 7, 7,
+		5, 5, 7, 7,
+	}
+	avg := BlockAverages(vals, dims, 2)
+	want := []float64{3, 5} // blocks along x: mean of {1,1,1,1,5,5,5,5}=3, {3,3,3,3,7,7,7,7}=5
+	if len(avg) != 2 {
+		t.Fatalf("len = %d", len(avg))
+	}
+	for i := range want {
+		if math.Abs(avg[i]-want[i]) > 1e-12 {
+			t.Fatalf("avg[%d] = %g, want %g", i, avg[i], want[i])
+		}
+	}
+	if BlockAverages(vals, []int{16}, 2) != nil {
+		t.Fatal("non-3D dims should return nil")
+	}
+}

@@ -1,0 +1,205 @@
+// Package pfs models the parallel-I/O side of the paper's Figure 6
+// experiment: data dumping (compression + parallel write) and loading
+// (parallel read + decompression) on a GPFS-class parallel file system at
+// 1,024–4,096 cores.
+//
+// The original experiment ran on the Bebop supercomputer with
+// file-per-process POSIX I/O. That hardware is substituted by a two-part
+// model:
+//
+//   - Compression/decompression rates are *measured* by running the actual
+//     Go compressors on this machine's cores (a worker pool saturating
+//     GOMAXPROCS), so relative compressor speeds are real.
+//   - The file system is an analytic shared-bandwidth model: aggregate
+//     bandwidth grows with the number of writers until it saturates at the
+//     system peak (the regime in which compression ratio, not compute,
+//     decides dump time — the effect Figure 6 demonstrates).
+//
+// All returned times are deterministic functions of byte counts and the
+// measured rates; nothing sleeps.
+package pfs
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// System describes the modeled parallel file system and cluster.
+type System struct {
+	// Cores is the modeled core count (ranks), e.g. 4096.
+	Cores int
+	// PeakWrite and PeakRead are the saturated aggregate bandwidths in
+	// bytes/s. Defaults model the paper's I/O system: 8 GB/s write with
+	// burst buffers, slightly faster read.
+	PeakWrite, PeakRead float64
+	// PerProcWrite and PerProcRead cap a single rank's streaming bandwidth
+	// (bytes/s) before aggregate saturation.
+	PerProcWrite, PerProcRead float64
+	// MetadataLatency is the per-file open/close overhead of
+	// file-per-process POSIX I/O.
+	MetadataLatency time.Duration
+	// CoreRate derates a modeled core's compression speed relative to a
+	// local core (1.0 = identical).
+	CoreRate float64
+}
+
+// DefaultSystem models the paper's Bebop/GPFS setup at the given scale.
+func DefaultSystem(cores int) System {
+	return System{
+		Cores:           cores,
+		PeakWrite:       8e9,  // 8 GB/s (Section I's burst-buffer figure)
+		PeakRead:        10e9, // reads slightly faster than writes on GPFS
+		PerProcWrite:    150e6,
+		PerProcRead:     200e6,
+		MetadataLatency: 30 * time.Millisecond,
+		CoreRate:        1.0,
+	}
+}
+
+// aggregate returns the effective aggregate bandwidth for n concurrent
+// streams with per-stream cap `per` and system peak `peak`.
+func aggregate(n int, per, peak float64) float64 {
+	b := float64(n) * per
+	if b > peak {
+		return peak
+	}
+	return b
+}
+
+// Breakdown is one bar of Figure 6: the compute and I/O components of a
+// dump or load.
+type Breakdown struct {
+	Compute time.Duration // compression or decompression
+	IO      time.Duration // write or read
+}
+
+// Total returns the end-to-end time.
+func (b Breakdown) Total() time.Duration { return b.Compute + b.IO }
+
+func (b Breakdown) String() string {
+	return fmt.Sprintf("compute %.1fs + io %.1fs = %.1fs",
+		b.Compute.Seconds(), b.IO.Seconds(), b.Total().Seconds())
+}
+
+// DumpTime models dumping bytesPerRank of raw data per rank when the
+// compressor emits compressedPerRank bytes at compressRate raw-bytes/s per
+// core.
+func (s System) DumpTime(bytesPerRank, compressedPerRank int64, compressRate float64) (Breakdown, error) {
+	if err := s.validate(); err != nil {
+		return Breakdown{}, err
+	}
+	if compressRate <= 0 {
+		return Breakdown{}, errors.New("pfs: nonpositive compression rate")
+	}
+	comp := time.Duration(float64(bytesPerRank) / (compressRate * s.CoreRate) * float64(time.Second))
+	bw := aggregate(s.Cores, s.PerProcWrite, s.PeakWrite)
+	io := time.Duration(float64(compressedPerRank)*float64(s.Cores)/bw*float64(time.Second)) + s.MetadataLatency
+	return Breakdown{Compute: comp, IO: io}, nil
+}
+
+// LoadTime models loading: parallel read of compressedPerRank bytes then
+// decompression at decompressRate raw-bytes/s per core (rate measured
+// against the *reconstructed* byte count, matching the paper's MB/s).
+func (s System) LoadTime(bytesPerRank, compressedPerRank int64, decompressRate float64) (Breakdown, error) {
+	if err := s.validate(); err != nil {
+		return Breakdown{}, err
+	}
+	if decompressRate <= 0 {
+		return Breakdown{}, errors.New("pfs: nonpositive decompression rate")
+	}
+	bw := aggregate(s.Cores, s.PerProcRead, s.PeakRead)
+	io := time.Duration(float64(compressedPerRank)*float64(s.Cores)/bw*float64(time.Second)) + s.MetadataLatency
+	comp := time.Duration(float64(bytesPerRank) / (decompressRate * s.CoreRate) * float64(time.Second))
+	return Breakdown{Compute: comp, IO: io}, nil
+}
+
+// RawDumpTime models dumping the uncompressed data (the paper's "original
+// data needs 0.7–2.8 hours" comparison point).
+func (s System) RawDumpTime(bytesPerRank int64) (Breakdown, error) {
+	if err := s.validate(); err != nil {
+		return Breakdown{}, err
+	}
+	bw := aggregate(s.Cores, s.PerProcWrite, s.PeakWrite)
+	io := time.Duration(float64(bytesPerRank)*float64(s.Cores)/bw*float64(time.Second)) + s.MetadataLatency
+	return Breakdown{IO: io}, nil
+}
+
+func (s System) validate() error {
+	if s.Cores <= 0 || s.PeakWrite <= 0 || s.PeakRead <= 0 ||
+		s.PerProcWrite <= 0 || s.PerProcRead <= 0 || s.CoreRate <= 0 {
+		return fmt.Errorf("pfs: invalid system %+v", s)
+	}
+	return nil
+}
+
+// MeasuredRates holds compressor throughput measured on local cores.
+type MeasuredRates struct {
+	// CompressRate and DecompressRate are raw-bytes/s per core.
+	CompressRate, DecompressRate float64
+	// Ratio is the measured compression ratio.
+	Ratio float64
+}
+
+// Measure runs compress/decompress concurrently on up to GOMAXPROCS
+// workers (each worker performs the same work, modeling file-per-process
+// ranks contending for memory bandwidth) and returns per-core rates.
+// rawBytes is the uncompressed size one invocation of compress covers.
+func Measure(rawBytes int,
+	compress func() ([]byte, error),
+	decompress func(buf []byte) error) (MeasuredRates, error) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Compression pass.
+	var wg sync.WaitGroup
+	bufs := make([][]byte, workers)
+	errs := make([]error, workers)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			bufs[w], errs[w] = compress()
+		}(w)
+	}
+	wg.Wait()
+	compElapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return MeasuredRates{}, err
+		}
+	}
+
+	// Decompression pass.
+	start = time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = decompress(bufs[w])
+		}(w)
+	}
+	wg.Wait()
+	decElapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return MeasuredRates{}, err
+		}
+	}
+
+	totalRaw := float64(rawBytes) * float64(workers)
+	r := MeasuredRates{
+		CompressRate:   totalRaw / compElapsed.Seconds() / float64(workers),
+		DecompressRate: totalRaw / decElapsed.Seconds() / float64(workers),
+		Ratio:          float64(rawBytes) / float64(len(bufs[0])),
+	}
+	return r, nil
+}

@@ -1,0 +1,147 @@
+package pfs
+
+import (
+	"bytes"
+	"compress/flate"
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestAggregateSaturates(t *testing.T) {
+	if bw := aggregate(10, 100e6, 8e9); bw != 1e9 {
+		t.Fatalf("unsaturated bw = %g", bw)
+	}
+	if bw := aggregate(1000, 100e6, 8e9); bw != 8e9 {
+		t.Fatalf("saturated bw = %g", bw)
+	}
+}
+
+func TestDumpTimeScalesWithCompressedSize(t *testing.T) {
+	s := DefaultSystem(4096)
+	perRank := int64(3 << 30) // 3 GB, paper's per-rank load
+	// Better-compressing (smaller output) must dump faster at saturation.
+	good, err := s.DumpTime(perRank, perRank/13, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := s.DumpTime(perRank, perRank/2, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good.Total() >= bad.Total() {
+		t.Fatalf("higher CR should dump faster: %v vs %v", good, bad)
+	}
+	if good.IO >= bad.IO/6 {
+		// IO scales linearly with compressed size at saturation: 13/2 ≈ 6.5x.
+		t.Fatalf("IO scaling wrong: %v vs %v", good.IO, bad.IO)
+	}
+}
+
+func TestDumpDominatedByIOAtScale(t *testing.T) {
+	// At 4,096 cores and 8 GB/s the write is the bottleneck even for a
+	// moderate compressor — the core insight behind Figure 6.
+	s := DefaultSystem(4096)
+	perRank := int64(3 << 30)
+	br, err := s.DumpTime(perRank, perRank/5, 150e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.IO < br.Compute {
+		t.Fatalf("expected I/O-bound at scale: %v", br)
+	}
+}
+
+func TestRawDumpSlower(t *testing.T) {
+	s := DefaultSystem(1024)
+	perRank := int64(3 << 30)
+	raw, err := s.RawDumpTime(perRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := s.DumpTime(perRank, perRank/10, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.Total() <= comp.Total() {
+		t.Fatalf("raw dump should be slower: %v vs %v", raw, comp)
+	}
+	// Paper: original data takes ~0.7-2.8 hours to dump.
+	if raw.Total() < 5*time.Minute {
+		t.Fatalf("raw dump implausibly fast: %v", raw)
+	}
+}
+
+func TestLoadTime(t *testing.T) {
+	s := DefaultSystem(2048)
+	perRank := int64(3 << 30)
+	br, err := s.LoadTime(perRank, perRank/10, 200e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Compute <= 0 || br.IO <= 0 {
+		t.Fatalf("breakdown %v", br)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	var s System
+	if _, err := s.DumpTime(1, 1, 1); err == nil {
+		t.Fatal("zero system accepted")
+	}
+	good := DefaultSystem(64)
+	if _, err := good.DumpTime(1, 1, 0); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := good.LoadTime(1, 1, -1); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+func TestMeasureWithRealCodec(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	raw := make([]byte, 1<<18)
+	for i := range raw {
+		raw[i] = byte(rng.Intn(16)) // compressible
+	}
+	rates, err := Measure(len(raw),
+		func() ([]byte, error) {
+			var buf bytes.Buffer
+			zw, err := flate.NewWriter(&buf, flate.BestSpeed)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := zw.Write(raw); err != nil {
+				return nil, err
+			}
+			if err := zw.Close(); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		},
+		func(buf []byte) error {
+			zr := flate.NewReader(bytes.NewReader(buf))
+			_, err := io.Copy(io.Discard, zr)
+			return err
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rates.CompressRate <= 0 || rates.DecompressRate <= 0 {
+		t.Fatalf("rates %+v", rates)
+	}
+	if rates.Ratio <= 1 {
+		t.Fatalf("ratio %g should exceed 1 for compressible data", rates.Ratio)
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	b := Breakdown{Compute: 90 * time.Second, IO: 30 * time.Second}
+	if b.Total() != 2*time.Minute {
+		t.Fatalf("Total = %v", b.Total())
+	}
+	if s := b.String(); s == "" {
+		t.Fatal("empty string")
+	}
+}

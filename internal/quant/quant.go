@@ -1,0 +1,73 @@
+// Package quant implements SZ's linear-scaling quantization: prediction
+// errors are mapped to integer codes on a uniform grid of bin width
+// 2×(absolute error bound), so that reconstruction from the code keeps the
+// point within the bound. Code 0 is reserved for "unpredictable" points
+// whose error falls outside the representable code range.
+package quant
+
+import "math"
+
+// Unpredictable is the reserved code for points that cannot be represented
+// within the quantization range and are stored verbatim instead.
+const Unpredictable = 0
+
+// Quantizer maps prediction residuals to codes in [0, Radius*2] with the
+// zero residual at the center code; code 0 stays reserved.
+type Quantizer struct {
+	bound  float64 // absolute error bound
+	bin    float64 // 2*bound
+	radius int     // half the number of intervals
+}
+
+// New returns a Quantizer with the given absolute error bound and interval
+// count (the SZ default is 65536; must be >= 2 and even).
+func New(bound float64, intervals int) *Quantizer {
+	if intervals < 2 {
+		intervals = 2
+	}
+	return &Quantizer{bound: bound, bin: 2 * bound, radius: intervals / 2}
+}
+
+// Alphabet returns the code alphabet size (codes are in [0, Alphabet)).
+func (q *Quantizer) Alphabet() int { return 2*q.radius + 1 }
+
+// Bound returns the absolute error bound.
+func (q *Quantizer) Bound() float64 { return q.bound }
+
+// Quantize returns the code for reconstructing value from prediction, plus
+// the reconstructed value. ok is false (code Unpredictable) when the
+// residual exceeds the code range or the reconstruction would violate the
+// bound due to floating-point rounding — the caller must then store the
+// value verbatim.
+func (q *Quantizer) Quantize(value, prediction float64) (code int, recon float64, ok bool) {
+	if q.bound <= 0 {
+		return Unpredictable, value, false
+	}
+	diff := value - prediction
+	// A NaN/Inf prediction (e.g. a neighbor was an unpredictable NaN) must
+	// not reach the int conversion below: NaN comparisons would silently
+	// pass the bound check.
+	if math.IsNaN(diff) || math.IsInf(diff, 0) {
+		return Unpredictable, value, false
+	}
+	var idx int
+	if diff >= 0 {
+		idx = int(diff/q.bin + 0.5)
+	} else {
+		idx = -int(-diff/q.bin + 0.5)
+	}
+	if idx > q.radius-1 || idx < -(q.radius-1) {
+		return Unpredictable, value, false
+	}
+	recon = prediction + float64(idx)*q.bin
+	// Verify the bound survived rounding; SZ performs the same check.
+	if d := recon - value; d > q.bound || d < -q.bound {
+		return Unpredictable, value, false
+	}
+	return idx + q.radius + 1, recon, true
+}
+
+// Reconstruct inverts Quantize for a non-Unpredictable code.
+func (q *Quantizer) Reconstruct(code int, prediction float64) float64 {
+	return prediction + float64(code-q.radius-1)*q.bin
+}

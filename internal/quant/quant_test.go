@@ -1,0 +1,124 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantizeRoundTripWithinBound(t *testing.T) {
+	q := New(0.01, 65536)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		pred := rng.NormFloat64() * 10
+		val := pred + rng.NormFloat64() // residual mostly within range
+		code, recon, ok := q.Quantize(val, pred)
+		if !ok {
+			continue
+		}
+		if code == Unpredictable {
+			t.Fatal("ok result must not use the reserved code")
+		}
+		if math.Abs(recon-val) > q.Bound() {
+			t.Fatalf("recon error %g > bound", math.Abs(recon-val))
+		}
+		if r2 := q.Reconstruct(code, pred); r2 != recon {
+			t.Fatalf("Reconstruct mismatch: %v vs %v", r2, recon)
+		}
+	}
+}
+
+func TestQuantizeExactResidual(t *testing.T) {
+	q := New(0.5, 1024)
+	code, recon, ok := q.Quantize(10.0, 10.0)
+	if !ok || math.Abs(recon-10.0) > 0.5 {
+		t.Fatalf("zero residual: code=%d recon=%v ok=%v", code, recon, ok)
+	}
+	if code != 1024/2+1 {
+		t.Fatalf("zero residual code = %d, want center %d", code, 1024/2+1)
+	}
+}
+
+func TestQuantizeOutOfRange(t *testing.T) {
+	q := New(1e-6, 64)
+	_, _, ok := q.Quantize(100.0, 0.0) // residual 1e8 bins away
+	if ok {
+		t.Fatal("expected unpredictable for huge residual")
+	}
+}
+
+func TestQuantizeNegativeResidualSymmetric(t *testing.T) {
+	q := New(0.1, 256)
+	cPos, _, ok1 := q.Quantize(1.0+0.35, 1.0)
+	cNeg, _, ok2 := q.Quantize(1.0-0.35, 1.0)
+	if !ok1 || !ok2 {
+		t.Fatal("residuals should be quantizable")
+	}
+	center := 256/2 + 1
+	if cPos-center != -(cNeg - center) {
+		t.Fatalf("asymmetric codes: %d and %d around %d", cPos, cNeg, center)
+	}
+}
+
+func TestZeroBound(t *testing.T) {
+	q := New(0, 1024)
+	if _, _, ok := q.Quantize(1, 1); ok {
+		t.Fatal("zero bound must mark everything unpredictable")
+	}
+}
+
+func TestTinyIntervals(t *testing.T) {
+	q := New(0.5, 1) // clamped to 2
+	if q.Alphabet() < 3 {
+		t.Fatalf("alphabet = %d", q.Alphabet())
+	}
+}
+
+func TestQuickBoundInvariant(t *testing.T) {
+	f := func(val, pred float64, boundSel uint8) bool {
+		if math.IsNaN(val) || math.IsInf(val, 0) || math.IsNaN(pred) || math.IsInf(pred, 0) {
+			return true
+		}
+		bound := math.Pow(10, float64(boundSel%12)-6)
+		q := New(bound, 65536)
+		_, recon, ok := q.Quantize(val, pred)
+		if !ok {
+			return true
+		}
+		return math.Abs(recon-val) <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodesWithinAlphabet(t *testing.T) {
+	q := New(0.01, 4096)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10000; i++ {
+		code, _, ok := q.Quantize(rng.NormFloat64(), rng.NormFloat64())
+		if !ok {
+			continue
+		}
+		if code < 1 || code >= q.Alphabet() {
+			t.Fatalf("code %d outside alphabet %d", code, q.Alphabet())
+		}
+	}
+}
+
+func BenchmarkQuantize(b *testing.B) {
+	q := New(1e-3, 65536)
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]float64, 4096)
+	preds := make([]float64, 4096)
+	for i := range vals {
+		preds[i] = rng.NormFloat64()
+		vals[i] = preds[i] + rng.NormFloat64()*0.01
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i & 4095
+		q.Quantize(vals[j], preds[j])
+	}
+}

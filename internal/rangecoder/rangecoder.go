@@ -1,0 +1,226 @@
+// Package rangecoder implements a carry-less (Subbotin-style) range coder
+// with adaptive frequency models. It is the entropy stage of the FPZIP
+// re-implementation (the original FPZIP uses a fast range coder rather
+// than Huffman codes) and is reusable for any small-alphabet adaptive
+// coding task.
+package rangecoder
+
+import "errors"
+
+const (
+	top = 1 << 24
+	bot = 1 << 16
+)
+
+// ErrCorrupt reports an undecodable stream.
+var ErrCorrupt = errors.New("rangecoder: corrupt stream")
+
+// Encoder writes range-coded symbols into an internal buffer.
+type Encoder struct {
+	low uint32
+	rng uint32
+	out []byte
+}
+
+// NewEncoder returns an Encoder with capacity preallocated for sizeHint
+// bytes.
+func NewEncoder(sizeHint int) *Encoder {
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	return &Encoder{rng: 0xFFFFFFFF, out: make([]byte, 0, sizeHint)}
+}
+
+// Encode narrows the range to the interval [cum, cum+freq) out of total.
+// freq must be nonzero and cum+freq <= total <= 1<<16.
+func (e *Encoder) Encode(cum, freq, total uint32) {
+	r := e.rng / total
+	e.low += r * cum
+	e.rng = r * freq
+	e.normalize()
+}
+
+func (e *Encoder) normalize() {
+	for {
+		if (e.low ^ (e.low + e.rng)) >= top {
+			if e.rng >= bot {
+				return
+			}
+			// Range underflow: force alignment.
+			e.rng = -e.low & (bot - 1)
+		}
+		e.out = append(e.out, byte(e.low>>24))
+		e.low <<= 8
+		e.rng <<= 8
+	}
+}
+
+// Finish flushes the coder state and returns the encoded bytes.
+func (e *Encoder) Finish() []byte {
+	for i := 0; i < 4; i++ {
+		e.out = append(e.out, byte(e.low>>24))
+		e.low <<= 8
+	}
+	return e.out
+}
+
+// Len returns the current encoded length (before Finish).
+func (e *Encoder) Len() int { return len(e.out) }
+
+// Decoder reads range-coded symbols.
+type Decoder struct {
+	low  uint32
+	rng  uint32
+	code uint32
+	buf  []byte
+	pos  int
+}
+
+// NewDecoder starts decoding buf.
+func NewDecoder(buf []byte) *Decoder {
+	d := &Decoder{rng: 0xFFFFFFFF, buf: buf}
+	for i := 0; i < 4; i++ {
+		d.code = d.code<<8 | uint32(d.next())
+	}
+	return d
+}
+
+func (d *Decoder) next() byte {
+	if d.pos < len(d.buf) {
+		b := d.buf[d.pos]
+		d.pos++
+		return b
+	}
+	// Reading past the end yields zeros; corrupt streams are caught by the
+	// model layer (invalid symbols) or by the caller's length checks.
+	d.pos++
+	return 0
+}
+
+// Overrun reports whether the decoder has consumed more bytes than buf
+// held (a sign of truncation).
+func (d *Decoder) Overrun() bool { return d.pos > len(d.buf)+4 }
+
+// GetFreq returns the cumulative-frequency slot of the next symbol under a
+// model with the given total.
+func (d *Decoder) GetFreq(total uint32) uint32 {
+	r := d.rng / total
+	f := (d.code - d.low) / r
+	if f >= total {
+		f = total - 1 // clamp: only reachable on corrupt input
+	}
+	return f
+}
+
+// Decode consumes the symbol previously located with GetFreq.
+func (d *Decoder) Decode(cum, freq, total uint32) {
+	r := d.rng / total
+	d.low += r * cum
+	d.rng = r * freq
+	for {
+		if (d.low ^ (d.low + d.rng)) >= top {
+			if d.rng >= bot {
+				return
+			}
+			d.rng = -d.low & (bot - 1)
+		}
+		d.code = d.code<<8 | uint32(d.next())
+		d.low <<= 8
+		d.rng <<= 8
+	}
+}
+
+// AdaptiveModel is an order-0 adaptive frequency model over a fixed
+// alphabet, suitable for both sides of the coder (they must perform
+// identical updates).
+type AdaptiveModel struct {
+	freq  []uint32
+	total uint32
+	incr  uint32
+	limit uint32
+}
+
+// NewAdaptiveModel returns a model over `alphabet` symbols, all starting
+// equally likely.
+func NewAdaptiveModel(alphabet int) *AdaptiveModel {
+	m := &AdaptiveModel{
+		freq:  make([]uint32, alphabet),
+		incr:  32,
+		limit: 1 << 15,
+	}
+	for i := range m.freq {
+		m.freq[i] = 1
+	}
+	m.total = uint32(alphabet)
+	return m
+}
+
+// EncodeSymbol range-codes symbol s and updates the model.
+func (m *AdaptiveModel) EncodeSymbol(e *Encoder, s int) {
+	var cum uint32
+	for i := 0; i < s; i++ {
+		cum += m.freq[i]
+	}
+	e.Encode(cum, m.freq[s], m.total)
+	m.update(s)
+}
+
+// DecodeSymbol decodes the next symbol and updates the model.
+func (m *AdaptiveModel) DecodeSymbol(d *Decoder) (int, error) {
+	f := d.GetFreq(m.total)
+	var cum uint32
+	s := 0
+	for s < len(m.freq) && cum+m.freq[s] <= f {
+		cum += m.freq[s]
+		s++
+	}
+	if s >= len(m.freq) {
+		return 0, ErrCorrupt
+	}
+	d.Decode(cum, m.freq[s], m.total)
+	m.update(s)
+	return s, nil
+}
+
+func (m *AdaptiveModel) update(s int) {
+	m.freq[s] += m.incr
+	m.total += m.incr
+	if m.total >= m.limit {
+		var tot uint32
+		for i := range m.freq {
+			m.freq[i] = (m.freq[i] + 1) / 2
+			tot += m.freq[i]
+		}
+		m.total = tot
+	}
+}
+
+// EncodeBits writes `width` raw bits (MSB-first) through the coder with a
+// uniform model — used for residual magnitude bits whose distribution is
+// nearly flat.
+func (e *Encoder) EncodeBits(v uint64, width uint) {
+	for width > 16 {
+		width -= 16
+		e.Encode(uint32(v>>width)&0xFFFF, 1, 1<<16)
+	}
+	if width > 0 {
+		e.Encode(uint32(v)&((1<<width)-1), 1, 1<<width)
+	}
+}
+
+// DecodeBits reads `width` raw bits written by EncodeBits.
+func (d *Decoder) DecodeBits(width uint) uint64 {
+	var v uint64
+	for width > 16 {
+		width -= 16
+		f := d.GetFreq(1 << 16)
+		d.Decode(f, 1, 1<<16)
+		v = v<<16 | uint64(f)
+	}
+	if width > 0 {
+		f := d.GetFreq(1 << width)
+		d.Decode(f, 1, 1<<width)
+		v = v<<width | uint64(f)
+	}
+	return v
+}

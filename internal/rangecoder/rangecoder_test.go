@@ -1,0 +1,207 @@
+package rangecoder
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStaticUniformRoundTrip(t *testing.T) {
+	e := NewEncoder(0)
+	syms := []uint32{0, 5, 9, 3, 3, 7, 1, 0, 9}
+	for _, s := range syms {
+		e.Encode(s, 1, 10)
+	}
+	buf := e.Finish()
+	d := NewDecoder(buf)
+	for i, want := range syms {
+		f := d.GetFreq(10)
+		if f != want {
+			t.Fatalf("symbol %d = %d, want %d", i, f, want)
+		}
+		d.Decode(f, 1, 10)
+	}
+}
+
+func TestAdaptiveModelRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	syms := make([]int, 20000)
+	for i := range syms {
+		// Skewed distribution to exercise adaptation and rescaling.
+		if rng.Float64() < 0.8 {
+			syms[i] = 0
+		} else {
+			syms[i] = 1 + rng.Intn(63)
+		}
+	}
+	e := NewEncoder(0)
+	em := NewAdaptiveModel(64)
+	for _, s := range syms {
+		em.EncodeSymbol(e, s)
+	}
+	buf := e.Finish()
+
+	d := NewDecoder(buf)
+	dm := NewAdaptiveModel(64)
+	for i, want := range syms {
+		got, err := dm.DecodeSymbol(d)
+		if err != nil {
+			t.Fatalf("symbol %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("symbol %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestAdaptiveBeatsFlatOnSkewedData(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 50000
+	e := NewEncoder(0)
+	m := NewAdaptiveModel(256)
+	for i := 0; i < n; i++ {
+		s := 0
+		if rng.Float64() >= 0.95 {
+			s = 1 + rng.Intn(255)
+		}
+		m.EncodeSymbol(e, s)
+	}
+	buf := e.Finish()
+	// 95% zeros: entropy ~ 0.66 bits/sym; anything below 2 bits/sym shows
+	// real adaptation.
+	if bits := float64(len(buf)) * 8 / float64(n); bits > 2 {
+		t.Fatalf("adaptive coder used %.2f bits/symbol on 95%%-skewed data", bits)
+	}
+}
+
+func TestRawBitsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	type field struct {
+		v     uint64
+		width uint
+	}
+	var fields []field
+	e := NewEncoder(0)
+	for i := 0; i < 5000; i++ {
+		w := uint(rng.Intn(64) + 1)
+		v := rng.Uint64()
+		if w < 64 {
+			v &= (1 << w) - 1
+		}
+		fields = append(fields, field{v, w})
+		e.EncodeBits(v, w)
+	}
+	buf := e.Finish()
+	d := NewDecoder(buf)
+	for i, f := range fields {
+		if got := d.DecodeBits(f.width); got != f.v {
+			t.Fatalf("field %d = %#x, want %#x (width %d)", i, got, f.v, f.width)
+		}
+	}
+}
+
+func TestMixedModelAndBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	e := NewEncoder(0)
+	em := NewAdaptiveModel(65)
+	type rec struct {
+		sym  int
+		bits uint64
+	}
+	var recs []rec
+	for i := 0; i < 10000; i++ {
+		s := rng.Intn(20)
+		var b uint64
+		if s > 0 {
+			b = rng.Uint64() & ((1 << s) - 1)
+		}
+		recs = append(recs, rec{s, b})
+		em.EncodeSymbol(e, s)
+		if s > 0 {
+			e.EncodeBits(b, uint(s))
+		}
+	}
+	buf := e.Finish()
+	d := NewDecoder(buf)
+	dm := NewAdaptiveModel(65)
+	for i, r := range recs {
+		s, err := dm.DecodeSymbol(d)
+		if err != nil || s != r.sym {
+			t.Fatalf("record %d: sym %d err %v, want %d", i, s, err, r.sym)
+		}
+		if s > 0 {
+			if got := d.DecodeBits(uint(s)); got != r.bits {
+				t.Fatalf("record %d: bits %#x, want %#x", i, got, r.bits)
+			}
+		}
+	}
+}
+
+func TestDecoderTruncatedNoPanics(t *testing.T) {
+	e := NewEncoder(0)
+	m := NewAdaptiveModel(16)
+	for i := 0; i < 100; i++ {
+		m.EncodeSymbol(e, i%16)
+	}
+	buf := e.Finish()
+	for cut := 0; cut < len(buf); cut++ {
+		d := NewDecoder(buf[:cut])
+		dm := NewAdaptiveModel(16)
+		for i := 0; i < 100; i++ {
+			if _, err := dm.DecodeSymbol(d); err != nil {
+				break
+			}
+		}
+		// Either errors or decodes garbage — must not panic and Overrun
+		// detects deep truncation.
+		_ = d.Overrun()
+	}
+}
+
+func TestQuickSymbolStreams(t *testing.T) {
+	f := func(seed int64, alphaSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alphabet := int(alphaSel%100) + 2
+		n := rng.Intn(3000) + 1
+		syms := make([]int, n)
+		for i := range syms {
+			syms[i] = rng.Intn(alphabet)
+		}
+		e := NewEncoder(0)
+		em := NewAdaptiveModel(alphabet)
+		for _, s := range syms {
+			em.EncodeSymbol(e, s)
+		}
+		buf := e.Finish()
+		d := NewDecoder(buf)
+		dm := NewAdaptiveModel(alphabet)
+		for _, want := range syms {
+			got, err := dm.DecodeSymbol(d)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAdaptiveEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	syms := make([]int, 1<<16)
+	for i := range syms {
+		syms[i] = rng.Intn(8)
+	}
+	b.SetBytes(int64(len(syms)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEncoder(len(syms) / 2)
+		m := NewAdaptiveModel(64)
+		for _, s := range syms {
+			m.EncodeSymbol(e, s)
+		}
+		e.Finish()
+	}
+}

@@ -1,0 +1,191 @@
+// Package stats summarizes scalar fields with the statistics that predict
+// lossy-compression behaviour: value distribution (range, zero fraction,
+// sign mix, dynamic range in decades), information content (quantized
+// entropy) and spatial smoothness (how well a neighbor predicts a point).
+// cmd/fieldstats prints these for raw files so users can pick sensible
+// error bounds and compressors.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/grid"
+)
+
+// ErrEmpty is returned for fields with no finite values.
+var ErrEmpty = errors.New("stats: no finite values")
+
+// Summary describes a scalar field.
+type Summary struct {
+	N         int
+	Finite    int // count of finite values
+	NaNs      int
+	Infs      int
+	Zeros     int
+	Negatives int
+	Positives int
+
+	Min, Max, Mean, Std float64
+	// MinAbsNonzero is the smallest nonzero magnitude.
+	MinAbsNonzero float64
+	// DynamicRangeDecades is log10(max|v| / min nonzero |v|).
+	DynamicRangeDecades float64
+	// Percentiles at 1, 25, 50, 75, 99%.
+	P1, P25, P50, P75, P99 float64
+
+	// EntropyBits estimates the per-value information content after
+	// quantizing to 256 uniform bins over the value range.
+	EntropyBits float64
+	// Smoothness is 1 − mean|Δ neighbor| / (2·std): ~1 for smooth fields,
+	// ~0 for white noise, along the fastest-varying dimension.
+	Smoothness float64
+}
+
+// Compute summarizes data with the given dimensions (dims may be nil for a
+// flat series).
+func Compute(data []float64, dims []int) (Summary, error) {
+	s := Summary{N: len(data)}
+	if dims == nil {
+		dims = []int{len(data)}
+	}
+	if err := grid.Validate(dims, len(data)); err != nil {
+		return s, err
+	}
+
+	var finite []float64
+	s.Min, s.Max = math.Inf(1), math.Inf(-1)
+	s.MinAbsNonzero = math.Inf(1)
+	var sum float64
+	for _, v := range data {
+		switch {
+		case math.IsNaN(v):
+			s.NaNs++
+			continue
+		case math.IsInf(v, 0):
+			s.Infs++
+			continue
+		}
+		s.Finite++
+		finite = append(finite, v)
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		switch {
+		case v == 0:
+			s.Zeros++
+		case v < 0:
+			s.Negatives++
+		default:
+			s.Positives++
+		}
+		if v != 0 {
+			if a := math.Abs(v); a < s.MinAbsNonzero {
+				s.MinAbsNonzero = a
+			}
+		}
+	}
+	if s.Finite == 0 {
+		return s, ErrEmpty
+	}
+	s.Mean = sum / float64(s.Finite)
+	var varAcc float64
+	for _, v := range finite {
+		d := v - s.Mean
+		varAcc += d * d
+	}
+	s.Std = math.Sqrt(varAcc / float64(s.Finite))
+
+	if math.IsInf(s.MinAbsNonzero, 1) {
+		s.MinAbsNonzero = 0
+		s.DynamicRangeDecades = 0
+	} else {
+		maxAbs := math.Max(math.Abs(s.Min), math.Abs(s.Max))
+		s.DynamicRangeDecades = math.Log10(maxAbs / s.MinAbsNonzero)
+	}
+
+	sorted := append([]float64(nil), finite...)
+	sort.Float64s(sorted)
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	s.P1, s.P25, s.P50, s.P75, s.P99 = pct(0.01), pct(0.25), pct(0.50), pct(0.75), pct(0.99)
+
+	s.EntropyBits = entropy256(finite, s.Min, s.Max)
+	s.Smoothness = smoothness(data, dims, s.Std)
+	return s, nil
+}
+
+// entropy256 estimates Shannon entropy after 8-bit uniform quantization.
+func entropy256(vals []float64, lo, hi float64) float64 {
+	if hi <= lo {
+		return 0
+	}
+	var hist [256]int
+	scale := 255.9999 / (hi - lo)
+	for _, v := range vals {
+		hist[int((v-lo)*scale)]++
+	}
+	var h float64
+	n := float64(len(vals))
+	for _, c := range hist {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// smoothness measures neighbor predictability along the last dimension.
+func smoothness(data []float64, dims []int, std float64) float64 {
+	if std == 0 {
+		return 1
+	}
+	nx := dims[len(dims)-1]
+	var sum float64
+	cnt := 0
+	for start := 0; start+nx <= len(data); start += nx {
+		for i := 1; i < nx; i++ {
+			a, b := data[start+i-1], data[start+i]
+			if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+				continue
+			}
+			sum += math.Abs(b - a)
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 1
+	}
+	sm := 1 - sum/float64(cnt)/(2*std)
+	if sm < 0 {
+		sm = 0
+	}
+	if sm > 1 {
+		sm = 1
+	}
+	return sm
+}
+
+// SuggestRelBound recommends a point-wise relative bound: tight enough to
+// keep the quantized entropy meaningful, looser for noisy fields. This is
+// a heuristic starting point, not a guarantee of downstream analysis
+// quality.
+func (s Summary) SuggestRelBound() float64 {
+	switch {
+	case s.Smoothness > 0.9:
+		return 1e-4
+	case s.Smoothness > 0.6:
+		return 1e-3
+	default:
+		return 1e-2
+	}
+}

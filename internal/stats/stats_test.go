@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestComputeBasic(t *testing.T) {
+	data := []float64{-2, -1, 0, 1, 2, 4}
+	s, err := Compute(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 6 || s.Finite != 6 {
+		t.Fatalf("counts %+v", s)
+	}
+	if s.Min != -2 || s.Max != 4 {
+		t.Fatalf("min/max %g/%g", s.Min, s.Max)
+	}
+	if s.Zeros != 1 || s.Negatives != 2 || s.Positives != 3 {
+		t.Fatalf("sign counts %+v", s)
+	}
+	if math.Abs(s.Mean-4.0/6) > 1e-12 {
+		t.Fatalf("mean %g", s.Mean)
+	}
+	if s.MinAbsNonzero != 1 {
+		t.Fatalf("MinAbsNonzero %g", s.MinAbsNonzero)
+	}
+}
+
+func TestComputeSpecials(t *testing.T) {
+	data := []float64{1, math.NaN(), math.Inf(1), 2, math.Inf(-1)}
+	s, err := Compute(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NaNs != 1 || s.Infs != 2 || s.Finite != 2 {
+		t.Fatalf("special counts %+v", s)
+	}
+}
+
+func TestComputeEmpty(t *testing.T) {
+	if _, err := Compute([]float64{math.NaN()}, nil); err == nil {
+		t.Fatal("all-NaN accepted")
+	}
+}
+
+func TestDynamicRange(t *testing.T) {
+	data := []float64{1e-3, 1, 1e3}
+	s, err := Compute(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.DynamicRangeDecades-6) > 1e-9 {
+		t.Fatalf("decades %g, want 6", s.DynamicRangeDecades)
+	}
+}
+
+func TestEntropyExtremes(t *testing.T) {
+	constant := make([]float64, 1000)
+	for i := range constant {
+		constant[i] = 5
+	}
+	s, err := Compute(constant, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.EntropyBits != 0 {
+		t.Fatalf("constant entropy %g", s.EntropyBits)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	uniform := make([]float64, 100000)
+	for i := range uniform {
+		uniform[i] = rng.Float64()
+	}
+	s, err = Compute(uniform, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.EntropyBits < 7.5 {
+		t.Fatalf("uniform entropy %g, want ~8", s.EntropyBits)
+	}
+}
+
+func TestSmoothness(t *testing.T) {
+	n := 10000
+	smooth := make([]float64, n)
+	for i := range smooth {
+		smooth[i] = math.Sin(float64(i) * 0.01)
+	}
+	s, err := Compute(smooth, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Smoothness < 0.9 {
+		t.Fatalf("sine smoothness %g", s.Smoothness)
+	}
+
+	rng := rand.New(rand.NewSource(2))
+	noise := make([]float64, n)
+	for i := range noise {
+		noise[i] = rng.NormFloat64()
+	}
+	s, err = Compute(noise, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Smoothness > 0.6 {
+		t.Fatalf("noise smoothness %g", s.Smoothness)
+	}
+}
+
+func TestSuggestRelBound(t *testing.T) {
+	if (Summary{Smoothness: 0.95}).SuggestRelBound() != 1e-4 {
+		t.Fatal("smooth suggestion")
+	}
+	if (Summary{Smoothness: 0.7}).SuggestRelBound() != 1e-3 {
+		t.Fatal("medium suggestion")
+	}
+	if (Summary{Smoothness: 0.1}).SuggestRelBound() != 1e-2 {
+		t.Fatal("noisy suggestion")
+	}
+}
+
+func TestPercentilesOrdered(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([]float64, 5000)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	s, err := Compute(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(s.P1 <= s.P25 && s.P25 <= s.P50 && s.P50 <= s.P75 && s.P75 <= s.P99) {
+		t.Fatalf("percentiles out of order: %+v", s)
+	}
+}
+
+func TestDimsValidation(t *testing.T) {
+	if _, err := Compute([]float64{1, 2, 3}, []int{2, 2}); err == nil {
+		t.Fatal("dims mismatch accepted")
+	}
+}

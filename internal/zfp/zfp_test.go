@@ -1,0 +1,552 @@
+package zfp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+)
+
+func smooth3D(nz, ny, nx int, seed int64) ([]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]float64, nz*ny*nx)
+	i := 0
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				data[i] = 10*math.Sin(float64(x)*0.2)*math.Cos(float64(y)*0.15) +
+					5*math.Sin(float64(z)*0.1) + rng.NormFloat64()*0.01
+				i++
+			}
+		}
+	}
+	return data, []int{nz, ny, nx}
+}
+
+func checkAbs(t *testing.T, orig, dec []float64, tol float64) {
+	t.Helper()
+	for i := range orig {
+		if d := math.Abs(dec[i] - orig[i]); d > tol {
+			t.Fatalf("index %d: |%g - %g| = %g > tol %g", i, dec[i], orig[i], d, tol)
+		}
+	}
+}
+
+func TestAccuracyRoundTrip3D(t *testing.T) {
+	data, dims := smooth3D(17, 19, 23, 1) // deliberately non-multiple-of-4
+	for _, tol := range []float64{1e-6, 1e-3, 1e-1} {
+		buf, err := CompressAccuracy(data, dims, tol)
+		if err != nil {
+			t.Fatalf("tol %g: %v", tol, err)
+		}
+		dec, gotDims, err := Decompress(buf)
+		if err != nil {
+			t.Fatalf("tol %g: %v", tol, err)
+		}
+		if !grid.EqualDims(gotDims, dims) {
+			t.Fatalf("dims %v, want %v", gotDims, dims)
+		}
+		checkAbs(t, data, dec, tol)
+	}
+}
+
+func TestAccuracyRoundTrip1D(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := make([]float64, 4099)
+	v := 0.0
+	for i := range data {
+		v += rng.NormFloat64() * 0.1
+		data[i] = v
+	}
+	tol := 1e-4
+	buf, err := CompressAccuracy(data, []int{len(data)}, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, err := Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAbs(t, data, dec, tol)
+}
+
+func TestAccuracyRoundTrip2D(t *testing.T) {
+	ny, nx := 53, 61
+	data := make([]float64, ny*nx)
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			data[y*nx+x] = math.Sin(float64(x)*0.1) * math.Cos(float64(y)*0.1) * 100
+		}
+	}
+	tol := 1e-3
+	buf, err := CompressAccuracy(data, []int{ny, nx}, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, err := Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAbs(t, data, dec, tol)
+}
+
+func TestAccuracyWideDynamicRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([]float64, 4096)
+	for i := range data {
+		data[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(16)-8))
+	}
+	tol := 1e-5
+	buf, err := CompressAccuracy(data, []int{4096}, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, err := Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAbs(t, data, dec, tol)
+}
+
+func TestAccuracyExtremeMagnitudes(t *testing.T) {
+	data := []float64{1e300, -1e300, 1e-300, 0, 5e-324, math.MaxFloat64 / 4, -3, 7}
+	tol := 1e290
+	buf, err := CompressAccuracy(data, []int{8}, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, err := Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAbs(t, data, dec, tol)
+}
+
+func TestAllZeroBlockCompact(t *testing.T) {
+	data := make([]float64, 4096)
+	buf, err := CompressAccuracy(data, []int{16, 16, 16}, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, err := Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range dec {
+		if v != 0 {
+			t.Fatalf("index %d: %g != 0", i, v)
+		}
+	}
+	if len(buf) > 128 {
+		t.Fatalf("all-zero stream is %d bytes", len(buf))
+	}
+}
+
+func TestSubToleranceBlocksDecodeZero(t *testing.T) {
+	data := make([]float64, 64)
+	for i := range data {
+		data[i] = 1e-12
+	}
+	tol := 1.0
+	buf, err := CompressAccuracy(data, []int{64}, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, err := Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAbs(t, data, dec, tol)
+}
+
+func TestPrecisionModeRoundTrip(t *testing.T) {
+	data, dims := smooth3D(16, 16, 16, 4)
+	for _, p := range []int{8, 16, 26, 52} {
+		buf, err := CompressPrecision(data, dims, p)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		dec, _, err := Decompress(buf)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		// Precision mode: error shrinks as p grows; at p=52 it should be
+		// tiny relative to the block magnitudes.
+		if p == 52 {
+			for i := range data {
+				if math.Abs(dec[i]-data[i]) > 1e-9*math.Max(1, math.Abs(data[i])) {
+					t.Fatalf("p=52 error too large at %d: %g vs %g", i, dec[i], data[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPrecisionModeMonotone(t *testing.T) {
+	data, dims := smooth3D(12, 12, 12, 5)
+	var prevMax float64 = math.Inf(1)
+	for _, p := range []int{6, 12, 24, 48} {
+		buf, err := CompressPrecision(data, dims, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, _, err := Decompress(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxErr := 0.0
+		for i := range data {
+			if d := math.Abs(dec[i] - data[i]); d > maxErr {
+				maxErr = d
+			}
+		}
+		if maxErr > prevMax*1.001 {
+			t.Fatalf("p=%d error %g worse than lower precision %g", p, maxErr, prevMax)
+		}
+		prevMax = maxErr
+	}
+}
+
+func TestPrecisionUnboundedRelativeError(t *testing.T) {
+	// A block mixing large and tiny values: precision mode cannot bound the
+	// relative error of the tiny values (the ZFP_P deficiency in Table IV).
+	data := make([]float64, 64)
+	for i := range data {
+		data[i] = 1e-9
+	}
+	data[0] = 1e9
+	buf, err := CompressPrecision(data, []int{64}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, err := Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worstRel := 0.0
+	for i := 1; i < 64; i++ {
+		rel := math.Abs(dec[i]-data[i]) / data[i]
+		if rel > worstRel {
+			worstRel = rel
+		}
+	}
+	if worstRel < 1 {
+		t.Fatalf("expected unbounded relative error in mixed block, got %g", worstRel)
+	}
+}
+
+func TestCompressionRatioSmooth(t *testing.T) {
+	data, dims := smooth3D(32, 32, 32, 6)
+	buf, err := CompressAccuracy(data, dims, 1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := float64(len(data)*8) / float64(len(buf))
+	if cr < 3 {
+		t.Fatalf("compression ratio %.2f too low", cr)
+	}
+}
+
+func TestBadParams(t *testing.T) {
+	if _, err := CompressAccuracy([]float64{1}, []int{1}, 0); err == nil {
+		t.Fatal("tol=0 accepted")
+	}
+	if _, err := CompressAccuracy([]float64{1}, []int{1}, math.NaN()); err == nil {
+		t.Fatal("NaN tol accepted")
+	}
+	if _, err := CompressPrecision([]float64{1}, []int{1}, 0); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+	if _, err := CompressPrecision([]float64{1}, []int{1}, 65); err == nil {
+		t.Fatal("p=65 accepted")
+	}
+	if _, err := CompressAccuracy([]float64{1, 2}, []int{3}, 0.1); err == nil {
+		t.Fatal("dims mismatch accepted")
+	}
+	if _, err := CompressAccuracy([]float64{math.NaN()}, []int{1}, 0.1); err == nil {
+		t.Fatal("NaN data accepted")
+	}
+	if _, err := CompressAccuracy([]float64{math.Inf(1)}, []int{1}, 0.1); err == nil {
+		t.Fatal("Inf data accepted")
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	data, dims := smooth3D(8, 8, 8, 7)
+	buf, err := CompressAccuracy(data, dims, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 3, 4, 8, len(buf) / 2} {
+		if _, _, err := Decompress(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 200; i++ {
+		mut := append([]byte(nil), buf...)
+		mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
+		_, _, _ = Decompress(mut) // must not panic
+	}
+}
+
+func TestLiftInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 2000; trial++ {
+		orig := make([]int64, 4)
+		for i := range orig {
+			orig[i] = rng.Int63n(1<<60) - 1<<59
+		}
+		p := append([]int64(nil), orig...)
+		fwdLift(p, 0, 1)
+		invLift(p, 0, 1)
+		for i := range orig {
+			// The lifting pair loses at most low-order bits.
+			if d := p[i] - orig[i]; d > 4 || d < -4 {
+				t.Fatalf("lift inverse error %d at %d (orig %d)", d, i, orig[i])
+			}
+		}
+	}
+}
+
+func TestTransformInverse3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 200; trial++ {
+		orig := make([]int64, 64)
+		for i := range orig {
+			orig[i] = rng.Int63n(1<<59) - 1<<58
+		}
+		p := append([]int64(nil), orig...)
+		forwardTransform(p, 3)
+		inverseTransform(p, 3)
+		for i := range orig {
+			if d := p[i] - orig[i]; d > 64 || d < -64 {
+				t.Fatalf("3D transform inverse error %d at %d", d, i)
+			}
+		}
+	}
+}
+
+func TestNegabinaryRoundTrip(t *testing.T) {
+	vals := []int64{0, 1, -1, 2, -2, 1 << 40, -(1 << 40), math.MaxInt64 / 2, math.MinInt64 / 2}
+	for _, v := range vals {
+		if got := uint2int(int2uint(v)); got != v {
+			t.Fatalf("negabinary round trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestQuickNegabinary(t *testing.T) {
+	f := func(v int64) bool { return uint2int(int2uint(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAccuracyBound(t *testing.T) {
+	f := func(seed int64, tolSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(300) + 1
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(10)-5))
+		}
+		tol := math.Pow(10, -float64(tolSel%10))
+		buf, err := CompressAccuracy(data, []int{n}, tol)
+		if err != nil {
+			return false
+		}
+		dec, _, err := Decompress(buf)
+		if err != nil || len(dec) != n {
+			return false
+		}
+		for i := range data {
+			if math.Abs(dec[i]-data[i]) > tol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAccuracyBound2D(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ny, nx := rng.Intn(20)+1, rng.Intn(20)+1
+		data := make([]float64, ny*nx)
+		for i := range data {
+			data[i] = rng.NormFloat64() * 100
+		}
+		tol := 1e-3
+		buf, err := CompressAccuracy(data, []int{ny, nx}, tol)
+		if err != nil {
+			return false
+		}
+		dec, _, err := Decompress(buf)
+		if err != nil {
+			return false
+		}
+		for i := range data {
+			if math.Abs(dec[i]-data[i]) > tol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermutationIsPermutation(t *testing.T) {
+	for rank := 1; rank <= 3; rank++ {
+		perm := permTable(rank)
+		n := blockSize(rank)
+		if len(perm) != n {
+			t.Fatalf("rank %d: perm length %d", rank, len(perm))
+		}
+		seen := make([]bool, n)
+		for _, p := range perm {
+			if p < 0 || p >= n || seen[p] {
+				t.Fatalf("rank %d: invalid permutation", rank)
+			}
+			seen[p] = true
+		}
+		// DC coefficient (index 0) must come first.
+		if perm[0] != 0 {
+			t.Fatalf("rank %d: perm[0] = %d", rank, perm[0])
+		}
+	}
+}
+
+func BenchmarkCompressAccuracy3D(b *testing.B) {
+	data, dims := smooth3D(32, 32, 32, 11)
+	b.SetBytes(int64(len(data) * 8))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := CompressAccuracy(data, dims, 1e-3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompress3D(b *testing.B) {
+	data, dims := smooth3D(32, 32, 32, 12)
+	buf, err := CompressAccuracy(data, dims, 1e-3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data) * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decompress(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestRateModeExactSize(t *testing.T) {
+	data, dims := smooth3D(16, 16, 16, 30)
+	for _, rate := range []float64{2, 4, 8, 16} {
+		buf, err := CompressRate(data, dims, rate)
+		if err != nil {
+			t.Fatalf("rate %g: %v", rate, err)
+		}
+		dec, gotDims, err := Decompress(buf)
+		if err != nil {
+			t.Fatalf("rate %g: %v", rate, err)
+		}
+		if !grid.EqualDims(gotDims, dims) {
+			t.Fatalf("dims %v", gotDims)
+		}
+		// Payload is exactly rate bits per value (all blocks full 4^3 here).
+		nblocks := (16 / 4) * (16 / 4) * (16 / 4)
+		wantBits := int(rate) * 64 * nblocks
+		wantBytes := (wantBits + 7) / 8
+		// Header adds a small constant.
+		if len(buf) < wantBytes || len(buf) > wantBytes+64 {
+			t.Fatalf("rate %g: stream %d bytes, want ~%d", rate, len(buf), wantBytes)
+		}
+		// Higher rates must reduce error.
+		_ = dec
+	}
+}
+
+func TestRateModeErrorShrinksWithRate(t *testing.T) {
+	data, dims := smooth3D(16, 16, 16, 31)
+	prev := math.Inf(1)
+	for _, rate := range []float64{2, 6, 12, 24} {
+		buf, err := CompressRate(data, dims, rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, _, err := Decompress(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxErr := 0.0
+		for i := range data {
+			if d := math.Abs(dec[i] - data[i]); d > maxErr {
+				maxErr = d
+			}
+		}
+		if maxErr > prev*1.01 {
+			t.Fatalf("rate %g: error %g worse than lower rate %g", rate, maxErr, prev)
+		}
+		prev = maxErr
+	}
+	if prev > 1e-3 {
+		t.Fatalf("24 bits/value should be quite accurate, got max err %g", prev)
+	}
+}
+
+func TestRateModePartialBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	data := make([]float64, 17*19) // non-multiple-of-4 dims
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	buf, err := CompressRate(data, []int{17, 19}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, err := Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(data) {
+		t.Fatal("length mismatch")
+	}
+}
+
+func TestRateModeBadParams(t *testing.T) {
+	if _, err := CompressRate([]float64{1}, []int{1}, 0.5); err == nil {
+		t.Fatal("rate<1 accepted")
+	}
+	if _, err := CompressRate([]float64{1}, []int{1}, 65); err == nil {
+		t.Fatal("rate>64 accepted")
+	}
+}
+
+func TestRateModeAllZeroBlocks(t *testing.T) {
+	data := make([]float64, 256)
+	buf, err := CompressRate(data, []int{256}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, err := Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range dec {
+		if v != 0 {
+			t.Fatalf("index %d: %g", i, v)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/bitio"
+	"repro/internal/grid"
+)
+
+// Parallel compression: the field is split into chunks along the slowest
+// dimension and each chunk is compressed independently by a worker pool —
+// the shared-memory analogue of the paper's file-per-process parallel
+// evaluation. Prediction-based compressors lose a little ratio at chunk
+// boundaries (each chunk restarts its predictor), which is the same
+// trade-off MPI-rank-local compression makes on real systems.
+
+const parallelMagic = 0xC6
+
+// ErrBadChunking reports invalid parallel-compression parameters.
+var ErrBadChunking = errors.New("repro: invalid chunking")
+
+// ParallelOptions tunes CompressParallel.
+type ParallelOptions struct {
+	// Workers is the worker-pool size (default GOMAXPROCS).
+	Workers int
+	// Chunks is the number of slices along the slowest dimension
+	// (default: Workers, clamped to the dimension's extent).
+	Chunks int
+	// Options passes through per-chunk compressor options.
+	Options *Options
+}
+
+// CompressParallel compresses data under a point-wise relative bound using
+// multiple cores. The stream interleaves independently decodable chunks
+// and is decoded by DecompressParallel (also in parallel).
+func CompressParallel(data []float64, dims []int, relBound float64, algo Algorithm, popts *ParallelOptions) ([]byte, error) {
+	if err := grid.Validate(dims, len(data)); err != nil {
+		return nil, err
+	}
+	workers := runtime.GOMAXPROCS(0)
+	chunks := 0
+	var opts *Options
+	if popts != nil {
+		if popts.Workers > 0 {
+			workers = popts.Workers
+		}
+		chunks = popts.Chunks
+		opts = popts.Options
+	}
+	if chunks <= 0 {
+		chunks = workers
+	}
+	if chunks > dims[0] {
+		chunks = dims[0]
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+
+	// Slice along dims[0]: chunk c covers rows [starts[c], starts[c+1]).
+	starts := chunkStarts(dims[0], chunks)
+	rowStride := len(data) / dims[0]
+
+	type result struct {
+		buf []byte
+		err error
+	}
+	results := make([]result, chunks)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for c := 0; c < chunks; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			lo, hi := starts[c], starts[c+1]
+			sub := data[lo*rowStride : hi*rowStride]
+			subDims := append([]int{hi - lo}, dims[1:]...)
+			buf, err := Compress(sub, subDims, relBound, algo, opts)
+			results[c] = result{buf, err}
+		}(c)
+	}
+	wg.Wait()
+	for c := range results {
+		if results[c].err != nil {
+			return nil, fmt.Errorf("chunk %d: %w", c, results[c].err)
+		}
+	}
+
+	// Container: magic | algo | rank | dims... | #chunks | chunk lengths | chunks.
+	out := []byte{parallelMagic, byte(algo)}
+	out = bitio.AppendUvarint(out, uint64(len(dims)))
+	for _, d := range dims {
+		out = bitio.AppendUvarint(out, uint64(d))
+	}
+	out = bitio.AppendUvarint(out, uint64(chunks))
+	for c := range results {
+		out = bitio.AppendUvarint(out, uint64(len(results[c].buf)))
+	}
+	for c := range results {
+		out = append(out, results[c].buf...)
+	}
+	return out, nil
+}
+
+// DecompressParallel decodes a CompressParallel stream using up to
+// `workers` goroutines (0 = GOMAXPROCS).
+func DecompressParallel(buf []byte, workers int) ([]float64, []int, error) {
+	if len(buf) < 2 || buf[0] != parallelMagic {
+		return nil, nil, ErrCorrupt
+	}
+	off := 2
+	rankU, k := bitio.Uvarint(buf[off:])
+	if k == 0 || rankU == 0 || rankU > grid.MaxDims {
+		return nil, nil, ErrCorrupt
+	}
+	off += k
+	dims := make([]int, rankU)
+	for i := range dims {
+		d, k := bitio.Uvarint(buf[off:])
+		if k == 0 || d == 0 || d > 1<<40 {
+			return nil, nil, ErrCorrupt
+		}
+		dims[i] = int(d)
+		off += k
+	}
+	if err := grid.Validate(dims, -1); err != nil {
+		return nil, nil, ErrCorrupt
+	}
+	chunksU, k := bitio.Uvarint(buf[off:])
+	if k == 0 || chunksU == 0 || chunksU > uint64(dims[0]) {
+		return nil, nil, ErrCorrupt
+	}
+	off += k
+	chunks := int(chunksU)
+	lengths := make([]int, chunks)
+	total := 0
+	for c := range lengths {
+		l, k := bitio.Uvarint(buf[off:])
+		if k == 0 || l > uint64(len(buf)) {
+			return nil, nil, ErrCorrupt
+		}
+		off += k
+		lengths[c] = int(l)
+		total += int(l)
+	}
+	if off+total > len(buf) {
+		return nil, nil, ErrCorrupt
+	}
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := grid.Size(dims)
+	out := make([]float64, n)
+	rowStride := n / dims[0]
+	starts := chunkStarts(dims[0], chunks)
+
+	chunkBufs := make([][]byte, chunks)
+	for c := range chunkBufs {
+		chunkBufs[c] = buf[off : off+lengths[c]]
+		off += lengths[c]
+	}
+
+	errs := make([]error, chunks)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for c := 0; c < chunks; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			dec, subDims, err := Decompress(chunkBufs[c])
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			lo, hi := starts[c], starts[c+1]
+			wantRows := hi - lo
+			if len(subDims) != len(dims) || subDims[0] != wantRows || len(dec) != wantRows*rowStride {
+				errs[c] = ErrCorrupt
+				return
+			}
+			copy(out[lo*rowStride:hi*rowStride], dec)
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("chunk %d: %w", c, err)
+		}
+	}
+	return out, dims, nil
+}
+
+// chunkStarts splits `rows` into `chunks` nearly equal ranges, returning
+// chunks+1 boundaries.
+func chunkStarts(rows, chunks int) []int {
+	starts := make([]int, chunks+1)
+	for c := 0; c <= chunks; c++ {
+		starts[c] = rows * c / chunks
+	}
+	return starts
+}
+
+// IsParallelStream reports whether buf was produced by CompressParallel.
+func IsParallelStream(buf []byte) bool {
+	return len(buf) >= 2 && buf[0] == parallelMagic
+}
+
+// DecompressAny decodes either a plain or a parallel stream.
+func DecompressAny(buf []byte) ([]float64, []int, error) {
+	if IsParallelStream(buf) {
+		return DecompressParallel(buf, 0)
+	}
+	return Decompress(buf)
+}

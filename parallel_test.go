@@ -1,0 +1,166 @@
+package repro
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/grid"
+	"repro/internal/metrics"
+)
+
+func TestParallelRoundTrip(t *testing.T) {
+	fields := datagen.NYX(24, 11)
+	f := fields[0]
+	rel := 1e-2
+	for _, chunks := range []int{1, 2, 3, 7, 24} {
+		buf, err := CompressParallel(f.Data, f.Dims, rel, SZT,
+			&ParallelOptions{Workers: 4, Chunks: chunks})
+		if err != nil {
+			t.Fatalf("chunks=%d: %v", chunks, err)
+		}
+		if !IsParallelStream(buf) {
+			t.Fatal("not detected as parallel stream")
+		}
+		dec, dims, err := DecompressParallel(buf, 4)
+		if err != nil {
+			t.Fatalf("chunks=%d: %v", chunks, err)
+		}
+		if !grid.EqualDims(dims, f.Dims) {
+			t.Fatalf("dims %v", dims)
+		}
+		st, err := metrics.RelError(f.Data, dec, rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Max > rel {
+			t.Fatalf("chunks=%d: max rel %g > %g", chunks, st.Max, rel)
+		}
+	}
+}
+
+func TestParallelMoreChunksThanRows(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6}
+	buf, err := CompressParallel(data, []int{3, 2}, 0.01, SZT,
+		&ParallelOptions{Chunks: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, err := DecompressParallel(buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if math.Abs(dec[i]-data[i])/data[i] > 0.01 {
+			t.Fatalf("index %d", i)
+		}
+	}
+}
+
+func TestParallelAllAlgorithms(t *testing.T) {
+	fields := datagen.NYX(16, 12)
+	f := fields[0]
+	rel := 0.05
+	for _, algo := range RelativeAlgorithms() {
+		buf, err := CompressParallel(f.Data, f.Dims, rel, algo, &ParallelOptions{Chunks: 4})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		dec, _, err := DecompressAny(buf)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		st, err := metrics.RelError(f.Data, dec, rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if algo != ZFPP && st.Max > rel {
+			t.Fatalf("%v: max rel %g", algo, st.Max)
+		}
+	}
+}
+
+func TestParallelMatchesSerialBound(t *testing.T) {
+	// Chunked compression must cost only a modest ratio penalty once the
+	// chunks are large enough to amortize their per-chunk code tables.
+	fields := datagen.NYX(48, 13)
+	f := fields[0]
+	rel := 1e-2
+	serial, err := Compress(f.Data, f.Dims, rel, SZT, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := CompressParallel(f.Data, f.Dims, rel, SZT, &ParallelOptions{Chunks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(len(par)) > float64(len(serial))*1.25 {
+		t.Fatalf("chunking penalty too high: %d vs %d", len(par), len(serial))
+	}
+}
+
+func TestDecompressAnyPlainStream(t *testing.T) {
+	data := []float64{1, 2, 3, 4}
+	buf, err := Compress(data, []int{4}, 0.01, SZT, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, err := DecompressAny(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 4 {
+		t.Fatal("wrong length")
+	}
+}
+
+func TestParallelCorrupt(t *testing.T) {
+	fields := datagen.NYX(16, 14)
+	f := fields[0]
+	buf, err := CompressParallel(f.Data, f.Dims, 0.01, SZT, &ParallelOptions{Chunks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 1, 3, 10, len(buf) / 2} {
+		if _, _, err := DecompressParallel(buf[:cut], 0); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	rng := rand.New(rand.NewSource(15))
+	for i := 0; i < 100; i++ {
+		mut := append([]byte(nil), buf...)
+		mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
+		_, _, _ = DecompressParallel(mut, 0) // must not panic
+	}
+}
+
+func TestChunkStarts(t *testing.T) {
+	s := chunkStarts(10, 3)
+	if s[0] != 0 || s[3] != 10 {
+		t.Fatalf("boundaries %v", s)
+	}
+	total := 0
+	for c := 0; c < 3; c++ {
+		w := s[c+1] - s[c]
+		if w < 3 || w > 4 {
+			t.Fatalf("uneven chunk %d: %v", c, s)
+		}
+		total += w
+	}
+	if total != 10 {
+		t.Fatalf("chunks don't cover: %v", s)
+	}
+}
+
+func BenchmarkCompressParallel4(b *testing.B) {
+	fields := datagen.NYX(48, 16)
+	f := fields[0]
+	b.SetBytes(int64(f.Bytes()))
+	for i := 0; i < b.N; i++ {
+		if _, err := CompressParallel(f.Data, f.Dims, 1e-2, SZT,
+			&ParallelOptions{Workers: 4, Chunks: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

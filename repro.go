@@ -1,0 +1,422 @@
+// Package repro is a Go reproduction of "An Efficient Transformation Scheme
+// for Lossy Data Compression with Point-wise Relative Error Bound" (Liang,
+// Di, Tao, Chen, Cappello — IEEE CLUSTER 2018).
+//
+// It provides error-bounded lossy compression of floating-point scientific
+// data under either an absolute error bound or a point-wise relative error
+// bound. The headline algorithms are SZT and ZFPT: the paper's logarithmic
+// transformation scheme layered over re-implementations of the SZ
+// (prediction-based) and ZFP (transform-based) absolute-error compressors.
+// The four baselines the paper evaluates against — SZ's block-wise PWR
+// mode, ZFP's precision mode, FPZIP and ISABELA — are implemented too, so
+// every comparison in the paper's evaluation can be regenerated.
+//
+// Quick start:
+//
+//	buf, err := repro.Compress(data, []int{n}, 1e-3, repro.SZT, nil)
+//	...
+//	dec, dims, err := repro.Decompress(buf)
+//
+// Streams are self-describing: Decompress dispatches on the algorithm
+// recorded in the container.
+package repro
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/fpzip"
+	"repro/internal/grid"
+	"repro/internal/isabela"
+	"repro/internal/sz"
+	"repro/internal/zfp"
+)
+
+// Algorithm selects a compressor.
+type Algorithm byte
+
+const (
+	// SZT is the paper's primary solution: logarithmic transform + SZ.
+	SZT Algorithm = iota + 1
+	// ZFPT is the transform scheme over ZFP's fixed-accuracy mode.
+	ZFPT
+	// SZABS is plain SZ under an absolute error bound.
+	SZABS
+	// SZPWR is the block-wise point-wise-relative SZ baseline.
+	SZPWR
+	// ZFPACC is plain ZFP fixed-accuracy mode (absolute bound).
+	ZFPACC
+	// ZFPP is ZFP's fixed-precision mode (approximate relative control).
+	ZFPP
+	// FPZIP is the predictive coder with precision-derived relative bounds.
+	FPZIP
+	// ISABELA is the sort-and-spline baseline.
+	ISABELA
+	// ZFPRATE is ZFP's fixed-rate mode (exact bits/value, no error bound);
+	// produced by CompressFixedRate.
+	ZFPRATE
+	// FPZIP32 is FPZIP's native float32 layout (1+8 sign/exponent bits, the
+	// paper's -p 13/16/19 settings); produced by Compress32 with FPZIP.
+	FPZIP32
+)
+
+// String returns the paper's name for the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case SZT:
+		return "SZ_T"
+	case ZFPT:
+		return "ZFP_T"
+	case SZABS:
+		return "SZ_ABS"
+	case SZPWR:
+		return "SZ_PWR"
+	case ZFPACC:
+		return "ZFP_ACC"
+	case ZFPP:
+		return "ZFP_P"
+	case FPZIP:
+		return "FPZIP"
+	case ISABELA:
+		return "ISABELA"
+	case ZFPRATE:
+		return "ZFP_RATE"
+	case FPZIP32:
+		return "FPZIP32"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", byte(a))
+	}
+}
+
+// RelativeAlgorithms lists the compressors that accept a point-wise
+// relative bound (the paper's Table IV / Figure 2 competitors).
+func RelativeAlgorithms() []Algorithm {
+	return []Algorithm{ISABELA, FPZIP, SZPWR, SZT, ZFPP, ZFPT}
+}
+
+// LogBase selects the transform's logarithm base for SZT/ZFPT.
+type LogBase int
+
+const (
+	// Base2 is the default and the paper's recommendation.
+	Base2 LogBase = iota
+	// BaseE uses natural logarithms (base study only).
+	BaseE
+	// Base10 uses decimal logarithms (base study only).
+	Base10
+)
+
+func (b LogBase) core() core.Base {
+	switch b {
+	case BaseE:
+		return core.BaseE
+	case Base10:
+		return core.Base10
+	default:
+		return core.Base2
+	}
+}
+
+// Options tunes the compressors; the zero value (or nil) selects the
+// defaults used in the paper's evaluation.
+type Options struct {
+	// Base is the log-transform base for SZT/ZFPT (default base 2).
+	Base LogBase
+	// Intervals is SZ's quantization interval count (default 65536).
+	Intervals int
+	// BlockSide is SZ_PWR's block edge length (default 8).
+	BlockSide int
+	// ZFPPrecision is the bit-plane count for ZFPP. When 0 it is derived
+	// from the relative bound as ceil(log2(1/b_r)) + 10 (a practical
+	// setting comparable to the paper's per-field tuned -p values).
+	ZFPPrecision int
+	// FPZIPPrecision overrides FPZIP's precision; when 0 it is derived
+	// from the relative bound so the bound is guaranteed.
+	FPZIPPrecision int
+	// ISABELAWindow and ISABELACoeffs tune ISABELA (defaults 1024 / 30).
+	ISABELAWindow, ISABELACoeffs int
+	// DisableRoundoffGuard removes Lemma 2's round-off adjustment in the
+	// transform scheme (ablation only).
+	DisableRoundoffGuard bool
+}
+
+func (o *Options) szOpts() *sz.Options {
+	if o == nil {
+		return nil
+	}
+	return &sz.Options{Intervals: o.Intervals, BlockSide: o.BlockSide}
+}
+
+func (o *Options) coreOpts() *core.Options {
+	if o == nil {
+		return nil
+	}
+	return &core.Options{Base: o.Base.core(), DisableRoundoffGuard: o.DisableRoundoffGuard}
+}
+
+func (o *Options) isabelaOpts() *isabela.Options {
+	if o == nil {
+		return nil
+	}
+	return &isabela.Options{Window: o.ISABELAWindow, Coeffs: o.ISABELACoeffs}
+}
+
+var (
+	// ErrCorrupt reports an unrecognized or damaged container.
+	ErrCorrupt = errors.New("repro: corrupt stream")
+	// ErrNeedsAbsolute reports a relative bound passed to an
+	// absolute-bound-only algorithm (or vice versa).
+	ErrNeedsAbsolute = errors.New("repro: algorithm takes an absolute bound; use CompressAbs")
+)
+
+const containerMagic = 0xC5
+
+// Compress encodes data under the point-wise relative error bound relBound
+// (in (0,1); e.g. 0.01 keeps every value within 1% of the original).
+func Compress(data []float64, dims []int, relBound float64, algo Algorithm, opts *Options) ([]byte, error) {
+	if err := grid.Validate(dims, len(data)); err != nil {
+		return nil, err
+	}
+	var inner []byte
+	var err error
+	switch algo {
+	case SZT:
+		inner, err = core.Compress(data, dims, relBound, core.SZBackend{Opts: opts.szOpts()}, opts.coreOpts())
+	case ZFPT:
+		inner, err = core.Compress(data, dims, relBound, core.ZFPBackend{}, opts.coreOpts())
+	case SZPWR:
+		inner, err = sz.CompressPWR(data, dims, relBound, opts.szOpts())
+	case ZFPP:
+		p := 0
+		if opts != nil {
+			p = opts.ZFPPrecision
+		}
+		if p == 0 {
+			p, err = zfpPrecisionFor(relBound)
+			if err != nil {
+				return nil, err
+			}
+		}
+		inner, err = zfp.CompressPrecision(data, dims, p)
+	case FPZIP:
+		p := 0
+		if opts != nil {
+			p = opts.FPZIPPrecision
+		}
+		if p == 0 {
+			p, err = fpzip.PrecisionForRelBound(relBound)
+			if err != nil {
+				return nil, err
+			}
+		}
+		inner, err = fpzip.Compress(data, dims, p)
+	case ISABELA:
+		inner, err = isabela.Compress(data, dims, relBound, opts.isabelaOpts())
+	case SZABS, ZFPACC:
+		return nil, ErrNeedsAbsolute
+	default:
+		return nil, fmt.Errorf("repro: unknown algorithm %v", algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return wrap(algo, inner), nil
+}
+
+// CompressAbs encodes data under an absolute error bound using SZABS or
+// ZFPACC.
+func CompressAbs(data []float64, dims []int, absBound float64, algo Algorithm, opts *Options) ([]byte, error) {
+	if err := grid.Validate(dims, len(data)); err != nil {
+		return nil, err
+	}
+	var inner []byte
+	var err error
+	switch algo {
+	case SZABS:
+		inner, err = sz.CompressAbs(data, dims, absBound, opts.szOpts())
+	case ZFPACC:
+		inner, err = zfp.CompressAccuracy(data, dims, absBound)
+	default:
+		return nil, fmt.Errorf("repro: %v does not take an absolute bound", algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return wrap(algo, inner), nil
+}
+
+// zfpPrecisionFor mirrors the paper's per-bound ZFP_P parameter choice:
+// enough planes that typical data lands near the requested relative error,
+// without guaranteeing it (the mode's documented deficiency).
+func zfpPrecisionFor(relBound float64) (int, error) {
+	if !(relBound > 0) || relBound >= 1 {
+		return 0, fmt.Errorf("repro: relative bound %v out of (0,1)", relBound)
+	}
+	p := int(math.Ceil(math.Log2(1/relBound))) + 10
+	if p > 64 {
+		p = 64
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p, nil
+}
+
+// CompressValueRange encodes data under a *value-range relative* bound:
+// the absolute bound is ratio × (max − min) over the field. This is SZ's
+// classic "REL" mode — a single global bound, unlike the point-wise
+// relative bound the transform scheme provides. algo must be SZABS or
+// ZFPACC. A constant field (range 0) is stored with a tiny absolute bound.
+func CompressValueRange(data []float64, dims []int, ratio float64, algo Algorithm, opts *Options) ([]byte, error) {
+	if !(ratio > 0) || ratio >= 1 {
+		return nil, fmt.Errorf("repro: value-range ratio %v out of (0,1)", ratio)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	bound := ratio * (hi - lo)
+	if !(bound > 0) {
+		// Constant or empty range: any positive bound is exact enough.
+		bound = math.SmallestNonzeroFloat64 * 1e16
+		if hi > lo || !math.IsInf(lo, 1) {
+			m := math.Max(math.Abs(lo), math.Abs(hi))
+			if m > 0 {
+				bound = m * 1e-15
+			}
+		}
+	}
+	return CompressAbs(data, dims, bound, algo, opts)
+}
+
+// CompressFixedRate encodes data at exactly bitsPerValue bits per value
+// using ZFP's fixed-rate mode. No error bound is guaranteed; use it for
+// fixed-budget storage or the rate-distortion sweeps of Figure 1.
+func CompressFixedRate(data []float64, dims []int, bitsPerValue float64) ([]byte, error) {
+	if err := grid.Validate(dims, len(data)); err != nil {
+		return nil, err
+	}
+	inner, err := zfp.CompressRate(data, dims, bitsPerValue)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(ZFPRATE, inner), nil
+}
+
+// wrap frames an inner stream as [magic | algo | crc32(inner) | inner].
+// The checksum catches storage/transport corruption up front, before the
+// per-algorithm parsers see the payload.
+func wrap(algo Algorithm, inner []byte) []byte {
+	out := make([]byte, 0, len(inner)+6)
+	out = append(out, containerMagic, byte(algo))
+	out = binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(inner))
+	return append(out, inner...)
+}
+
+// Decompress decodes any stream produced by Compress or CompressAbs.
+func Decompress(buf []byte) ([]float64, []int, error) {
+	if len(buf) < 6 || buf[0] != containerMagic {
+		return nil, nil, ErrCorrupt
+	}
+	algo := Algorithm(buf[1])
+	inner := buf[6:]
+	if crc32.ChecksumIEEE(inner) != binary.BigEndian.Uint32(buf[2:6]) {
+		return nil, nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	switch algo {
+	case SZT, ZFPT:
+		return core.Decompress(inner, core.DefaultResolve)
+	case SZABS, SZPWR:
+		return sz.Decompress(inner)
+	case ZFPACC, ZFPP, ZFPRATE:
+		return zfp.Decompress(inner)
+	case FPZIP:
+		return fpzip.Decompress(inner)
+	case FPZIP32:
+		f32, dims, err := fpzip.Decompress32(inner)
+		if err != nil {
+			return nil, nil, err
+		}
+		wide := make([]float64, len(f32))
+		for i, v := range f32 {
+			wide[i] = float64(v)
+		}
+		return wide, dims, nil
+	case ISABELA:
+		return isabela.Decompress(inner)
+	default:
+		return nil, nil, fmt.Errorf("%w: algorithm byte %d", ErrCorrupt, buf[1])
+	}
+}
+
+// AlgorithmOf reports which algorithm produced the stream.
+func AlgorithmOf(buf []byte) (Algorithm, error) {
+	if len(buf) < 2 || buf[0] != containerMagic {
+		return 0, ErrCorrupt
+	}
+	return Algorithm(buf[1]), nil
+}
+
+// Compress32 compresses float32 data. FPZIP uses its native float32
+// layout (the paper's exact -p settings, and fewer mantissa bits to code);
+// every other algorithm widens to float64 with unchanged bound semantics.
+func Compress32(data []float32, dims []int, relBound float64, algo Algorithm, opts *Options) ([]byte, error) {
+	if algo == FPZIP || algo == FPZIP32 {
+		p := 0
+		if opts != nil {
+			p = opts.FPZIPPrecision
+		}
+		if p == 0 {
+			var err error
+			p, err = fpzip.PrecisionForRelBound32(relBound)
+			if err != nil {
+				return nil, err
+			}
+		}
+		inner, err := fpzip.Compress32(data, dims, p)
+		if err != nil {
+			return nil, err
+		}
+		return wrap(FPZIP32, inner), nil
+	}
+	wide := make([]float64, len(data))
+	for i, v := range data {
+		wide[i] = float64(v)
+	}
+	return Compress(wide, dims, relBound, algo, opts)
+}
+
+// Decompress32 decodes into float32s.
+func Decompress32(buf []byte) ([]float32, []int, error) {
+	if algo, err := AlgorithmOf(buf); err == nil && algo == FPZIP32 {
+		if len(buf) < 6 {
+			return nil, nil, ErrCorrupt
+		}
+		inner := buf[6:]
+		if crc32.ChecksumIEEE(inner) != binary.BigEndian.Uint32(buf[2:6]) {
+			return nil, nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+		}
+		return fpzip.Decompress32(inner)
+	}
+	wide, dims, err := Decompress(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]float32, len(wide))
+	for i, v := range wide {
+		out[i] = float32(v)
+	}
+	return out, dims, nil
+}
