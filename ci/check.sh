@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# ci/check.sh — the full local/CI gate for this repository.
+#
+# Runs, in order: formatting, go vet, the domain lint suite (cmd/pwrvet),
+# build, tests, the race detector, and a short fuzz smoke pass over the
+# decode-path fuzz targets. Everything here must pass before merging.
+#
+# Usage: ci/check.sh [fuzztime]
+#   fuzztime — per-target fuzz budget (default 5s; "0" skips fuzzing).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${1:-5s}"
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "gofmt"
+unformatted="$(gofmt -l .)"
+if [[ -n "${unformatted}" ]]; then
+    echo "gofmt needed on:" >&2
+    echo "${unformatted}" >&2
+    exit 1
+fi
+
+step "go vet"
+go vet ./...
+
+step "pwrvet (domain lint)"
+go run ./cmd/pwrvet ./...
+
+step "go build"
+go build ./...
+
+step "go test"
+go test ./...
+
+step "go test -race"
+go test -race ./...
+
+if [[ "${FUZZTIME}" != "0" ]]; then
+    step "fuzz smoke (${FUZZTIME} per target)"
+    for target in FuzzDecompress FuzzDecompressParallel FuzzOpenArchive FuzzCompressRoundTrip; do
+        echo "-- ${target}"
+        go test -run='^$' -fuzz="^${target}\$" -fuzztime="${FUZZTIME}" .
+    done
+fi
+
+printf '\nAll checks passed.\n'

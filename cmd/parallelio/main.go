@@ -92,7 +92,7 @@ func main() {
 				raw.Total().Seconds()/dump.Total().Seconds())
 		}
 	}
-	tw.Flush()
+	_ = tw.Flush() // display path: errors on w are not recoverable here
 }
 
 func fatalf(format string, args ...interface{}) {

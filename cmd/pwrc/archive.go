@@ -24,7 +24,7 @@ func compressArchive(manifest string, algo repro.Algorithm, rel float64, opts *r
 	if err != nil {
 		return err
 	}
-	defer mf.Close()
+	defer mf.Close() //lint:allow errdrop read-only file; scanner errors are checked
 
 	w := repro.NewArchiveWriter()
 	scanner := bufio.NewScanner(mf)

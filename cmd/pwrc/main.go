@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/floatbits"
 	"repro/internal/metrics"
 )
 
@@ -136,7 +137,7 @@ func main() {
 		dec, _, err := repro.Decompress(buf)
 		check(err)
 		bound := *rel
-		if bound == 0 {
+		if floatbits.IsZero(bound) {
 			bound = math.Inf(1)
 		}
 		st, err := metrics.RelError(data, dec, bound)

@@ -1,0 +1,166 @@
+// Command pwrvet runs the repository's domain-specific static-analysis
+// suite (internal/lint) over the module: the floating-point, panic-path,
+// error-handling, log-base and benchmark-clock invariants that the
+// point-wise relative error guarantee depends on.
+//
+// Usage:
+//
+//	pwrvet [flags] [dir]
+//
+// dir (default ".") is any directory inside the module; the whole module
+// is always analyzed. Exit status is 0 when clean, 1 when there are
+// unsuppressed findings, 2 on usage or load errors.
+//
+// Findings are suppressed inline with:
+//
+//	//lint:allow <check>[,<check>...] <one-line justification>
+//
+// on the offending line or the line above.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("pwrvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut = fs.Bool("json", false, "emit findings as a JSON array")
+		checks  = fs.String("checks", "", "comma-separated checks to run (default: all)")
+		disable = fs.String("disable", "", "comma-separated checks to skip")
+		list    = fs.Bool("list", false, "list available checks and exit")
+		quiet   = fs.Bool("q", false, "suppress the summary line")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: pwrvet [flags] [dir]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	all := lint.AllChecks()
+	if *list {
+		for _, c := range all {
+			fmt.Fprintf(stdout, "%-12s %s\n", c.Name(), c.Doc())
+		}
+		return 0
+	}
+
+	selected, err := selectChecks(all, *checks, *disable)
+	if err != nil {
+		fmt.Fprintln(stderr, "pwrvet:", err)
+		return 2
+	}
+
+	dir := "."
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		// Accept a "./..." suffix so the tool composes with go-tool habits.
+		dir = strings.TrimSuffix(fs.Arg(0), "...")
+		if dir == "" {
+			dir = "."
+		}
+	default:
+		fs.Usage()
+		return 2
+	}
+
+	root, err := lint.FindModuleRoot(dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "pwrvet:", err)
+		return 2
+	}
+	mod, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "pwrvet:", err)
+		return 2
+	}
+
+	findings, suppressed := mod.Run(selected)
+	for i := range findings {
+		// Report module-relative paths.
+		if rel, err := filepath.Rel(root, findings[i].File); err == nil {
+			findings[i].File = rel
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, "pwrvet:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f.String())
+		}
+		if !*quiet {
+			fmt.Fprintf(stdout, "pwrvet: %d finding(s), %d suppressed, %d check(s) over %d package(s)\n",
+				len(findings), suppressed, len(selected), len(mod.Packages))
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// selectChecks applies -checks / -disable to the registered set.
+func selectChecks(all []lint.Check, enable, disable string) ([]lint.Check, error) {
+	byName := map[string]lint.Check{}
+	for _, c := range all {
+		byName[c.Name()] = c
+	}
+	var out []lint.Check
+	if enable != "" {
+		for _, name := range strings.Split(enable, ",") {
+			name = strings.TrimSpace(name)
+			c, ok := byName[name]
+			if !ok {
+				return nil, fmt.Errorf("unknown check %q (try -list)", name)
+			}
+			out = append(out, c)
+		}
+	} else {
+		out = all
+	}
+	if disable != "" {
+		skip := map[string]bool{}
+		for _, name := range strings.Split(disable, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := byName[name]; !ok {
+				return nil, fmt.Errorf("unknown check %q (try -list)", name)
+			}
+			skip[name] = true
+		}
+		var kept []lint.Check
+		for _, c := range out {
+			if !skip[c.Name()] {
+				kept = append(kept, c)
+			}
+		}
+		out = kept
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no checks selected")
+	}
+	return out, nil
+}

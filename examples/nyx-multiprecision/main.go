@@ -54,12 +54,18 @@ func main() {
 }
 
 // writePGM renders vals (clamped to [lo, hi]) as an 8-bit grayscale PGM.
-func writePGM(path string, vals []float64, ny, nx int, lo, hi float64) error {
+func writePGM(path string, vals []float64, ny, nx int, lo, hi float64) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		// A deferred Close on a written file can report the final flush
+		// failure; keep the first error.
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	if _, err := fmt.Fprintf(f, "P5\n%d %d\n255\n", nx, ny); err != nil {
 		return err
 	}

@@ -58,7 +58,9 @@ func (w *Writer) WriteBool(b bool) {
 // width must be in [0, 64].
 func (w *Writer) WriteBits(v uint64, width uint) {
 	if width > 64 {
-		panic(fmt.Sprintf("bitio: WriteBits width %d > 64", width))
+		// Invariant: widths are compile-time constants or coder-derived
+		// values ≤ 64; encode-side only, never reached by stream content.
+		panic(fmt.Sprintf("bitio: WriteBits width %d > 64", width)) //lint:allow nopanic caller invariant, not input-driven
 	}
 	if width == 0 {
 		return
@@ -168,7 +170,10 @@ func (r *Reader) ReadBool() (bool, error) {
 // width must be in [0, 64].
 func (r *Reader) ReadBits(width uint) (uint64, error) {
 	if width > 64 {
-		panic(fmt.Sprintf("bitio: ReadBits width %d > 64", width))
+		// Invariant: decoders request widths from compile-time constants or
+		// validated code lengths (≤ huffman.MaxCodeLen = 58); a corrupt
+		// stream can change *which* bits are read, never the width bound.
+		panic(fmt.Sprintf("bitio: ReadBits width %d > 64", width)) //lint:allow nopanic caller invariant, not input-driven
 	}
 	if width == 0 {
 		return 0, nil
@@ -211,7 +216,9 @@ func (r *Reader) BitsRead() uint64 { return r.read }
 // accumulator can always hold a full peek.
 func (r *Reader) PeekBits(width uint) (v uint64, got uint) {
 	if width > 56 {
-		panic(fmt.Sprintf("bitio: PeekBits width %d > 56", width))
+		// Invariant: the only peeking decoder is the Huffman LUT, whose
+		// width is capped at lutMaxBits = 12; not reachable from input.
+		panic(fmt.Sprintf("bitio: PeekBits width %d > 56", width)) //lint:allow nopanic caller invariant, not input-driven
 	}
 	if r.n < width {
 		r.fill()
@@ -234,7 +241,9 @@ func (r *Reader) PeekBits(width uint) (v uint64, got uint) {
 // available.
 func (r *Reader) Skip(count uint) {
 	if count > r.n {
-		panic("bitio: Skip beyond peeked bits")
+		// Invariant: callers only Skip counts that the immediately preceding
+		// PeekBits reported available (r.n can only grow in between).
+		panic("bitio: Skip beyond peeked bits") //lint:allow nopanic caller invariant, not input-driven
 	}
 	r.n -= count
 	r.read += uint64(count)

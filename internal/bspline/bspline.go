@@ -7,6 +7,9 @@ package bspline
 import (
 	"errors"
 	"fmt"
+	"math"
+
+	"repro/internal/floatbits"
 )
 
 // ErrSingular is returned when the normal-equation system cannot be solved,
@@ -124,13 +127,13 @@ func solveBanded(a [][7]float64, b []float64, hb int) ([]float64, error) {
 	n := len(a)
 	for k := 0; k < n; k++ {
 		piv := a[k][hb]
-		if piv == 0 || piv != piv {
+		if floatbits.IsZero(piv) || math.IsNaN(piv) {
 			return nil, ErrSingular
 		}
 		for i := k + 1; i <= k+hb && i < n; i++ {
 			d := k - i + hb // column k in row i's band
 			f := a[i][d] / piv
-			if f == 0 {
+			if floatbits.IsZero(f) {
 				continue
 			}
 			a[i][d] = 0
@@ -147,7 +150,7 @@ func solveBanded(a [][7]float64, b []float64, hb int) ([]float64, error) {
 			s -= a[i][j-i+hb] * x[j]
 		}
 		piv := a[i][hb]
-		if piv == 0 || piv != piv {
+		if floatbits.IsZero(piv) || math.IsNaN(piv) {
 			return nil, ErrSingular
 		}
 		x[i] = s / piv

@@ -31,6 +31,7 @@ import (
 	"math"
 
 	"repro/internal/bitio"
+	"repro/internal/floatbits"
 	"repro/internal/grid"
 )
 
@@ -65,9 +66,9 @@ func (b Base) String() string {
 func (b Base) log(x float64) float64 {
 	switch b {
 	case BaseE:
-		return math.Log(x)
+		return math.Log(x) //lint:allow logbase base-study dispatch (Tables II/III)
 	case Base10:
-		return math.Log10(x)
+		return math.Log10(x) //lint:allow logbase base-study dispatch (Tables II/III)
 	default:
 		return math.Log2(x)
 	}
@@ -76,9 +77,9 @@ func (b Base) log(x float64) float64 {
 func (b Base) exp(x float64) float64 {
 	switch b {
 	case BaseE:
-		return math.Exp(x)
+		return math.Exp(x) //lint:allow logbase base-study dispatch (Tables II/III)
 	case Base10:
-		return math.Pow(10, x)
+		return math.Pow(10, x) //lint:allow logbase base-study dispatch (Tables II/III)
 	default:
 		return math.Exp2(x)
 	}
@@ -201,7 +202,7 @@ func Forward(data []float64, relBound float64, opts *Options) (*Transformed, err
 		if v < 0 {
 			negSeen = true
 		}
-		if v != 0 {
+		if !floatbits.IsZero(v) {
 			if l := math.Abs(base.log(math.Abs(v))); l > maxLog {
 				maxLog = l
 			}
@@ -233,7 +234,7 @@ func Forward(data []float64, relBound float64, opts *Options) (*Transformed, err
 			tr.excIdx = append(tr.excIdx, uint64(i))
 			tr.excVal = append(tr.excVal, math.Float64bits(v))
 			tr.Log[i] = sentinel
-		case v == 0:
+		case floatbits.IsZero(v):
 			tr.Log[i] = sentinel
 		default:
 			if v < 0 {
@@ -399,7 +400,7 @@ func ParseHeader(buf []byte) (*SideInfo, int, error) {
 		if flags&flagSignsFlate != 0 {
 			zr := flate.NewReader(bytes.NewReader(blob))
 			dec, err := io.ReadAll(io.LimitReader(zr, int64(want)+16))
-			zr.Close()
+			_ = zr.Close() // nothing to report: dec is length-validated below
 			if err != nil || len(dec) != want {
 				return nil, 0, ErrCorrupt
 			}

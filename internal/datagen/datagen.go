@@ -16,6 +16,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/floatbits"
 	"repro/internal/grid"
 )
 
@@ -131,7 +132,7 @@ func standardize(data []float64) []float64 {
 	}
 	variance /= n
 	std := math.Sqrt(variance)
-	if std == 0 {
+	if floatbits.IsZero(std) {
 		std = 1
 	}
 	out := make([]float64, len(data))

@@ -111,12 +111,12 @@ func (r *AblationResult) Print(w io.Writer) {
 	for i, iv := range r.Intervals {
 		fmt.Fprintf(tw, "   %d\t%.2f\t%.0f\n", iv, r.IntervalRatio[i], r.IntervalRate[i])
 	}
-	tw.Flush()
+	_ = tw.Flush() // display path: errors on w are not recoverable here
 	fmt.Fprintf(w, "3. SZ_PWR block side (NYX density @%g) vs SZ_T %.2f:\n", r.BlockSweepBound, r.TransformRatio)
 	tw = newTabWriter(w)
 	fmt.Fprintln(tw, "   side\tCR")
 	for i, s := range r.BlockSides {
 		fmt.Fprintf(tw, "   %d\t%.2f\n", s, r.BlockSideRatio[i])
 	}
-	tw.Flush()
+	_ = tw.Flush() // display path: errors on w are not recoverable here
 }

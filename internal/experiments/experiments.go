@@ -26,7 +26,9 @@ import (
 
 	"repro"
 	"repro/internal/datagen"
+	"repro/internal/floatbits"
 	"repro/internal/metrics"
+	"repro/internal/pfs"
 )
 
 // Config controls workload sizes shared by the runners.
@@ -35,6 +37,14 @@ type Config struct {
 	Scale datagen.Scale
 	// Seed makes all workloads deterministic.
 	Seed int64
+	// FixedRates, when non-nil, replaces Figure6's live per-core
+	// compress/decompress rate measurement with the given rates (bytes
+	// per second of raw data). Compression ratios are still computed by
+	// running each compressor once, which is deterministic; only the
+	// timing is injected. Tests use this so ordering assertions do not
+	// depend on wall-clock throughput, which the race detector skews
+	// non-uniformly across compressors.
+	FixedRates map[repro.Algorithm]pfs.MeasuredRates
 }
 
 // DefaultConfig is used by cmd/benchtables and the benchmarks.
@@ -188,7 +198,7 @@ func searchAbsBoundForRatio(f *datagen.Field, algo repro.Algorithm, targetRatio,
 			maxAbs = a
 		}
 	}
-	if maxAbs == 0 {
+	if floatbits.IsZero(maxAbs) {
 		maxAbs = 1
 	}
 	lo, hi := maxAbs*1e-12, maxAbs

@@ -80,7 +80,7 @@ func (r *Figure1Result) Print(w io.Writer) {
 			}
 			fmt.Fprintln(tw)
 		}
-		tw.Flush()
+		_ = tw.Flush() // display path: errors on w are not recoverable here
 	}
 }
 
@@ -183,7 +183,7 @@ func (r *Figure2Result) Print(w io.Writer) {
 			}
 			fmt.Fprintln(tw)
 		}
-		tw.Flush()
+		_ = tw.Flush() // display path: errors on w are not recoverable here
 	}
 }
 
@@ -206,7 +206,7 @@ func (r *Figure3Result) Print(w io.Writer) {
 				}
 				fmt.Fprintln(tw)
 			}
-			tw.Flush()
+			_ = tw.Flush() // display path: errors on w are not recoverable here
 		}
 	}
 	dump("compression rate", r.CompressMBs)

@@ -87,7 +87,7 @@ func (r *TableIIResult) Print(w io.Writer) {
 		}
 		fmt.Fprintln(tw)
 	}
-	tw.Flush()
+	_ = tw.Flush() // display path: errors on w are not recoverable here
 }
 
 // TableIIIResult holds the transform overhead per base (Table III).
@@ -187,7 +187,7 @@ func (r *TableIIIResult) Print(w io.Writer) {
 		}
 	}
 	fmt.Fprintln(tw)
-	tw.Flush()
+	_ = tw.Flush() // display path: errors on w are not recoverable here
 }
 
 // TableIVBounds are the three bounds of the strict error-bound test.
@@ -272,5 +272,5 @@ func PrintTableIV(w io.Writer, rows []TableIVRow) {
 		fmt.Fprintf(tw, "%g\t%s\t%s\t%s\t%s\t%s\t%.2e\t%.2e\t%.2f\n",
 			r.Bound, r.Type, r.Algo, r.Field, r.Settings, r.Bounded, r.AvgE, r.MaxE, r.Ratio)
 	}
-	tw.Flush()
+	_ = tw.Flush() // display path: errors on w are not recoverable here
 }

@@ -9,6 +9,20 @@ import (
 	"math"
 )
 
+// IsZero reports whether v is exactly ±0. It is the named form of the
+// exact zero test the zero-sentinel logic depends on: a value is either
+// encoded as a sentinel or transformed, never approximately compared.
+func IsZero(v float64) bool {
+	return v == 0 //lint:allow floatcmp exact zero test is this helper's contract
+}
+
+// Equal reports whether a and b are exactly the same float64 value
+// (IEEE-754 ==, so NaN != NaN and -0 == +0). Use it where bit-for-bit
+// agreement after a round trip is the requirement.
+func Equal(a, b float64) bool {
+	return a == b //lint:allow floatcmp exact equality is this helper's contract
+}
+
 // ToOrderedInt maps a float64 to an int64 such that the integer order
 // matches the floating-point order (including -0 < +0 treated as equal
 // neighbors and negative values mapping below positives). NaNs map to the
@@ -35,7 +49,7 @@ func FromOrderedInt(v int64) float64 {
 // 2^e <= |f| < 2^(e+1) for normal f. For zero it returns MinExp; denormals
 // return their true exponent computed from the leading mantissa bit.
 func Exponent(f float64) int {
-	if f == 0 {
+	if IsZero(f) {
 		return MinExp
 	}
 	e := math.Ilogb(f)
@@ -76,7 +90,7 @@ func TruncateToError(f, tol float64) (float64, int) {
 		return f, 8
 	}
 	e := Exponent(f)
-	if f == 0 {
+	if IsZero(f) {
 		return 0, 0
 	}
 	// Mantissa bit i (from the top, 0-based) has weight 2^(e-1-i).

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/bitio"
 	"repro/internal/bspline"
+	"repro/internal/floatbits"
 	"repro/internal/grid"
 	"repro/internal/huffman"
 )
@@ -127,9 +128,9 @@ func Compress(data []float64, dims []int, relBound float64, opts *Options) ([]by
 			v := sorted[j]
 			ok := false
 			var c int64
-			if wd.coeffs != nil && v != 0 && !math.IsNaN(v) && !math.IsInf(v, 0) {
+			if wd.coeffs != nil && !floatbits.IsZero(v) && !math.IsNaN(v) && !math.IsInf(v, 0) {
 				a := approx[j]
-				if a != 0 && math.Signbit(a) == math.Signbit(v) && !math.IsInf(a, 0) && !math.IsNaN(a) {
+				if !floatbits.IsZero(a) && math.Signbit(a) == math.Signbit(v) && !math.IsInf(a, 0) && !math.IsNaN(a) {
 					la := math.Log2(math.Abs(a))
 					lv := math.Log2(math.Abs(v))
 					c = int64(math.Round((lv - la) / ba))

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// benchclockCheck flags test assertions that order wall-clock-derived
+// durations against each other. The race detector (and loaded CI
+// machines) slow compressors non-uniformly, so "A must be faster than B"
+// assertions on live-measured throughput flake exactly when the race
+// detector is on — the bug class behind TestFigure6 failing under
+// `go test -race`. A test that measures wall-clock time (directly or
+// through any function that transitively calls time.Now/time.Since) and
+// then compares two non-constant time.Duration values must either inject
+// deterministic rates (experiments.Config.FixedRates) or guard/derate the
+// assertion with testutil.RaceEnabled or testing.Short.
+type benchclockCheck struct{}
+
+func (benchclockCheck) Name() string { return "benchclock" }
+func (benchclockCheck) Doc() string {
+	return "flag wall-clock throughput ordering assertions in tests without a race/CI guard (testutil.RaceEnabled, testing.Short, or injected FixedRates)"
+}
+
+// benchclockGuards are identifiers whose presence in a test function
+// marks the timing assertion as guarded: an explicit race-detector shim,
+// the short-mode escape hatch, or deterministic rate injection.
+var benchclockGuards = map[string]bool{
+	"RaceEnabled": true,
+	"Short":       true,
+	"FixedRates":  true,
+}
+
+// clockSources are the wall-clock measurement roots.
+var clockSources = []string{"time.Now", "time.Since"}
+
+func (benchclockCheck) Run(pkg *Package) []Finding {
+	g := pkg.Module.Graph()
+	tainted := g.reaches(clockSources)
+
+	var out []Finding
+	for _, file := range pkg.Files {
+		if !pkg.IsTestFile(file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !strings.HasPrefix(fd.Name.Name, "Test") {
+				continue
+			}
+			def, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok || !tainted[funcID(def)] {
+				continue
+			}
+			if referencesGuard(fd.Body) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok {
+					return true
+				}
+				switch be.Op {
+				case token.LSS, token.GTR, token.LEQ, token.GEQ:
+				default:
+					return true
+				}
+				x, y := pkg.Info.Types[be.X], pkg.Info.Types[be.Y]
+				if x.Value != nil || y.Value != nil {
+					return true // thresholds against constants don't flip under slowdown
+				}
+				if !isDuration(x.Type) && !isDuration(y.Type) {
+					return true
+				}
+				out = append(out, pkg.Module.newFinding("benchclock", be.OpPos,
+					"%s orders wall-clock-derived durations; under -race the slowdown is non-uniform — inject deterministic rates or guard with testutil.RaceEnabled/testing.Short",
+					fd.Name.Name))
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// referencesGuard reports whether the function body mentions any
+// recognized guard identifier.
+func referencesGuard(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && benchclockGuards[id.Name] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isDuration reports whether t is time.Duration (possibly named via
+// alias resolution).
+func isDuration(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Duration" && obj.Pkg() != nil && obj.Pkg().Path() == "time"
+}

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errdropCheck flags calls whose error result is silently discarded in
+// non-test code: a call used as a bare statement (also behind defer/go)
+// when its signature returns an error. Buffered writers are the classic
+// trap in this codebase — (*tabwriter.Writer).Flush, (*flate.Writer).Close
+// and (*bitio.Writer)-style sinks report the write failure only at the
+// dropped call. Assigning the error to _ is accepted as an explicit,
+// greppable discard.
+type errdropCheck struct{}
+
+func (errdropCheck) Name() string { return "errdrop" }
+func (errdropCheck) Doc() string {
+	return "flag discarded error returns in non-test code (assign to _ to discard explicitly)"
+}
+
+// errdropExempt lists callees whose error is conventionally ignored:
+// terminal/printf-style display output and in-memory writers that are
+// documented never to fail.
+var errdropExempt = map[string]bool{
+	"fmt.Print": true, "fmt.Printf": true, "fmt.Println": true,
+	"fmt.Fprint": true, "fmt.Fprintf": true, "fmt.Fprintln": true,
+}
+
+// errdropExemptRecv lists receiver types whose methods never return a
+// non-nil error (per their documentation).
+var errdropExemptRecv = map[string]bool{
+	"*bytes.Buffer":    true,
+	"*strings.Builder": true,
+}
+
+func (errdropCheck) Run(pkg *Package) []Finding {
+	var out []Finding
+	check := func(call *ast.CallExpr) *Finding {
+		// Skip conversions and builtins.
+		tv, ok := pkg.Info.Types[call.Fun]
+		if !ok || tv.IsType() || tv.IsBuiltin() {
+			return nil
+		}
+		sig, ok := tv.Type.Underlying().(*types.Signature)
+		if !ok {
+			return nil
+		}
+		res := sig.Results()
+		errAt := -1
+		for i := 0; i < res.Len(); i++ {
+			if isErrorType(res.At(i).Type()) {
+				errAt = i
+				break
+			}
+		}
+		if errAt < 0 {
+			return nil
+		}
+		name := calleeName(pkg, call)
+		if errdropExempt[name] {
+			return nil
+		}
+		if fn := calleeFunc(pkg, call); fn != nil {
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil &&
+				errdropExemptRecv[recv.Type().String()] {
+				return nil
+			}
+		}
+		disp := name
+		if disp == "" {
+			disp = "call"
+		}
+		f := pkg.Module.newFinding("errdrop", call.Pos(),
+			"error returned by %s is silently discarded; handle it or assign it to _ explicitly", disp)
+		return &f
+	}
+
+	for _, file := range pkg.Files {
+		if pkg.IsTestFile(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = st.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = st.Call
+			case *ast.GoStmt:
+				call = st.Call
+			}
+			if call == nil {
+				return true
+			}
+			if f := check(call); f != nil {
+				out = append(out, *f)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// calleeFunc resolves the called *types.Func, if statically known.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pkg.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pkg.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// calleeName renders a short, stable name for exemption matching and
+// messages: "fmt.Fprintf", "(*tabwriter.Writer).Flush", "w.Flush", ...
+func calleeName(pkg *Package, call *ast.CallExpr) string {
+	if fn := calleeFunc(pkg, call); fn != nil {
+		return shortenPath(fn.FullName())
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// shortenPath removes directory components from import paths embedded in
+// a function's full name.
+func shortenPath(full string) string {
+	var b strings.Builder
+	start := 0
+	for i := 0; i < len(full); i++ {
+		switch full[i] {
+		case '/':
+			start = i + 1
+		case '(', '*', ')', '.':
+			b.WriteString(full[start : i+1])
+			start = i + 1
+		}
+	}
+	b.WriteString(full[start:])
+	return b.String()
+}

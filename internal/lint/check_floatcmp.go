@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatcmpCheck flags == and != between floating-point operands in
+// non-test code. The paper's guarantee rests on carefully placed exact
+// comparisons (zero sentinels, bound checks); those must go through the
+// named helpers in internal/floatbits (IsZero, Equal) or math.IsNaN so a
+// reader can tell a deliberate exact comparison from an accidental one.
+type floatcmpCheck struct{}
+
+func (floatcmpCheck) Name() string { return "floatcmp" }
+func (floatcmpCheck) Doc() string {
+	return "flag ==/!= between floating-point operands in non-test code (use floatbits.IsZero/Equal or math.IsNaN)"
+}
+
+func (floatcmpCheck) Run(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		if pkg.IsTestFile(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			x, y := pkg.Info.Types[be.X], pkg.Info.Types[be.Y]
+			if !isFloat(x.Type) && !isFloat(y.Type) {
+				return true
+			}
+			// Two compile-time constants compare exactly by definition.
+			if x.Value != nil && y.Value != nil {
+				return true
+			}
+			out = append(out, pkg.Module.newFinding("floatcmp", be.OpPos,
+				"raw floating-point %s comparison; use floatbits.IsZero/floatbits.Equal (or math.IsNaN) to make the exact comparison explicit", be.Op))
+			return true
+		})
+	}
+	return out
+}
+
+// isFloat reports whether t's underlying type is a floating-point type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

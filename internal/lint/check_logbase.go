@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// logbaseCheck enforces the paper's base-2 policy (Section IV / Table III)
+// inside the transform package: internal/core's forward/inverse mapping
+// must use math.Log2 / math.Exp2, whose hardware-friendly implementations
+// are why base 2 wins the pre-/post-processing time comparison. Raw
+// math.Log, math.Log10, math.Exp and math.Pow may appear only in the
+// audited base-study dispatch (Tables II/III compare bases e and 10),
+// each annotated with //lint:allow logbase.
+type logbaseCheck struct{}
+
+func (logbaseCheck) Name() string { return "logbase" }
+func (logbaseCheck) Doc() string {
+	return "flag math.Log/Log10/Exp/Pow in the transform hot path (internal/core is base-2 only: Log2/Exp2)"
+}
+
+// logbaseScope reports whether the base-2 policy applies to a package.
+// Fixture modules (path "fixture") are always in scope so the check is
+// testable.
+func logbaseScope(importPath string) bool {
+	return importPath == "fixture" ||
+		importPath == "repro/internal/core"
+}
+
+// logbaseBanned are the non-base-2 math functions.
+var logbaseBanned = map[string]bool{
+	"math.Log":   true,
+	"math.Log10": true,
+	"math.Exp":   true,
+	"math.Pow":   true,
+}
+
+func (logbaseCheck) Run(pkg *Package) []Finding {
+	if !logbaseScope(pkg.ImportPath) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		if pkg.IsTestFile(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pkg, call)
+			if fn == nil || !logbaseBanned[fn.FullName()] {
+				return true
+			}
+			out = append(out, pkg.Module.newFinding("logbase", call.Pos(),
+				"%s in the transform hot path violates the base-2 policy (Table III); use math.Log2/math.Exp2, or annotate the base-study dispatch with //lint:allow logbase",
+				fn.FullName()))
+			return true
+		})
+	}
+	return out
+}

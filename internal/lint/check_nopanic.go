@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// nopanicCheck flags panic(...) calls reachable from decode/decompress
+// entry points. DESIGN.md §6's failure-injection rule is "corrupted
+// streams must error, not panic": any panic that attacker-controlled
+// input can trigger is a denial-of-service bug. Panics that guard
+// caller-side invariants (impossible argument values) stay, but each must
+// be audited and annotated with //lint:allow nopanic plus a one-line
+// invariant statement.
+type nopanicCheck struct{}
+
+func (nopanicCheck) Name() string { return "nopanic" }
+func (nopanicCheck) Doc() string {
+	return "flag panic() reachable from decode/decompress entry points (corrupt input must error, not panic)"
+}
+
+// entryRe matches the names of functions that consume untrusted encoded
+// input: every decompression, decoding and parsing entry point in the
+// module.
+var entryRe = regexp.MustCompile(`^(Decompress|Decode|Parse|Read|Peek|Open|Load|Inverse|Unmarshal|Uvarint)`)
+
+func (nopanicCheck) Run(pkg *Package) []Finding {
+	// The call graph is module-wide; report only the panic sites whose
+	// position falls inside this unit's files so findings stay attributed.
+	g := pkg.Module.Graph()
+	var entries []string
+	for id := range g.decls {
+		name := id
+		if i := strings.LastIndex(name, "."); i >= 0 {
+			name = name[i+1:]
+		}
+		if entryRe.MatchString(name) {
+			entries = append(entries, id)
+		}
+	}
+	reachable := g.reachableFrom(entries)
+
+	var out []Finding
+	for id, positions := range g.panics {
+		if !reachable[id] {
+			continue
+		}
+		for _, pos := range positions {
+			if !pkg.ownsPos(pos) {
+				continue
+			}
+			out = append(out, pkg.Module.newFinding("nopanic", pos,
+				"panic reachable from decode path via %s; return an error for corrupt input, or annotate the audited caller invariant with //lint:allow nopanic",
+				pkg.Module.shortID(id)))
+		}
+	}
+	return out
+}
+
+// ownsPos reports whether pos falls inside one of the unit's files.
+// Library files belong to exactly one unit, so this attributes each
+// module-wide call-graph position to a single package.
+func (p *Package) ownsPos(pos token.Pos) bool {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,409 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// runCheck loads an in-memory fixture and runs the named check over it.
+func runCheck(t *testing.T, check string, files map[string]string) (findings []Finding, suppressed int) {
+	t.Helper()
+	m, err := LoadSources(files)
+	if err != nil {
+		t.Fatalf("LoadSources: %v", err)
+	}
+	for _, c := range AllChecks() {
+		if c.Name() == check {
+			return m.Run([]Check{c})
+		}
+	}
+	t.Fatalf("no check named %q", check)
+	return nil, 0
+}
+
+// wantOne asserts exactly one unsuppressed finding, on the given line, whose
+// message contains substr.
+func wantOne(t *testing.T, findings []Finding, line int, substr string) {
+	t.Helper()
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Line != line {
+		t.Errorf("finding on line %d, want %d: %v", f.Line, line, f)
+	}
+	if !strings.Contains(f.Message, substr) {
+		t.Errorf("message %q does not contain %q", f.Message, substr)
+	}
+}
+
+func wantClean(t *testing.T, findings []Finding, suppressed, wantSuppressed int) {
+	t.Helper()
+	if len(findings) != 0 {
+		t.Fatalf("got findings, want none: %v", findings)
+	}
+	if suppressed != wantSuppressed {
+		t.Errorf("suppressed = %d, want %d", suppressed, wantSuppressed)
+	}
+}
+
+func TestFloatcmp(t *testing.T) {
+	findings, _ := runCheck(t, "floatcmp", map[string]string{
+		"a.go": `package fixture
+
+func Same(a, b float64) bool {
+	return a == b
+}
+`,
+	})
+	wantOne(t, findings, 4, "floatbits.IsZero")
+}
+
+func TestFloatcmpConstantAndNonFloatSkipped(t *testing.T) {
+	findings, suppressed := runCheck(t, "floatcmp", map[string]string{
+		"a.go": `package fixture
+
+const eps = 1e-9
+
+func Classify(n int) bool {
+	if eps == 1e-9 { // both operands constant: exact by definition
+		return n == 0
+	}
+	return false
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 0)
+}
+
+func TestFloatcmpTestFilesExempt(t *testing.T) {
+	findings, suppressed := runCheck(t, "floatcmp", map[string]string{
+		"a_test.go": `package fixture
+
+import "testing"
+
+func TestExact(t *testing.T) {
+	var got, want float64
+	if got != want {
+		t.Fail()
+	}
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 0)
+}
+
+func TestFloatcmpSuppressed(t *testing.T) {
+	findings, suppressed := runCheck(t, "floatcmp", map[string]string{
+		"a.go": `package fixture
+
+func IsZero(v float64) bool {
+	return v == 0 //lint:allow floatcmp exact zero is this helper's contract
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 1)
+}
+
+func TestNopanicReachable(t *testing.T) {
+	findings, _ := runCheck(t, "nopanic", map[string]string{
+		"a.go": `package fixture
+
+func Decompress(b []byte) byte {
+	return first(b)
+}
+
+func first(b []byte) byte {
+	if len(b) == 0 {
+		panic("empty stream")
+	}
+	return b[0]
+}
+`,
+	})
+	wantOne(t, findings, 9, "decode path")
+}
+
+func TestNopanicUnreachableFromEntries(t *testing.T) {
+	findings, suppressed := runCheck(t, "nopanic", map[string]string{
+		"a.go": `package fixture
+
+func Compress(b []byte) []byte {
+	if b == nil {
+		panic("nil input") // encode side: not a decode entry point
+	}
+	return b
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 0)
+}
+
+func TestNopanicSuppressedWithInvariant(t *testing.T) {
+	findings, suppressed := runCheck(t, "nopanic", map[string]string{
+		"a.go": `package fixture
+
+func ReadBits(width uint) uint64 {
+	if width > 64 {
+		panic("width > 64") //lint:allow nopanic caller invariant, not input-driven
+	}
+	return 0
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 1)
+}
+
+func TestNopanicInterfaceDispatch(t *testing.T) {
+	// A panic inside a concrete implementation must be found through an
+	// interface-method call on the decode path.
+	findings, _ := runCheck(t, "nopanic", map[string]string{
+		"a.go": `package fixture
+
+type source interface {
+	next() byte
+}
+
+type fixed struct{}
+
+func (fixed) next() byte {
+	panic("no more bytes")
+}
+
+func Decode(s source) byte {
+	return s.next()
+}
+`,
+	})
+	wantOne(t, findings, 10, "decode path")
+}
+
+func TestErrdrop(t *testing.T) {
+	findings, _ := runCheck(t, "errdrop", map[string]string{
+		"a.go": `package fixture
+
+import "os"
+
+func Touch(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	f.Close()
+}
+`,
+	})
+	wantOne(t, findings, 10, "silently discarded")
+}
+
+func TestErrdropExplicitDiscardAndExemptions(t *testing.T) {
+	findings, suppressed := runCheck(t, "errdrop", map[string]string{
+		"a.go": `package fixture
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+)
+
+func Show(path string) {
+	fmt.Println("opening", path) // exempt: display output
+	var buf bytes.Buffer
+	buf.WriteByte('x') // exempt: documented never to fail
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	_ = f.Close() // explicit discard is accepted
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 0)
+}
+
+func TestErrdropDefer(t *testing.T) {
+	findings, _ := runCheck(t, "errdrop", map[string]string{
+		"a.go": `package fixture
+
+import "os"
+
+func Read(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+}
+`,
+	})
+	wantOne(t, findings, 10, "silently discarded")
+}
+
+func TestLogbase(t *testing.T) {
+	findings, _ := runCheck(t, "logbase", map[string]string{
+		"a.go": `package fixture
+
+import "math"
+
+func Forward(v float64) float64 {
+	return math.Log(v)
+}
+`,
+	})
+	wantOne(t, findings, 6, "base-2 policy")
+}
+
+func TestLogbaseBase2AllowedAndSuppression(t *testing.T) {
+	findings, suppressed := runCheck(t, "logbase", map[string]string{
+		"a.go": `package fixture
+
+import "math"
+
+func Forward(v float64) float64 {
+	return math.Log2(v)
+}
+
+func baseStudy(v float64) float64 {
+	return math.Log10(v) //lint:allow logbase base-study dispatch
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 1)
+}
+
+func TestBenchclock(t *testing.T) {
+	findings, _ := runCheck(t, "benchclock", map[string]string{
+		"a.go": `package fixture
+
+import "time"
+
+func measure() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+`,
+		"a_test.go": `package fixture
+
+import "testing"
+
+func TestFaster(t *testing.T) {
+	a := measure()
+	b := measure()
+	if a > b {
+		t.Fatal("ordering flipped")
+	}
+}
+`,
+	})
+	wantOne(t, findings, 8, "non-uniform")
+}
+
+func TestBenchclockGuardedAndUntainted(t *testing.T) {
+	findings, suppressed := runCheck(t, "benchclock", map[string]string{
+		"a.go": `package fixture
+
+import "time"
+
+const RaceEnabled = false
+
+func measure() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+`,
+		"a_test.go": `package fixture
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGuarded(t *testing.T) {
+	if RaceEnabled {
+		t.Skip("timing is skewed under the race detector")
+	}
+	a := measure()
+	b := measure()
+	if a > b {
+		t.Fatal("ordering flipped")
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	// Comparison against a constant bound is not an ordering between
+	// two live measurements.
+	if measure() > 10*time.Second {
+		t.Fatal("way too slow")
+	}
+}
+
+func TestUntainted(t *testing.T) {
+	// No wall-clock taint: durations from pure arithmetic.
+	a := time.Duration(3)
+	b := time.Duration(5)
+	if a > b {
+		t.Fatal("math broke")
+	}
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 0)
+}
+
+func TestRunSortsAndCountsAcrossChecks(t *testing.T) {
+	m, err := LoadSources(map[string]string{
+		"a.go": `package fixture
+
+import "math"
+
+func Forward(v float64) float64 {
+	if v == 0 {
+		return 0
+	}
+	return math.Log(v)
+}
+`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, suppressed := m.Run(AllChecks())
+	if suppressed != 0 {
+		t.Fatalf("suppressed = %d, want 0", suppressed)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(findings), findings)
+	}
+	if findings[0].Check != "floatcmp" || findings[1].Check != "logbase" {
+		t.Fatalf("findings not sorted by position: %v", findings)
+	}
+	if findings[0].Line >= findings[1].Line {
+		t.Fatalf("lines out of order: %v", findings)
+	}
+}
+
+func TestAllowWildcard(t *testing.T) {
+	findings, suppressed := runCheck(t, "floatcmp", map[string]string{
+		"a.go": `package fixture
+
+func Same(a, b float64) bool {
+	//lint:allow all legacy code pending cleanup
+	return a == b
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 1)
+}
+
+func TestFindingString(t *testing.T) {
+	findings, _ := runCheck(t, "floatcmp", map[string]string{
+		"a.go": "package fixture\n\nfunc Same(a, b float64) bool { return a == b }\n",
+	})
+	if len(findings) != 1 {
+		t.Fatalf("findings: %v", findings)
+	}
+	s := findings[0].String()
+	if !strings.HasPrefix(s, "a.go:3:") || !strings.Contains(s, "[floatcmp]") {
+		t.Errorf("String() = %q", s)
+	}
+}

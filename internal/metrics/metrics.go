@@ -8,6 +8,8 @@ package metrics
 import (
 	"errors"
 	"math"
+
+	"repro/internal/floatbits"
 )
 
 // ErrLengthMismatch reports original/decompressed length disagreement.
@@ -50,8 +52,8 @@ func RelError(orig, dec []float64, bound float64) (RelErrorStats, error) {
 		if a := math.Abs(dec[i] - o); a > st.MaxAbs {
 			st.MaxAbs = a
 		}
-		if o == 0 {
-			if dec[i] != 0 {
+		if floatbits.IsZero(o) {
+			if !floatbits.IsZero(dec[i]) {
 				st.ZeroPerturbed++
 			} else {
 				bounded++
@@ -104,7 +106,7 @@ func RelPSNR(orig, dec []float64) (float64, error) {
 	n := 0
 	for i := range orig {
 		o := orig[i]
-		if o == 0 || math.IsNaN(o) || math.IsInf(o, 0) {
+		if floatbits.IsZero(o) || math.IsNaN(o) || math.IsInf(o, 0) {
 			continue
 		}
 		r := (dec[i] - o) / o
@@ -115,7 +117,7 @@ func RelPSNR(orig, dec []float64) (float64, error) {
 		return math.Inf(1), nil
 	}
 	mse /= float64(n)
-	if mse == 0 {
+	if floatbits.IsZero(mse) {
 		return math.Inf(1), nil
 	}
 	return -10 * math.Log10(mse), nil
@@ -148,7 +150,7 @@ func PSNR(orig, dec []float64) (float64, error) {
 		return math.Inf(1), nil
 	}
 	mse /= float64(n)
-	if mse == 0 {
+	if floatbits.IsZero(mse) {
 		return math.Inf(1), nil
 	}
 	return 20*math.Log10(hi-lo) - 10*math.Log10(mse), nil
@@ -160,8 +162,8 @@ func PSNR(orig, dec []float64) (float64, error) {
 func SkewAngle(vx, vy, vz, dx, dy, dz float64) float64 {
 	no := math.Sqrt(vx*vx + vy*vy + vz*vz)
 	nd := math.Sqrt(dx*dx + dy*dy + dz*dz)
-	if no == 0 || nd == 0 {
-		if no == nd {
+	if floatbits.IsZero(no) || floatbits.IsZero(nd) {
+		if floatbits.Equal(no, nd) {
 			return 0
 		}
 		return 90

@@ -11,6 +11,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/floatbits"
 	"repro/internal/grid"
 )
 
@@ -77,14 +78,14 @@ func Compute(data []float64, dims []int) (Summary, error) {
 			s.Max = v
 		}
 		switch {
-		case v == 0:
+		case floatbits.IsZero(v):
 			s.Zeros++
 		case v < 0:
 			s.Negatives++
 		default:
 			s.Positives++
 		}
-		if v != 0 {
+		if !floatbits.IsZero(v) {
 			if a := math.Abs(v); a < s.MinAbsNonzero {
 				s.MinAbsNonzero = a
 			}
@@ -146,7 +147,7 @@ func entropy256(vals []float64, lo, hi float64) float64 {
 
 // smoothness measures neighbor predictability along the last dimension.
 func smoothness(data []float64, dims []int, std float64) float64 {
-	if std == 0 {
+	if floatbits.IsZero(std) {
 		return 1
 	}
 	nx := dims[len(dims)-1]

@@ -561,7 +561,7 @@ func parseHeader(buf []byte) (mode int, dims []int, bound float64, intervals, bl
 			err = fmt.Errorf("%w: %v", ErrCorrupt, err2)
 			return
 		}
-		zr.Close()
+		_ = zr.Close() // nothing to report: body was fully read above
 		body = dec
 	}
 	if !(bound > 0) || math.IsNaN(bound) || math.IsInf(bound, 0) {

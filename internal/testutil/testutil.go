@@ -1,0 +1,10 @@
+// Package testutil holds small helpers shared by tests, most importantly
+// the race-detector shim: RaceEnabled is a compile-time constant selected
+// by the `race` build tag (the pattern the Go runtime itself uses), so
+// tests can derate or skip wall-clock-sensitive assertions when the race
+// detector's non-uniform slowdown would make them flake.
+//
+// The benchclock lint check (internal/lint, cmd/pwrvet) recognizes
+// RaceEnabled as one of the accepted guards for live-throughput ordering
+// assertions.
+package testutil

@@ -29,6 +29,7 @@ import (
 	"math"
 
 	"repro/internal/bitio"
+	"repro/internal/floatbits"
 	"repro/internal/grid"
 )
 
@@ -355,7 +356,7 @@ func encodeBlock(w *bitio.Writer, block []float64, rank, mode, minexp, prec int,
 			maxAbs = a
 		}
 	}
-	if maxAbs == 0 {
+	if floatbits.IsZero(maxAbs) {
 		w.WriteBit(0) // empty (all-zero) block
 		padBlock(w, start, blockBudget)
 		return
