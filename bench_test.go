@@ -10,8 +10,10 @@ import (
 	"testing"
 
 	"repro"
+	"repro/internal/bitio"
 	"repro/internal/datagen"
 	"repro/internal/experiments"
+	"repro/internal/huffman"
 )
 
 func benchConfig() experiments.Config {
@@ -291,6 +293,46 @@ func BenchmarkDecompressZFPT(b *testing.B)    { benchDecompress(b, repro.ZFPT) }
 func BenchmarkDecompressSZPWR(b *testing.B)   { benchDecompress(b, repro.SZPWR) }
 func BenchmarkDecompressFPZIP(b *testing.B)   { benchDecompress(b, repro.FPZIP) }
 func BenchmarkDecompressISABELA(b *testing.B) { benchDecompress(b, repro.ISABELA) }
+
+// --- Allocation microbenchmarks (allochot remediation) -----------------
+//
+// Compare with `go test -bench='HuffmanBuild|BitWriter|ISABELA' -benchmem`
+// before and after hoisting the per-iteration buffers: the codec setup
+// and inner loops should allocate a small constant number of times, not
+// O(iterations).
+
+// BenchmarkHuffmanBuild measures codebook construction (the setup cost of
+// every SZ_T and ISABELA encode); the build heap is preallocated to the
+// alphabet size.
+func BenchmarkHuffmanBuild(b *testing.B) {
+	freqs := make([]uint64, 66)
+	for i := range freqs {
+		freqs[i] = uint64(i*i + 1)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := huffman.Build(freqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBitWriter measures the bit-packing word-flush path that every
+// encoder funnels through.
+func BenchmarkBitWriter(b *testing.B) {
+	const words = 1024
+	b.SetBytes(words * 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := bitio.NewWriter(words * 8)
+		for j := 0; j < words; j++ {
+			w.WriteBits(uint64(j)*0x9E3779B97F4A7C15, 53)
+		}
+		if len(w.Bytes()) == 0 {
+			b.Fatal("no output")
+		}
+	}
+}
 
 // BenchmarkAblationRoundoffGuard measures the cost of Lemma 2's guard.
 func BenchmarkAblationRoundoffGuard(b *testing.B) {

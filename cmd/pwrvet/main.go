@@ -1,7 +1,14 @@
 // Command pwrvet runs the repository's domain-specific static-analysis
 // suite (internal/lint) over the module: the floating-point, panic-path,
 // error-handling, log-base and benchmark-clock invariants that the
-// point-wise relative error guarantee depends on.
+// point-wise relative error guarantee depends on, plus the flow-sensitive
+// checks built on the per-function CFG/dataflow engine — intnarrow
+// (truncating conversions and over-wide shifts in the bit-level codecs),
+// decodebound (taint: input-derived lengths must be range-guarded before
+// indexing, sizing an allocation, or bounding a loop), goroleak
+// (WaitGroup pairing and channel close-on-all-paths), allochot
+// (per-iteration allocation in hot codec loops), and encdecpair
+// (Encode/Compress API symmetry).
 //
 // Usage:
 //

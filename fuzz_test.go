@@ -92,6 +92,95 @@ func FuzzOpenArchive(f *testing.F) {
 	})
 }
 
+// FuzzHeaderMutation flips bytes of known-good streams. The input tuple
+// (stream, position, xor mask) lets the fuzzer steer mutations into the
+// exact header fields the decodebound taint analysis tracks: container
+// rank and dims, Huffman table alphabet/length fields, window and block
+// sizes, and the payload-length varints (where a continuation-bit flip
+// manufactures a near-2^64 length). Every decoder must reject corruption
+// with an error or decode to a consistent shape — no panics and no
+// unguarded attacker-sized allocations.
+func FuzzHeaderMutation(f *testing.F) {
+	data := make([]float64, 96)
+	for i := range data {
+		data[i] = math.Sin(float64(i))*100 + 0.5
+	}
+	type stream struct {
+		buf    []byte
+		decode func(t *testing.T, b []byte)
+	}
+	var streams []stream
+	checkShape := func(t *testing.T, vals []float64, dims []int, err error) {
+		if err != nil {
+			return
+		}
+		n := 1
+		for _, d := range dims {
+			if d <= 0 {
+				t.Fatalf("nonpositive dim %v", dims)
+			}
+			n *= d
+		}
+		if n != len(vals) {
+			t.Fatalf("dims %v product %d != len %d", dims, n, len(vals))
+		}
+	}
+	container := func(t *testing.T, b []byte) {
+		vals, dims, err := Decompress(b)
+		checkShape(t, vals, dims, err)
+	}
+	for _, algo := range RelativeAlgorithms() {
+		if buf, err := Compress(data, []int{96}, 1e-2, algo, nil); err == nil {
+			streams = append(streams, stream{buf, container})
+		}
+	}
+	if buf, err := CompressAbs(data, []int{12, 8}, 1e-2, SZABS, nil); err == nil {
+		streams = append(streams, stream{buf, container})
+	}
+	if buf, err := CompressParallel(data, []int{12, 8}, 1e-2, SZT, &ParallelOptions{Chunks: 3}); err == nil {
+		streams = append(streams, stream{buf, func(t *testing.T, b []byte) {
+			vals, dims, err := DecompressParallel(b, 2)
+			checkShape(t, vals, dims, err)
+		}})
+	}
+	w := NewArchiveWriter()
+	if err := w.Add("density", data, []int{96}, 1e-2, SZT, nil); err == nil {
+		streams = append(streams, stream{w.Bytes(), func(t *testing.T, b []byte) {
+			r, err := OpenArchive(b)
+			if err != nil {
+				return
+			}
+			for _, name := range r.Fields() {
+				vals, dims, err := r.Field(name)
+				checkShape(t, vals, dims, err)
+			}
+		}})
+	}
+
+	// Seed the header region of every stream: the magic, rank/dims
+	// varints, entropy-table sizes, and the payload-length varints all
+	// live in the first few dozen bytes.
+	for i := range streams {
+		for _, pos := range []uint16{0, 1, 2, 4, 5, 6, 8, 10, 12, 16, 20, 24, 32} {
+			f.Add(uint16(i), pos, byte(0xFF))
+			f.Add(uint16(i), pos, byte(0x80))
+			f.Add(uint16(i), pos, byte(0x01))
+		}
+	}
+	f.Fuzz(func(t *testing.T, which, pos uint16, mask byte) {
+		if len(streams) == 0 {
+			t.Skip("no seed streams built")
+		}
+		s := streams[int(which)%len(streams)]
+		if len(s.buf) == 0 {
+			return
+		}
+		mut := append([]byte(nil), s.buf...)
+		mut[int(pos)%len(mut)] ^= mask
+		s.decode(t, mut)
+	})
+}
+
 // FuzzCompressRoundTrip drives the full SZ_T pipeline with arbitrary data
 // bytes reinterpreted as floats, asserting the bound on every finite
 // nonzero value.

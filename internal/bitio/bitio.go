@@ -6,6 +6,7 @@
 package bitio
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -90,9 +91,7 @@ func (w *Writer) WriteBits(v uint64, width uint) {
 }
 
 func (w *Writer) flushWord() {
-	for i := uint(0); i < 8; i++ {
-		w.buf = append(w.buf, byte(w.cur>>(56-8*i)))
-	}
+	w.buf = binary.BigEndian.AppendUint64(w.buf, w.cur)
 	w.cur = 0
 	w.n = 0
 }
@@ -107,11 +106,9 @@ func (w *Writer) BitsWritten() uint64 { return w.bits }
 func (w *Writer) Bytes() []byte {
 	out := w.buf
 	if w.n > 0 {
-		pend := w.cur << (64 - w.n) // left-align
-		nbytes := (w.n + 7) / 8
-		for i := uint(0); i < nbytes; i++ {
-			out = append(out, byte(pend>>(56-8*i)))
-		}
+		var tmp [8]byte
+		binary.BigEndian.PutUint64(tmp[:], w.cur<<(64-w.n)) // left-align
+		out = append(out, tmp[:(w.n+7)/8]...)
 	}
 	return out
 }
@@ -261,10 +258,10 @@ func (r *Reader) Align() {
 // slice.
 func AppendUvarint(dst []byte, x uint64) []byte {
 	for x >= 0x80 {
-		dst = append(dst, byte(x)|0x80)
+		dst = append(dst, byte(x&0x7f)|0x80)
 		x >>= 7
 	}
-	return append(dst, byte(x))
+	return append(dst, byte(x&0x7f))
 }
 
 // Uvarint decodes a base-128 varint from buf, returning the value and the

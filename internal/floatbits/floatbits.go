@@ -28,6 +28,7 @@ func Equal(a, b float64) bool {
 // neighbors and negative values mapping below positives). NaNs map to the
 // extremes of their sign and are order-stable but carry no semantics.
 func ToOrderedInt(f float64) int64 {
+	//lint:allow intnarrow intentional reinterpretation: the IEEE sign bit must land in int64's sign position
 	i := int64(math.Float64bits(f))
 	if i < 0 {
 		// Negative floats compare in reverse bit order: flip the non-sign

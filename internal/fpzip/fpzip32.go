@@ -138,7 +138,7 @@ func Decompress32(buf []byte) ([]float32, []int, error) {
 		return nil, nil, ErrCorrupt
 	}
 	plen, k := bitio.Uvarint(buf[off:])
-	if k == 0 || int(plen) > len(buf)-off-k {
+	if k == 0 || plen > uint64(len(buf)-off-k) {
 		return nil, nil, ErrCorrupt
 	}
 	off += k

@@ -83,6 +83,7 @@ func Blocks(dims []int, side int, fn func(b Block) error) error {
 	}
 	idx := make([]int, rank)
 	for {
+		//lint:allow allochot each Block is handed to fn, which may retain it; fresh slices are the contract
 		b := Block{Origin: make([]int, rank), Extent: make([]int, rank)}
 		for i := 0; i < rank; i++ {
 			b.Origin[i] = idx[i] * side

@@ -89,7 +89,7 @@ func Build(freqs []uint64) (*Codec, error) {
 		lengths:  make([]uint8, len(freqs)),
 		codes:    make([]uint64, len(freqs)),
 	}
-	var h hheap
+	h := make(hheap, 0, len(freqs))
 	seq := 0
 	for sym, f := range freqs {
 		if f > 0 {
@@ -220,6 +220,7 @@ func (c *Codec) finish() {
 			prevLen = p.l
 		}
 		c.codes[p.sym] = code
+		//lint:allow intnarrow sym < alphabet <= 1<<24 (ParseTable/Build bound)
 		c.symByOrder[i] = uint32(p.sym)
 		code++
 	}
@@ -234,6 +235,7 @@ func (c *Codec) finish() {
 		if uint(p.l) > c.lutBits {
 			break // present is sorted by length
 		}
+		//lint:allow intnarrow sym < alphabet <= 1<<24 (ParseTable/Build bound)
 		entry := uint32(p.sym)<<6 | (uint32(p.l) + 1)
 		base := c.codes[p.sym] << (c.lutBits - uint(p.l))
 		span := uint64(1) << (c.lutBits - uint(p.l))
@@ -258,14 +260,14 @@ func (c *Codec) Encode(w *bitio.Writer, symbol int) error {
 func (c *Codec) Decode(r *bitio.Reader) (int, error) {
 	// Fast path: one table lookup resolves any code ≤ lutBits long.
 	if peek, got := r.PeekBits(c.lutBits); got == c.lutBits {
-		if e := c.lut[peek]; e != 0 {
+		if e := c.lut[peek&(1<<c.lutBits-1)]; e != 0 {
 			e--
 			r.Skip(uint(e & 63))
 			return int(e >> 6), nil
 		}
 	} else if got > 0 {
 		// Near EOF: the remaining bits may still hold a short code.
-		if e := c.lut[peek<<(c.lutBits-got)]; e != 0 {
+		if e := c.lut[(peek<<(c.lutBits-got))&(1<<c.lutBits-1)]; e != 0 {
 			e--
 			if l := uint(e & 63); l <= got {
 				r.Skip(l)
@@ -286,6 +288,7 @@ func (c *Codec) Decode(r *bitio.Reader) (int, error) {
 			count = len(c.symByOrder) - c.firstIndex[l]
 		}
 		if count > 0 && code >= c.firstCode[l] && code-c.firstCode[l] < uint64(count) {
+			//lint:allow intnarrow guarded: code-firstCode[l] < count <= alphabet <= 1<<24
 			return int(c.symByOrder[c.firstIndex[l]+int(code-c.firstCode[l])]), nil
 		}
 		if l >= c.maxLen {
@@ -344,6 +347,7 @@ func ParseTable(data []byte) (*Codec, int, error) {
 	}
 	off += n
 	c := &Codec{
+		//lint:allow intnarrow guarded above: alpha <= 1<<24
 		alphabet: int(alpha),
 		lengths:  make([]uint8, alpha),
 		codes:    make([]uint64, alpha),
@@ -355,8 +359,15 @@ func ParseTable(data []byte) (*Codec, int, error) {
 			return nil, 0, ErrInvalidTable
 		}
 		off += n
+		if d > alpha {
+			// A delta beyond the alphabet size cannot be valid, and an
+			// unchecked int(d) of a near-2^64 delta would wrap negative
+			// and index lengths[] out of range below.
+			return nil, 0, ErrInvalidTable
+		}
+		//lint:allow intnarrow guarded above: d <= alpha <= 1<<24
 		sym := prev + int(d)
-		if sym >= int(alpha) {
+		if sym >= c.alphabet {
 			return nil, 0, ErrInvalidTable
 		}
 		if off >= len(data) {
@@ -419,7 +430,10 @@ func DecodeAll(data []byte) ([]int, int, error) {
 		return nil, 0, err
 	}
 	n, k := bitio.Uvarint(data[off:])
-	if k == 0 || n > 1<<34 {
+	if k == 0 || n > uint64(len(data)-off-k)*8 {
+		// Every symbol consumes at least one payload bit, so a count
+		// beyond the remaining bit budget is corrupt — and rejecting it
+		// here also stops attacker-chosen allocation sizes.
 		return nil, 0, ErrInvalidTable
 	}
 	off += k
@@ -432,6 +446,7 @@ func DecodeAll(data []byte) ([]int, int, error) {
 		}
 		out[i] = s
 	}
+	//lint:allow intnarrow BitsRead <= 8*len(data), fits int
 	off += int((r.BitsRead() + 7) / 8)
 	return out, off, nil
 }

@@ -82,8 +82,9 @@ func Compress(data []float64, dims []int, relBound float64, opts *Options) ([]by
 		resid         []uint64 // zigzag correction per point (when not exact)
 		exact         []uint64 // raw bits for exact points in order
 	}
-	var windows []window
+	windows := make([]window, 0, (n+opt.Window-1)/opt.Window)
 	freqs := make([]uint64, alphabet)
+	sortbuf := make([]float64, min(opt.Window, n))
 
 	for start := 0; start < n; start += opt.Window {
 		wlen := opt.Window
@@ -95,12 +96,13 @@ func Compress(data []float64, dims []int, relBound float64, opts *Options) ([]by
 
 		// Sort by value, keeping the permutation. perm[j] is the original
 		// offset of the j-th smallest value.
+		//lint:allow allochot retained by the window record until serialization
 		wd.perm = make([]int, wlen)
 		for i := range wd.perm {
 			wd.perm[i] = i
 		}
 		sort.SliceStable(wd.perm, func(a, b int) bool { return vals[wd.perm[a]] < vals[wd.perm[b]] })
-		sorted := make([]float64, wlen)
+		sorted := sortbuf[:wlen]
 		for j, p := range wd.perm {
 			sorted[j] = vals[p]
 		}
@@ -122,7 +124,9 @@ func Compress(data []float64, dims []int, relBound float64, opts *Options) ([]by
 			wd.nctrl = 0 // all points exact
 		}
 
+		//lint:allow allochot retained by the window record until serialization
 		wd.syms = make([]int, wlen)
+		//lint:allow allochot retained by the window record until serialization
 		wd.resid = make([]uint64, wlen)
 		for j := 0; j < wlen; j++ {
 			v := sorted[j]
@@ -242,7 +246,7 @@ func Decompress(buf []byte) ([]float64, []int, error) {
 	}
 	off += used
 	plen, k := bitio.Uvarint(buf[off:])
-	if k == 0 || int(plen) > len(buf)-off-k {
+	if k == 0 || plen > uint64(len(buf)-off-k) {
 		return nil, nil, ErrCorrupt
 	}
 	off += k
@@ -252,6 +256,12 @@ func Decompress(buf []byte) ([]float64, []int, error) {
 	windowLen := int(windowU)
 	ba := math.Log2(1+relBound) * 0.999
 	out := make([]float64, n)
+	// Scratch shared across windows; wlen <= windowLen and nctrl <= wlen,
+	// and the min() keeps a huge header window from pre-allocating more
+	// than the (already validated) field size.
+	scratch := min(windowLen, n)
+	permBuf := make([]int, scratch)
+	ctrlBuf := make([]float64, scratch)
 
 	for start := 0; start < n; start += windowLen {
 		wlen := windowLen
@@ -259,7 +269,7 @@ func Decompress(buf []byte) ([]float64, []int, error) {
 			wlen = n - start
 		}
 		pb := permBits(wlen)
-		perm := make([]int, wlen)
+		perm := permBuf[:wlen]
 		for i := range perm {
 			p, err := r.ReadBits(pb)
 			if err != nil {
@@ -280,7 +290,7 @@ func Decompress(buf []byte) ([]float64, []int, error) {
 		}
 		var approx []float64
 		if nctrl > 0 {
-			ctrl := make([]float64, nctrl)
+			ctrl := ctrlBuf[:nctrl]
 			for i := range ctrl {
 				bits, err := r.ReadBits(64)
 				if err != nil {

@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// allochotCheck flags per-iteration heap allocations inside the loops of
+// the hot codec kernels: a make() at loop depth >= 1, and append() into a
+// slice that is empty on every path into the loop (classic
+// grow-from-nothing, which reallocates log(n) times instead of once).
+// Table-V-style throughput depends on the encode/decode inner loops not
+// allocating; a finding is fixed by hoisting the buffer or preallocating
+// capacity before the loop, or annotated with //lint:allow allochot when
+// the loop provably runs O(1) times.
+//
+// The append rule uses reaching definitions (see cfg.go): the target's
+// definitions reaching the append — ignoring the append's own def from
+// the previous iteration and other appends to the same slice — must all
+// be empty initializers (var decl, nil, empty literal, make with zero
+// length and no capacity) for the site to be flagged; any reaching
+// definition that preallocates or is unknown clears it.
+type allochotCheck struct{}
+
+func (allochotCheck) Name() string { return "allochot" }
+func (allochotCheck) Doc() string {
+	return "flag per-iteration make() and grow-from-empty append() in hot codec loops"
+}
+
+// allochotScope is keyed by package name: the codec kernels and the
+// public API package.
+var allochotScope = map[string]bool{
+	"repro": true, "bitio": true, "huffman": true, "rangecoder": true,
+	"zfp": true, "sz": true, "fpzip": true, "isabela": true,
+	"quant": true, "predictor": true, "core": true, "grid": true,
+	"floatbits": true, "fixture": true,
+}
+
+func (allochotCheck) Run(pkg *Package) []Finding {
+	if !allochotScope[pkg.Pkg.Name()] {
+		return nil
+	}
+	var out []Finding
+	forEachFuncDecl(pkg, func(f *ast.File, d *ast.FuncDecl) {
+		if pkg.IsTestFile(f) {
+			return
+		}
+		g := buildCFG(d.Body)
+		rd := newReachingDefs(g, pkg.Info, boundaryObjects(pkg.Info, d))
+		for _, blk := range g.blocks {
+			if blk.loopDepth == 0 {
+				continue
+			}
+			for _, n := range blk.nodes {
+				checkMakeInLoop(pkg, n, &out)
+				checkAppendGrowth(pkg, rd, blk, n, &out)
+			}
+		}
+	})
+	return out
+}
+
+// checkMakeInLoop flags make(slice|map|chan, ...) evaluated inside a
+// loop body.
+func checkMakeInLoop(pkg *Package, n ast.Node, out *[]Finding) {
+	inspectEvaluated(n, func(x ast.Node) bool {
+		c, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(c.Fun).(*ast.Ident)
+		if !ok || id.Name != "make" {
+			return true
+		}
+		if _, builtin := objOf(pkg.Info, id).(*types.Builtin); !builtin {
+			return true
+		}
+		*out = append(*out, pkg.Module.newFinding("allochot", c.Pos(),
+			"make() inside a hot loop allocates every iteration; hoist the buffer outside the loop or annotate with //lint:allow allochot if the loop is O(1)"))
+		return true
+	})
+}
+
+// checkAppendGrowth flags x = append(x, ...) in a loop when every
+// definition of x reaching the loop is an empty initializer.
+func checkAppendGrowth(pkg *Package, rd *reachingDefs, blk *cfgBlock, n ast.Node, out *[]Finding) {
+	obj, call := selfAppend(pkg.Info, n)
+	if obj == nil {
+		return
+	}
+	sites := rd.defsBefore(blk, n, obj)
+	sawEmpty := false
+	for _, site := range sites {
+		if site.node == n {
+			continue // this append's own def from a previous iteration
+		}
+		if o, _ := selfAppend(pkg.Info, site.node); o == obj {
+			continue // another append to the same slice
+		}
+		switch classifyInit(pkg.Info, site) {
+		case initEmpty:
+			sawEmpty = true
+		default:
+			return // preallocated or unknown: not our pattern
+		}
+	}
+	if !sawEmpty {
+		return
+	}
+	*out = append(*out, pkg.Module.newFinding("allochot", call.Pos(),
+		"append() in a loop grows %s from empty, reallocating as it goes; preallocate capacity (make(..., 0, n)) before the loop", obj.Name()))
+}
+
+// selfAppend matches the statement form x = append(x, ...) and returns
+// x's object and the append call.
+func selfAppend(info *types.Info, n ast.Node) (types.Object, *ast.CallExpr) {
+	a, ok := n.(*ast.AssignStmt)
+	if !ok || len(a.Lhs) != 1 || len(a.Rhs) != 1 {
+		return nil, nil
+	}
+	if a.Tok != token.ASSIGN && a.Tok != token.DEFINE {
+		return nil, nil
+	}
+	c, ok := ast.Unparen(a.Rhs[0]).(*ast.CallExpr)
+	if !ok || len(c.Args) == 0 {
+		return nil, nil
+	}
+	id, ok := ast.Unparen(c.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return nil, nil
+	}
+	if _, builtin := objOf(info, id).(*types.Builtin); !builtin {
+		return nil, nil
+	}
+	lhs, ok := ast.Unparen(a.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	arg0, ok := ast.Unparen(c.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	lo, ao := objOf(info, lhs), objOf(info, arg0)
+	if lo == nil || lo != ao {
+		return nil, nil
+	}
+	return lo, c
+}
+
+type initKind int
+
+const (
+	initUnknown initKind = iota
+	initEmpty
+)
+
+// classifyInit decides whether a reaching definition leaves the slice
+// empty with no preallocated capacity.
+func classifyInit(info *types.Info, site *defSite) initKind {
+	if site.node == nil {
+		return initUnknown // parameter/result: caller decides
+	}
+	if site.rhs == nil {
+		if _, ok := site.node.(*ast.DeclStmt); ok {
+			return initEmpty // var x []T
+		}
+		return initUnknown // multi-value assignment, range binding, ...
+	}
+	switch rhs := ast.Unparen(site.rhs).(type) {
+	case *ast.Ident:
+		if rhs.Name == "nil" {
+			return initEmpty
+		}
+	case *ast.CompositeLit:
+		if len(rhs.Elts) == 0 {
+			return initEmpty
+		}
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(rhs.Fun).(*ast.Ident)
+		if !ok || id.Name != "make" {
+			return initUnknown
+		}
+		if _, builtin := objOf(info, id).(*types.Builtin); !builtin {
+			return initUnknown
+		}
+		if len(rhs.Args) == 2 {
+			// make(T, n): empty only when n is the constant 0 (and then
+			// there is no capacity either).
+			if v, ok := intConstOf(info, rhs.Args[1]); ok && v == 0 {
+				return initEmpty
+			}
+		}
+		// make with a capacity argument (or nonzero length) counts as
+		// preallocated.
+		return initUnknown
+	}
+	return initUnknown
+}

@@ -1,0 +1,378 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// decodeboundCheck is the taint analysis: in decode-side functions, any
+// value derived from the encoded input (bit reads, varints, raw buffer
+// bytes) must pass through a guard condition before it is used as a slice
+// index, slice bound, make size, or loop bound. DESIGN.md §6's rule is
+// that corrupt input must produce a typed error — an unvalidated
+// header-derived length that reaches an allocation or an index is either
+// a panic or an allocation bomb waiting for a fuzzer.
+//
+// The analysis is a forward may-taint dataflow over the function's CFG
+// (see cfg.go). Seeds are the results of decode-read calls and loads from
+// byte slices; every variable mentioned in an if/switch condition is
+// considered validated on both branches (the check enforces *that* a
+// bound check happens, not that its direction is right — that is what the
+// fuzz targets are for). Masking with an untainted operand and remainder
+// by an untainted bound also sanitize. Struct fields and closures are not
+// tracked (documented limitation); findings there need a manual guard or
+// a //lint:allow decodebound annotation.
+type decodeboundCheck struct{}
+
+func (decodeboundCheck) Name() string { return "decodebound" }
+func (decodeboundCheck) Doc() string {
+	return "flag input-derived values used as index/size/bound without a prior range guard in decode paths"
+}
+
+// decodeCtxRe names the functions whose bodies consume untrusted encoded
+// input.
+var decodeCtxRe = regexp.MustCompile(`^(Decompress|decompress|Decode|decode|Parse|parse|Open|open|Read|read|Load|load|Peek|peek|Unmarshal|unmarshal|next|Uvarint|Varint)`)
+
+// seedCallRe names the callee methods/functions whose results carry raw
+// decoded input.
+var seedCallRe = regexp.MustCompile(`^(Uvarint|Varint|ReadBit|ReadBits|ReadBool|ReadByte|ReadFull|ReadUvarint|ReadVarint|PeekBits|DecodeBits|DecodeSymbol|Uint16|Uint32|Uint64|next)$`)
+
+func (decodeboundCheck) Run(pkg *Package) []Finding {
+	var out []Finding
+	forEachFuncDecl(pkg, func(f *ast.File, d *ast.FuncDecl) {
+		if pkg.IsTestFile(f) || !decodeCtxRe.MatchString(d.Name.Name) {
+			return
+		}
+		g := buildCFG(d.Body)
+		ta := &taintState{pkg: pkg, info: pkg.Info}
+		in := g.forwardFlow(objSet{}, true, func(b *cfgBlock, s objSet) objSet {
+			for _, n := range b.nodes {
+				ta.step(s, n, nil)
+			}
+			return s
+		})
+		for _, b := range g.reversePostorder() {
+			s, ok := in[b]
+			if !ok {
+				continue
+			}
+			s = s.clone()
+			for _, n := range b.nodes {
+				ta.step(s, n, &out)
+			}
+		}
+	})
+	return out
+}
+
+// taintState implements the transfer function and the sink checks.
+type taintState struct {
+	pkg  *Package
+	info *types.Info
+}
+
+// step applies node n to taint set s; when report is non-nil it first
+// checks n's expressions for sinks using the pre-state.
+func (ta *taintState) step(s objSet, n ast.Node, report *[]Finding) {
+	switch n := n.(type) {
+	case guardCond:
+		if report != nil {
+			ta.checkSinks(s, n.Expr, report)
+		}
+		ta.sanitize(s, n.Expr)
+	case loopCond:
+		if report != nil {
+			ta.checkLoopBound(s, n.Expr, report)
+			ta.checkSinks(s, n.Expr, report)
+		}
+		ta.sanitize(s, n.Expr)
+	case *ast.AssignStmt:
+		if report != nil {
+			ta.checkSinks(s, n, report)
+		}
+		ta.assign(s, n)
+	case *ast.DeclStmt:
+		if report != nil {
+			ta.checkSinks(s, n, report)
+		}
+		ta.declare(s, n)
+	case *ast.RangeStmt:
+		if report != nil {
+			ta.checkSinks(s, n.X, report)
+		}
+		ta.rangeBind(s, n)
+	default:
+		// ExprStmt, IncDecStmt, ReturnStmt, SendStmt, GoStmt,
+		// DeferStmt: sinks possible, no taint-state effect.
+		if report != nil {
+			ta.checkSinks(s, n, report)
+		}
+	}
+}
+
+// sanitize marks every variable the guard expression mentions validated.
+func (ta *taintState) sanitize(s objSet, e ast.Expr) {
+	inspectNoFuncLit(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if o := objOf(ta.info, id); o != nil {
+				delete(s, o)
+			}
+		}
+		return true
+	})
+}
+
+// assign transfers an assignment statement.
+func (ta *taintState) assign(s objSet, n *ast.AssignStmt) {
+	if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+		// x op= y taints x if y is tainted (and keeps x's own taint).
+		if len(n.Lhs) == 1 && len(n.Rhs) == 1 && ta.tainted(s, n.Rhs[0]) {
+			ta.setLHS(s, n.Lhs[0], true, true)
+		}
+		return
+	}
+	if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+		// Multi-value: a call, type assertion, or map read.
+		t := ta.tainted(s, n.Rhs[0])
+		for _, l := range n.Lhs {
+			ta.setLHS(s, l, t, false)
+		}
+		return
+	}
+	for i, l := range n.Lhs {
+		if i < len(n.Rhs) {
+			ta.setLHS(s, l, ta.tainted(s, n.Rhs[i]), false)
+		}
+	}
+}
+
+// setLHS records taint for one assignment target. keep prevents clearing
+// an already-tainted target (compound assignment).
+func (ta *taintState) setLHS(s objSet, l ast.Expr, tainted, keep bool) {
+	switch l := ast.Unparen(l).(type) {
+	case *ast.Ident:
+		o := objOf(ta.info, l)
+		v, ok := o.(*types.Var)
+		if !ok || v.IsField() {
+			return
+		}
+		if tainted {
+			s[o] = true
+		} else if !keep {
+			delete(s, o)
+		}
+	case *ast.IndexExpr:
+		// Storing a tainted value into a slice taints the whole slice
+		// (weak update).
+		if tainted {
+			if id, ok := ast.Unparen(l.X).(*ast.Ident); ok {
+				if o := objOf(ta.info, id); o != nil {
+					s[o] = true
+				}
+			}
+		}
+	}
+}
+
+// declare transfers a var declaration statement.
+func (ta *taintState) declare(s objSet, n *ast.DeclStmt) {
+	gd, ok := n.Decl.(*ast.GenDecl)
+	if !ok {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok || len(vs.Values) == 0 {
+			continue
+		}
+		for i, name := range vs.Names {
+			var t bool
+			if len(vs.Values) == len(vs.Names) {
+				t = ta.tainted(s, vs.Values[i])
+			} else {
+				t = ta.tainted(s, vs.Values[0])
+			}
+			ta.setLHS(s, name, t, false)
+		}
+	}
+}
+
+// rangeBind transfers the binding part of a range statement.
+func (ta *taintState) rangeBind(s objSet, n *ast.RangeStmt) {
+	t := isByteSeq(typeOf(ta.info, n.X)) || ta.tainted(s, n.X)
+	if n.Value != nil {
+		ta.setLHS(s, n.Value, t, false)
+	}
+	if n.Key != nil {
+		ta.setLHS(s, n.Key, false, false)
+	}
+}
+
+// tainted evaluates an expression's taint under state s.
+func (ta *taintState) tainted(s objSet, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return ta.tainted(s, e.X)
+	case *ast.Ident:
+		if o := objOf(ta.info, e); o != nil {
+			return s[o]
+		}
+		return false
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND, token.LOR, token.EQL, token.NEQ,
+			token.LSS, token.LEQ, token.GTR, token.GEQ:
+			return false // boolean results carry no index-range taint
+		case token.AND, token.REM:
+			// Masking / remainder with an untainted operand bounds the
+			// value: sanitized.
+			return ta.tainted(s, e.X) && ta.tainted(s, e.Y)
+		default:
+			return ta.tainted(s, e.X) || ta.tainted(s, e.Y)
+		}
+	case *ast.UnaryExpr:
+		return ta.tainted(s, e.X)
+	case *ast.CallExpr:
+		if ta.isSeedCall(e) {
+			return true
+		}
+		if len(e.Args) == 1 {
+			if tv, ok := ta.info.Types[e.Fun]; ok && tv.IsType() {
+				return ta.tainted(s, e.Args[0]) // conversion
+			}
+		}
+		return false // unknown calls: intraprocedural analysis
+	case *ast.IndexExpr:
+		if isByteSeq(typeOf(ta.info, e.X)) {
+			return true // raw load from the encoded buffer
+		}
+		return ta.tainted(s, e.X)
+	case *ast.SliceExpr:
+		return ta.tainted(s, e.X)
+	case *ast.TypeAssertExpr:
+		return ta.tainted(s, e.X)
+	}
+	return false
+}
+
+// isSeedCall reports whether the call reads raw decoded input.
+func (ta *taintState) isSeedCall(e *ast.CallExpr) bool {
+	if tv, ok := ta.info.Types[e.Fun]; ok && tv.IsType() {
+		return false
+	}
+	switch f := ast.Unparen(e.Fun).(type) {
+	case *ast.Ident:
+		return seedCallRe.MatchString(f.Name)
+	case *ast.SelectorExpr:
+		return seedCallRe.MatchString(f.Sel.Name)
+	}
+	return false
+}
+
+// checkSinks walks node n (without entering closures) and reports tainted
+// indexes, slice bounds, and make sizes.
+func (ta *taintState) checkSinks(s objSet, n ast.Node, out *[]Finding) {
+	inspectNoFuncLit(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.IndexExpr:
+			if ta.indexable(x.X) && ta.tainted(s, x.Index) {
+				*out = append(*out, ta.pkg.Module.newFinding("decodebound", x.Index.Pos(),
+					"input-derived value used as index without a prior range guard; corrupt input must error, not panic"))
+			}
+		case *ast.SliceExpr:
+			for _, b := range []ast.Expr{x.Low, x.High, x.Max} {
+				if b != nil && ta.tainted(s, b) {
+					*out = append(*out, ta.pkg.Module.newFinding("decodebound", b.Pos(),
+						"input-derived value used as slice bound without a prior range guard"))
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "make" {
+				if _, isBuiltin := objOf(ta.info, id).(*types.Builtin); isBuiltin {
+					for _, a := range x.Args[1:] {
+						if ta.tainted(s, a) {
+							*out = append(*out, ta.pkg.Module.newFinding("decodebound", a.Pos(),
+								"make size comes from unvalidated input: an attacker-chosen length is an allocation bomb; range-check it against the remaining payload first"))
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// indexable reports whether indexing e can panic on an out-of-range
+// index (slices, arrays, strings — not maps).
+func (ta *taintState) indexable(e ast.Expr) bool {
+	t := typeOf(ta.info, e)
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	case *types.Pointer:
+		_, ok := u.Elem().Underlying().(*types.Array)
+		return ok
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	}
+	return false
+}
+
+// checkLoopBound flags a for-condition in which some comparison involves
+// tainted data and no comparison is bounded purely by untainted terms.
+// `for i < n` with header-derived n loops an attacker-chosen number of
+// times; `for s < len(t) && cum <= f` stays bounded by len(t) even though
+// f is tainted, so it passes.
+func (ta *taintState) checkLoopBound(s objSet, cond ast.Expr, out *[]Finding) {
+	var cmps []*ast.BinaryExpr
+	var flatten func(e ast.Expr)
+	flatten = func(e ast.Expr) {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.BinaryExpr:
+			switch e.Op {
+			case token.LAND, token.LOR:
+				flatten(e.X)
+				flatten(e.Y)
+			case token.LSS, token.LEQ, token.GTR, token.GEQ, token.NEQ, token.EQL:
+				cmps = append(cmps, e)
+			}
+		}
+	}
+	flatten(cond)
+	anyTainted, anyClean := false, false
+	for _, c := range cmps {
+		xt, yt := ta.tainted(s, c.X), ta.tainted(s, c.Y)
+		if xt || yt {
+			anyTainted = true
+		} else {
+			anyClean = true
+		}
+	}
+	if anyTainted && !anyClean {
+		*out = append(*out, ta.pkg.Module.newFinding("decodebound", cond.Pos(),
+			"loop bound comes from unvalidated input: corrupt input controls the iteration count; guard it against the payload size first"))
+	}
+}
+
+// isByteSeq reports whether t is a byte slice or byte array.
+func isByteSeq(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	var elem types.Type
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		elem = u.Elem()
+	case *types.Array:
+		elem = u.Elem()
+	default:
+		return false
+	}
+	b, ok := elem.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}

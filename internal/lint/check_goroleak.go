@@ -1,0 +1,290 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// goroleakCheck verifies the worker-pool discipline of the parallel
+// dump/load path (§V.C of the paper): WaitGroup Add/Done pairing around
+// every go statement, and close-on-all-paths for every channel a
+// goroutine ranges over. A missed Add, a non-deferred Done, or a channel
+// that stays open on an error path deadlocks Wait or leaks the ranging
+// goroutine — exactly the failure the Figure-6 parallel model cannot
+// tolerate mid-dump.
+//
+// Three rules, all per function declaration:
+//
+//	R1 (syntactic)   wg.Done() inside a go-routine literal must be
+//	                 deferred, so a panicking worker cannot deadlock
+//	                 Wait.
+//	R2 (must-flow)   a go statement whose literal defers wg.Done() on a
+//	                 locally-declared WaitGroup must be preceded by
+//	                 wg.Add on every path.
+//	R3 (must-flow)   a locally-made channel that any code ranges over
+//	                 must be closed: by a defer, inside some goroutine,
+//	                 or on every path to the function's exit.
+type goroleakCheck struct{}
+
+func (goroleakCheck) Name() string { return "goroleak" }
+func (goroleakCheck) Doc() string {
+	return "flag WaitGroup Add/Done mispairing and ranged channels not closed on all paths"
+}
+
+func (goroleakCheck) Run(pkg *Package) []Finding {
+	var out []Finding
+	forEachFuncDecl(pkg, func(f *ast.File, d *ast.FuncDecl) {
+		if pkg.IsTestFile(f) {
+			return
+		}
+		ga := &goroAnalysis{pkg: pkg, info: pkg.Info}
+		ga.run(d, &out)
+	})
+	return out
+}
+
+type goroAnalysis struct {
+	pkg  *Package
+	info *types.Info
+}
+
+func (ga *goroAnalysis) run(d *ast.FuncDecl, out *[]Finding) {
+	ga.checkDeferredDone(d, out)
+
+	g := buildCFG(d.Body)
+	// Must-available facts: "wg.Add was called" / "close(ch) was called"
+	// (a registered defer counts — it is guaranteed to run by exit).
+	in := g.forwardFlow(objSet{}, false, func(b *cfgBlock, s objSet) objSet {
+		for _, n := range b.nodes {
+			ga.mustStep(s, n)
+		}
+		return s
+	})
+
+	// R2: every reachable go statement re-checked with statement-order
+	// precision inside its block.
+	for _, b := range g.reversePostorder() {
+		s, ok := in[b]
+		if !ok {
+			continue
+		}
+		s = s.clone()
+		for _, n := range b.nodes {
+			if gs, ok := n.(*ast.GoStmt); ok {
+				ga.checkAddBeforeGo(d, s, gs, out)
+			}
+			ga.mustStep(s, n)
+		}
+	}
+
+	ga.checkRangedClosed(d, g, in, out)
+}
+
+// checkDeferredDone implements R1 over the whole body, closures included.
+func (ga *goroAnalysis) checkDeferredDone(d *ast.FuncDecl, out *[]Finding) {
+	ast.Inspect(d.Body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		fl, ok := gs.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		deferred := map[*ast.CallExpr]bool{}
+		ast.Inspect(fl.Body, func(m ast.Node) bool {
+			if ds, ok := m.(*ast.DeferStmt); ok {
+				deferred[ds.Call] = true
+			}
+			return true
+		})
+		ast.Inspect(fl.Body, func(m ast.Node) bool {
+			if c, ok := m.(*ast.CallExpr); ok && ga.isWaitGroupCall(c, "Done") != nil && !deferred[c] {
+				*out = append(*out, ga.pkg.Module.newFinding("goroleak", c.Pos(),
+					"wg.Done() in a goroutine must be deferred: a panic between here and the end of the worker deadlocks Wait"))
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// checkAddBeforeGo implements R2 for one go statement, given the must
+// state just before it.
+func (ga *goroAnalysis) checkAddBeforeGo(d *ast.FuncDecl, s objSet, gs *ast.GoStmt, out *[]Finding) {
+	fl, ok := gs.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(fl.Body, func(m ast.Node) bool {
+		ds, ok := m.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		obj := ga.isWaitGroupCall(ds.Call, "Done")
+		if obj == nil {
+			return true
+		}
+		// Only WaitGroups declared inside this function body: for a
+		// parameter or captured variable the matching Add may be in the
+		// caller.
+		if obj.Pos() < d.Body.Pos() || obj.Pos() >= d.Body.End() {
+			return true
+		}
+		if !s[obj] {
+			*out = append(*out, ga.pkg.Module.newFinding("goroleak", gs.Pos(),
+				"goroutine defers %s.Done() but %s.Add() is not guaranteed on every path before the go statement",
+				obj.Name(), obj.Name()))
+		}
+		return true
+	})
+}
+
+// checkRangedClosed implements R3.
+func (ga *goroAnalysis) checkRangedClosed(d *ast.FuncDecl, g *cfg, in map[*cfgBlock]objSet, out *[]Finding) {
+	// Locally-made channels, found outside closures.
+	chans := map[types.Object]ast.Node{}
+	inspectNoFuncLit(d.Body, func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range a.Lhs {
+			if i >= len(a.Rhs) {
+				break
+			}
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if !isMakeChan(ga.info, a.Rhs[i]) {
+				continue
+			}
+			if obj := objOf(ga.info, id); obj != nil {
+				chans[obj] = a
+			}
+		}
+		return true
+	})
+	if len(chans) == 0 {
+		return
+	}
+
+	// Who ranges, and who closes inside a closure?
+	ranged := map[types.Object]bool{}
+	closedInLit := map[types.Object]bool{}
+	var litDepth int
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			litDepth++
+			ast.Inspect(n.Body, walk)
+			litDepth--
+			return false
+		case *ast.RangeStmt:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+				if obj := objOf(ga.info, id); obj != nil {
+					ranged[obj] = true
+				}
+			}
+		case *ast.CallExpr:
+			if obj := closeTarget(ga.info, n); obj != nil && litDepth > 0 {
+				closedInLit[obj] = true
+			}
+		}
+		return true
+	}
+	ast.Inspect(d.Body, walk)
+
+	exitState := in[g.exit]
+	for obj, site := range chans {
+		if !ranged[obj] || closedInLit[obj] || (exitState != nil && exitState[obj]) {
+			continue
+		}
+		*out = append(*out, ga.pkg.Module.newFinding("goroleak", site.Pos(),
+			"channel %s is ranged over but close(%s) is not guaranteed on every path to return; the ranging goroutine leaks",
+			obj.Name(), obj.Name()))
+	}
+}
+
+// mustStep adds the facts node n establishes: wg.Add called, close(ch)
+// called (deferred calls count — they are guaranteed by exit).
+func (ga *goroAnalysis) mustStep(s objSet, n ast.Node) {
+	inspectEvaluated(n, func(x ast.Node) bool {
+		c, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if obj := ga.isWaitGroupCall(c, "Add"); obj != nil {
+			s[obj] = true
+		}
+		if obj := closeTarget(ga.info, c); obj != nil {
+			s[obj] = true
+		}
+		return true
+	})
+}
+
+// isWaitGroupCall returns the root variable when c is a method call named
+// method on a sync.WaitGroup value or pointer.
+func (ga *goroAnalysis) isWaitGroupCall(c *ast.CallExpr, method string) types.Object {
+	sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return nil
+	}
+	t := typeOf(ga.info, sel.X)
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil ||
+		named.Obj().Pkg().Path() != "sync" || named.Obj().Name() != "WaitGroup" {
+		return nil
+	}
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		return objOf(ga.info, id)
+	}
+	return nil
+}
+
+// closeTarget returns the channel variable when c is close(ch) on an
+// identifier.
+func closeTarget(info *types.Info, c *ast.CallExpr) types.Object {
+	id, ok := ast.Unparen(c.Fun).(*ast.Ident)
+	if !ok || id.Name != "close" {
+		return nil
+	}
+	if _, builtin := objOf(info, id).(*types.Builtin); !builtin || len(c.Args) != 1 {
+		return nil
+	}
+	arg, ok := ast.Unparen(c.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return objOf(info, arg)
+}
+
+// isMakeChan reports whether e is make(chan ...).
+func isMakeChan(info *types.Info, e ast.Expr) bool {
+	c, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(c.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(c.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	if _, builtin := objOf(info, id).(*types.Builtin); !builtin {
+		return false
+	}
+	t := typeOf(info, c.Args[0])
+	if t == nil {
+		return false
+	}
+	_, isChan := t.Underlying().(*types.Chan)
+	return isChan
+}

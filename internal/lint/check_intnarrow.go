@@ -1,0 +1,309 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// intnarrowCheck flags integer conversions that can silently truncate and
+// shifts by amounts at or beyond the operand's width, in the bit-level
+// codec packages (bitio, huffman, rangecoder, zfp, floatbits). Lemma 2's
+// round-off guarantee survives only if quantization indices and code
+// words never lose high bits on their way through the bit stream; a
+// narrowing conversion that is actually safe must carry an audited
+// //lint:allow intnarrow annotation stating the width invariant.
+//
+// The check bounds each operand's possible magnitude with a conservative
+// "maximum value bits" inference (constants, masks, shifts, remainders
+// and nested conversions tighten the bound; anything else falls back to
+// the type's width, counting signed types as width-1 value bits), and
+// flags a conversion only when the target type cannot represent that
+// bound.
+type intnarrowCheck struct{}
+
+func (intnarrowCheck) Name() string { return "intnarrow" }
+func (intnarrowCheck) Doc() string {
+	return "flag possibly-truncating integer conversions and over-wide shifts in bit-level codec packages"
+}
+
+// intnarrowScope is keyed by package name: only the packages doing
+// bit-level index math are held to this rule.
+var intnarrowScope = map[string]bool{
+	"bitio": true, "huffman": true, "rangecoder": true,
+	"zfp": true, "floatbits": true, "fixture": true,
+}
+
+func (c intnarrowCheck) Run(pkg *Package) []Finding {
+	if !intnarrowScope[pkg.Pkg.Name()] {
+		return nil
+	}
+	var out []Finding
+	for _, f := range pkg.Files {
+		if pkg.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if fd := c.checkConversion(pkg, n); fd != nil {
+					out = append(out, *fd)
+				}
+			case *ast.BinaryExpr:
+				if fd := c.checkShift(pkg, n); fd != nil {
+					out = append(out, *fd)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkConversion flags T(x) when T cannot hold every value x can have.
+func (intnarrowCheck) checkConversion(pkg *Package, call *ast.CallExpr) *Finding {
+	if len(call.Args) != 1 {
+		return nil
+	}
+	tv, ok := pkg.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil
+	}
+	dst := intValueBits(tv.Type)
+	if dst < 0 {
+		return nil
+	}
+	arg := call.Args[0]
+	atv, ok := pkg.Info.Types[arg]
+	if !ok || atv.Value != nil || intValueBits(atv.Type) < 0 {
+		// Non-integer or constant operand: constant overflow is a
+		// compile error already.
+		return nil
+	}
+	src := maxBitsOf(pkg.Info, arg)
+	if src <= dst {
+		return nil
+	}
+	fd := pkg.Module.newFinding("intnarrow", call.Pos(),
+		"conversion to %s may truncate: operand can need %d value bits, %s holds %d; mask the operand or annotate the audited width invariant with //lint:allow intnarrow",
+		types.TypeString(tv.Type, types.RelativeTo(pkg.Pkg)), src,
+		types.TypeString(tv.Type, types.RelativeTo(pkg.Pkg)), dst)
+	return &fd
+}
+
+// checkShift flags x << c / x >> c with constant c >= the full bit width
+// of x's type (the result is always 0 or the sign fill — almost certainly
+// a mis-computed shift distance).
+func (intnarrowCheck) checkShift(pkg *Package, e *ast.BinaryExpr) *Finding {
+	if e.Op != token.SHL && e.Op != token.SHR {
+		return nil
+	}
+	if tv, ok := pkg.Info.Types[e]; ok && tv.Value != nil {
+		return nil // constant expression, compiler-checked
+	}
+	c, ok := intConstOf(pkg.Info, e.Y)
+	if !ok {
+		return nil
+	}
+	w := intFullBits(typeOf(pkg.Info, e.X))
+	if w < 0 || c < int64(w) {
+		return nil
+	}
+	fd := pkg.Module.newFinding("intnarrow",
+		e.OpPos, "shift by %d on a %d-bit operand always yields the fill value", c, w)
+	return &fd
+}
+
+// --- width inference ---------------------------------------------------
+
+// intValueBits returns the number of value bits type t can represent, or
+// -1 when t is not an integer type. Signed types count width-1 bits: a
+// conversion that can only be fed non-negative values fitting the value
+// bits is safe, anything wider may flip the sign.
+func intValueBits(t types.Type) int {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return -1
+	}
+	switch b.Kind() {
+	case types.Int, types.Int64:
+		return 63
+	case types.Int32, types.UntypedRune:
+		return 31
+	case types.Int16:
+		return 15
+	case types.Int8:
+		return 7
+	case types.Uint, types.Uint64, types.Uintptr:
+		return 64
+	case types.Uint32:
+		return 32
+	case types.Uint16:
+		return 16
+	case types.Uint8:
+		return 8
+	case types.UntypedInt:
+		return 64
+	}
+	return -1
+}
+
+// intFullBits is the storage width of integer type t (signed included),
+// or -1 for non-integers.
+func intFullBits(t types.Type) int {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return -1
+	}
+	switch b.Kind() {
+	case types.Int, types.Int64, types.Uint, types.Uint64, types.Uintptr:
+		return 64
+	case types.Int32, types.Uint32, types.UntypedRune:
+		return 32
+	case types.Int16, types.Uint16:
+		return 16
+	case types.Int8, types.Uint8:
+		return 8
+	case types.UntypedInt:
+		return 64
+	}
+	return -1
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func isUnsignedInt(info *types.Info, e ast.Expr) bool {
+	t := typeOf(info, e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsUnsigned != 0
+}
+
+// intConstOf returns e's non-negative integer constant value.
+func intConstOf(info *types.Info, e ast.Expr) (int64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v := constant.ToInt(tv.Value)
+	if v.Kind() != constant.Int || constant.Sign(v) < 0 {
+		return 0, false
+	}
+	n, exact := constant.Int64Val(v)
+	if !exact {
+		return 1 << 62, true // huge constant: treat as "very large"
+	}
+	return n, true
+}
+
+// maxBitsOf conservatively bounds the number of value bits expression e
+// can need. Masks, right shifts, remainders by constants and nested
+// conversions tighten the bound; everything else returns the type width.
+func maxBitsOf(info *types.Info, e ast.Expr) int {
+	e = ast.Unparen(e)
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		v := constant.ToInt(tv.Value)
+		if v.Kind() == constant.Int && constant.Sign(v) >= 0 {
+			return constant.BitLen(v)
+		}
+		return 64
+	}
+	fallback := func() int {
+		if w := intValueBits(typeOf(info, e)); w >= 0 {
+			return w
+		}
+		return 64
+	}
+	switch x := e.(type) {
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.AND:
+			// x & c is in [0, c] for non-negative constant c regardless
+			// of x's sign (two's complement); for two unknowns the min
+			// rule needs both unsigned.
+			if c, ok := intConstOf(info, x.X); ok {
+				return minInt(bitLen64(c), maxBitsOf(info, x.Y))
+			}
+			if c, ok := intConstOf(info, x.Y); ok {
+				return minInt(maxBitsOf(info, x.X), bitLen64(c))
+			}
+			if isUnsignedInt(info, x.X) && isUnsignedInt(info, x.Y) {
+				return minInt(maxBitsOf(info, x.X), maxBitsOf(info, x.Y))
+			}
+		case token.SHR:
+			if c, ok := intConstOf(info, x.Y); ok && isUnsignedInt(info, x.X) {
+				b := maxBitsOf(info, x.X) - int(minInt64(c, 64))
+				if b < 0 {
+					b = 0
+				}
+				return b
+			}
+		case token.SHL:
+			if c, ok := intConstOf(info, x.Y); ok {
+				return minInt(fallback(), maxBitsOf(info, x.X)+int(minInt64(c, 64)))
+			}
+		case token.REM:
+			// x % c < c for unsigned x and positive constant c.
+			if c, ok := intConstOf(info, x.Y); ok && c > 0 && isUnsignedInt(info, x.X) {
+				return minInt(maxBitsOf(info, x.X), bitLen64(c-1))
+			}
+		case token.OR, token.XOR:
+			return minInt(fallback(), maxInt(maxBitsOf(info, x.X), maxBitsOf(info, x.Y)))
+		case token.ADD:
+			return minInt(fallback(), maxInt(maxBitsOf(info, x.X), maxBitsOf(info, x.Y))+1)
+		}
+		return fallback()
+	case *ast.CallExpr:
+		// A nested conversion bounds the value by the intermediate type.
+		if len(x.Args) == 1 {
+			if tv, ok := info.Types[x.Fun]; ok && tv.IsType() {
+				if w := intValueBits(tv.Type); w >= 0 {
+					inner := maxBitsOf(info, x.Args[0])
+					if iw := intValueBits(typeOf(info, x.Args[0])); iw < 0 {
+						inner = w // float/string source: only the type bound
+					}
+					return minInt(w, inner)
+				}
+			}
+		}
+		return fallback()
+	}
+	return fallback()
+}
+
+func bitLen64(v int64) int {
+	n := 0
+	for u := uint64(v); u != 0; u >>= 1 {
+		n++
+	}
+	return n
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

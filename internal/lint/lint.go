@@ -18,6 +18,22 @@
 //	benchclock — tests must not assert orderings of wall-clock-derived
 //	             durations without a race-detector/CI guard.
 //
+// Five further checks run on a per-function dataflow engine (cfg.go): a
+// statement-level control-flow graph with reaching definitions and
+// forward may/must set analyses:
+//
+//	intnarrow   — no possibly-truncating integer conversion or over-wide
+//	              shift in the bit-level codec packages.
+//	decodebound — taint: input-derived values must pass a range guard
+//	              before indexing, sizing an allocation, or bounding a
+//	              loop in decode paths.
+//	goroleak    — WaitGroup Add/Done pairing around every go statement
+//	              and close-on-all-paths for ranged channels.
+//	allochot    — no per-iteration make()/grow-from-empty append() in
+//	              hot codec loops.
+//	encdecpair  — every exported Encode/Compress has a mirrored
+//	              Decode/Decompress with matching option structs.
+//
 // Findings can be suppressed with an inline comment on the same line or
 // the line above:
 //
@@ -77,6 +93,11 @@ func AllChecks() []Check {
 		errdropCheck{},
 		logbaseCheck{},
 		benchclockCheck{},
+		intnarrowCheck{},
+		decodeboundCheck{},
+		goroleakCheck{},
+		allochotCheck{},
+		encdecpairCheck{},
 	}
 }
 

@@ -1,0 +1,482 @@
+package lint
+
+import "testing"
+
+// Fixture tests for the dataflow checks (intnarrow, decodebound,
+// goroleak, allochot, encdecpair). Each check gets at least one seeded
+// violation, one clean variant exercising the analysis that clears it,
+// and — where the module relies on it — a suppression test.
+
+// --- intnarrow ---------------------------------------------------------
+
+func TestIntnarrowConversion(t *testing.T) {
+	findings, _ := runCheck(t, "intnarrow", map[string]string{
+		"a.go": `package fixture
+
+func Narrow(x uint64) uint32 {
+	return uint32(x)
+}
+`,
+	})
+	wantOne(t, findings, 4, "may truncate")
+}
+
+func TestIntnarrowSignFlip(t *testing.T) {
+	// uint64 -> int: 64 value bits do not fit int's 63; the top bit would
+	// land in the sign.
+	findings, _ := runCheck(t, "intnarrow", map[string]string{
+		"a.go": `package fixture
+
+func ToInt(x uint64) int {
+	return int(x)
+}
+`,
+	})
+	wantOne(t, findings, 4, "may truncate")
+}
+
+func TestIntnarrowOverWideShift(t *testing.T) {
+	findings, _ := runCheck(t, "intnarrow", map[string]string{
+		"a.go": `package fixture
+
+func Fill(x uint32) uint32 {
+	return x << 32
+}
+`,
+	})
+	wantOne(t, findings, 4, "fill value")
+}
+
+func TestIntnarrowBoundedOperandsClean(t *testing.T) {
+	findings, suppressed := runCheck(t, "intnarrow", map[string]string{
+		"a.go": `package fixture
+
+func Pack(x uint64, b byte) uint64 {
+	lo := uint32(x & 0xFFFFFFFF) // mask bounds the operand
+	hi := uint16(x >> 48)        // shift leaves 16 value bits
+	m := byte(x % 256)           // remainder bounds the operand
+	w := uint64(b)               // widening is always safe
+	s := x >> 31                 // shift below the width is fine
+	return uint64(lo) + uint64(hi) + uint64(m) + w + s
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 0)
+}
+
+func TestIntnarrowSuppressed(t *testing.T) {
+	findings, suppressed := runCheck(t, "intnarrow", map[string]string{
+		"a.go": `package fixture
+
+func Trunc(x uint64) byte {
+	return byte(x) //lint:allow intnarrow caller guarantees x < 256
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 1)
+}
+
+// --- decodebound -------------------------------------------------------
+
+func TestDecodeboundTaintedIndex(t *testing.T) {
+	findings, _ := runCheck(t, "decodebound", map[string]string{
+		"a.go": `package fixture
+
+func Decode(buf []byte) byte {
+	n := int(buf[0])
+	return buf[n]
+}
+`,
+	})
+	wantOne(t, findings, 5, "without a prior range guard")
+}
+
+func TestDecodeboundTaintedMakeSize(t *testing.T) {
+	findings, _ := runCheck(t, "decodebound", map[string]string{
+		"a.go": `package fixture
+
+func Uvarint(b []byte) (uint64, int) {
+	return 0, 0
+}
+
+func Parse(buf []byte) []byte {
+	n, _ := Uvarint(buf)
+	return make([]byte, n)
+}
+`,
+	})
+	wantOne(t, findings, 9, "allocation bomb")
+}
+
+func TestDecodeboundTaintedLoopBound(t *testing.T) {
+	findings, _ := runCheck(t, "decodebound", map[string]string{
+		"a.go": `package fixture
+
+func ParseCount(buf []byte) int {
+	n := int(buf[0])
+	t := 0
+	for i := 0; i < n; i++ {
+		t++
+	}
+	return t
+}
+`,
+	})
+	wantOne(t, findings, 6, "iteration count")
+}
+
+func TestDecodeboundGuardSanitizes(t *testing.T) {
+	findings, suppressed := runCheck(t, "decodebound", map[string]string{
+		"a.go": `package fixture
+
+func Decode(buf []byte) byte {
+	n := int(buf[0])
+	if n >= len(buf) {
+		return 0
+	}
+	return buf[n]
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 0)
+}
+
+func TestDecodeboundMixedLoopBoundPasses(t *testing.T) {
+	// The rangecoder symbol-search shape: one comparison is tainted but
+	// another bounds the loop by untainted terms, so the iteration count
+	// stays under the decoder's control.
+	findings, suppressed := runCheck(t, "decodebound", map[string]string{
+		"a.go": `package fixture
+
+func DecodeSym(buf []byte, freq []uint32) int {
+	f := uint32(buf[0])
+	var cum uint32
+	s := 0
+	for s < len(freq) && cum+freq[s] <= f {
+		cum += freq[s]
+		s++
+	}
+	return s
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 0)
+}
+
+func TestDecodeboundNonDecodeFunctionExempt(t *testing.T) {
+	findings, suppressed := runCheck(t, "decodebound", map[string]string{
+		"a.go": `package fixture
+
+func Transform(buf []byte) byte {
+	n := int(buf[0])
+	return buf[n]
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 0)
+}
+
+func TestDecodeboundSuppressed(t *testing.T) {
+	findings, suppressed := runCheck(t, "decodebound", map[string]string{
+		"a.go": `package fixture
+
+func Decode(buf []byte) byte {
+	n := int(buf[0])
+	//lint:allow decodebound n < 256 and buf is at least 4 KiB by contract
+	return buf[n]
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 1)
+}
+
+// --- goroleak ----------------------------------------------------------
+
+func TestGoroleakDoneNotDeferred(t *testing.T) {
+	findings, _ := runCheck(t, "goroleak", map[string]string{
+		"a.go": `package fixture
+
+import "sync"
+
+func Run() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		wg.Done()
+	}()
+	wg.Wait()
+}
+`,
+	})
+	wantOne(t, findings, 9, "must be deferred")
+}
+
+func TestGoroleakAddMissing(t *testing.T) {
+	findings, _ := runCheck(t, "goroleak", map[string]string{
+		"a.go": `package fixture
+
+import "sync"
+
+func Run() {
+	var wg sync.WaitGroup
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+`,
+	})
+	wantOne(t, findings, 7, "not guaranteed on every path")
+}
+
+func TestGoroleakPairedClean(t *testing.T) {
+	findings, suppressed := runCheck(t, "goroleak", map[string]string{
+		"a.go": `package fixture
+
+import "sync"
+
+func Run(work []int) {
+	var wg sync.WaitGroup
+	for range work {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 0)
+}
+
+func TestGoroleakRangedChannelNotClosed(t *testing.T) {
+	findings, _ := runCheck(t, "goroleak", map[string]string{
+		"a.go": `package fixture
+
+func Drain() int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 1
+	}()
+	t := 0
+	for v := range ch {
+		t += v
+	}
+	return t
+}
+`,
+	})
+	wantOne(t, findings, 4, "ranged over")
+}
+
+func TestGoroleakChannelClosedInGoroutine(t *testing.T) {
+	findings, suppressed := runCheck(t, "goroleak", map[string]string{
+		"a.go": `package fixture
+
+func Drain() int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 1
+		close(ch)
+	}()
+	t := 0
+	for v := range ch {
+		t += v
+	}
+	return t
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 0)
+}
+
+func TestGoroleakDeferredCloseClean(t *testing.T) {
+	findings, suppressed := runCheck(t, "goroleak", map[string]string{
+		"a.go": `package fixture
+
+func Produce(xs []int) []int {
+	ch := make(chan int, len(xs))
+	defer close(ch)
+	for _, x := range xs {
+		ch <- x
+	}
+	out := make([]int, 0, len(xs))
+	go func() {
+		for v := range ch {
+			out = append(out, v)
+		}
+	}()
+	return out
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 0)
+}
+
+// --- allochot ----------------------------------------------------------
+
+func TestAllochotMakeInLoop(t *testing.T) {
+	findings, _ := runCheck(t, "allochot", map[string]string{
+		"a.go": `package fixture
+
+func Sum(rows [][]int) int {
+	t := 0
+	for _, r := range rows {
+		buf := make([]int, len(r))
+		copy(buf, r)
+		t += buf[0]
+	}
+	return t
+}
+`,
+	})
+	wantOne(t, findings, 6, "hoist the buffer")
+}
+
+func TestAllochotAppendFromEmpty(t *testing.T) {
+	findings, _ := runCheck(t, "allochot", map[string]string{
+		"a.go": `package fixture
+
+func Double(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, 2*x)
+	}
+	return out
+}
+`,
+	})
+	wantOne(t, findings, 6, "preallocate")
+}
+
+func TestAllochotPreallocatedClean(t *testing.T) {
+	findings, suppressed := runCheck(t, "allochot", map[string]string{
+		"a.go": `package fixture
+
+func Double(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, 2*x)
+	}
+	return out
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 0)
+}
+
+func TestAllochotSuppressed(t *testing.T) {
+	findings, suppressed := runCheck(t, "allochot", map[string]string{
+		"a.go": `package fixture
+
+func Headers(n int) [][]byte {
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		//lint:allow allochot each header is retained by the caller
+		h := make([]byte, 8)
+		out = append(out, h)
+	}
+	return out
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 1)
+}
+
+// --- encdecpair --------------------------------------------------------
+
+func TestEncdecpairMissingMirror(t *testing.T) {
+	findings, _ := runCheck(t, "encdecpair", map[string]string{
+		"a.go": `package fixture
+
+func CompressBlock(b []byte) []byte {
+	return b
+}
+`,
+	})
+	wantOne(t, findings, 3, "no mirrored DecompressBlock")
+}
+
+func TestEncdecpairBareDecoderFallback(t *testing.T) {
+	// A self-describing stream decodes through the package's bare
+	// Decompress even when the encoder name is qualified.
+	findings, suppressed := runCheck(t, "encdecpair", map[string]string{
+		"a.go": `package fixture
+
+func CompressBlock(b []byte) []byte {
+	return b
+}
+
+func Decompress(b []byte) ([]byte, error) {
+	return b, nil
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 0)
+}
+
+func TestEncdecpairWordBoundary(t *testing.T) {
+	// Encoder and CompressionRatio are words of their own, not
+	// Encode/Compress prefixes.
+	findings, suppressed := runCheck(t, "encdecpair", map[string]string{
+		"a.go": `package fixture
+
+type Encoder struct{}
+
+func NewEncoder() *Encoder {
+	return &Encoder{}
+}
+
+func CompressionRatio(raw, packed int) float64 {
+	return float64(raw) / float64(packed)
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 0)
+}
+
+func TestEncdecpairOptionsMismatch(t *testing.T) {
+	findings, _ := runCheck(t, "encdecpair", map[string]string{
+		"a.go": `package fixture
+
+type EncodeOptions struct {
+	Level int
+	Fast  bool
+}
+
+type DecodeOptions struct {
+	Level int
+}
+
+func EncodeFrame(b []byte, o *EncodeOptions) []byte {
+	return b
+}
+
+func DecodeFrame(b []byte, o *DecodeOptions) []byte {
+	return b
+}
+`,
+	})
+	wantOne(t, findings, 12, "field Fast missing on the decode side")
+}
+
+func TestEncdecpairMatchingOptionsClean(t *testing.T) {
+	findings, suppressed := runCheck(t, "encdecpair", map[string]string{
+		"a.go": `package fixture
+
+type FrameOptions struct {
+	Level int
+}
+
+func EncodeFrame(b []byte, o *FrameOptions) []byte {
+	return b
+}
+
+func DecodeFrame(b []byte, o *FrameOptions) []byte {
+	return b
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 0)
+}

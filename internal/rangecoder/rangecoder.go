@@ -151,6 +151,7 @@ func NewAdaptiveModel(alphabet int) *AdaptiveModel {
 	for i := range m.freq {
 		m.freq[i] = 1
 	}
+	//lint:allow intnarrow alphabet < 2^15 by coder contract: total must stay below limit (1<<15)
 	m.total = uint32(alphabet)
 	return m
 }
@@ -201,10 +202,10 @@ func (m *AdaptiveModel) update(s int) {
 func (e *Encoder) EncodeBits(v uint64, width uint) {
 	for width > 16 {
 		width -= 16
-		e.Encode(uint32(v>>width)&0xFFFF, 1, 1<<16)
+		e.Encode(uint32(v>>width&0xFFFF), 1, 1<<16)
 	}
 	if width > 0 {
-		e.Encode(uint32(v)&((1<<width)-1), 1, 1<<width)
+		e.Encode(uint32(v&0xFFFF)&((1<<width)-1), 1, 1<<width)
 	}
 }
 

@@ -404,7 +404,7 @@ func encodePayload(codes []int, alphabet int, raw *rawEncoder) ([]byte, error) {
 
 func decodePayload(payload []byte) (codes []int, raw *rawDecoder, err error) {
 	hlen, k := bitio.Uvarint(payload)
-	if k == 0 || int(hlen) > len(payload)-k {
+	if k == 0 || hlen > uint64(len(payload)-k) {
 		return nil, nil, ErrCorrupt
 	}
 	off := k
@@ -422,7 +422,7 @@ func decodePayload(payload []byte) (codes []int, raw *rawDecoder, err error) {
 	}
 	off += k
 	blen, k := bitio.Uvarint(payload[off:])
-	if k == 0 || int(blen) > len(payload)-off-k {
+	if k == 0 || blen > uint64(len(payload)-off-k) {
 		return nil, nil, ErrCorrupt
 	}
 	off += k
@@ -548,7 +548,7 @@ func parseHeader(buf []byte) (mode int, dims []int, bound float64, intervals, bl
 	flags := buf[off]
 	off++
 	blen, k := bitio.Uvarint(buf[off:])
-	if k == 0 || int(blen) > len(buf)-off-k {
+	if k == 0 || blen > uint64(len(buf)-off-k) {
 		err = ErrCorrupt
 		return
 	}

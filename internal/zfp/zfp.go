@@ -122,6 +122,7 @@ func compress(data []float64, dims []int, mode int, tol float64, prec int) ([]by
 
 	head := make([]byte, 0, 64)
 	head = binary.BigEndian.AppendUint32(head, magic)
+	//lint:allow intnarrow mode is one of the three small mode constants
 	head = append(head, byte(mode))
 	head = bitio.AppendUvarint(head, uint64(rank))
 	for _, d := range dims {
@@ -168,6 +169,7 @@ func Decompress(buf []byte) ([]float64, []int, error) {
 		return nil, nil, ErrCorrupt
 	}
 	off += k
+	//lint:allow intnarrow guarded above: rankU <= maxRank
 	rank := int(rankU)
 	dims := make([]int, rank)
 	for i := range dims {
@@ -175,6 +177,7 @@ func Decompress(buf []byte) ([]float64, []int, error) {
 		if k == 0 || d == 0 || d > 1<<40 {
 			return nil, nil, ErrCorrupt
 		}
+		//lint:allow intnarrow guarded above: d <= 1<<40
 		dims[i] = int(d)
 		off += k
 	}
@@ -201,14 +204,18 @@ func Decompress(buf []byte) ([]float64, []int, error) {
 		if k == 0 || p < 1 || p > maxP {
 			return nil, nil, ErrCorrupt
 		}
+		//lint:allow intnarrow guarded above: p <= maxP
 		prec = int(p)
 		off += k
 	}
 	plen, k := bitio.Uvarint(buf[off:])
-	if k == 0 || int(plen) > len(buf)-off-k {
+	// Compare in uint64: int(plen) of a near-2^64 length would wrap
+	// negative and slip past an int comparison.
+	if k == 0 || plen > uint64(len(buf)-off-k) {
 		return nil, nil, ErrCorrupt
 	}
 	off += k
+	//lint:allow intnarrow guarded above: plen <= len(buf)
 	r := bitio.NewReader(buf[off : off+int(plen)])
 
 	n := grid.Size(dims)
@@ -421,6 +428,7 @@ func decodeBlock(r *bitio.Reader, block []float64, rank, mode, minexp, prec int,
 	if err != nil {
 		return err
 	}
+	//lint:allow intnarrow e < 2^ebitsField by the ReadBits contract
 	emax := int(e) - ebias
 	if emax < -1090 || emax > 1030 {
 		return ErrCorrupt
@@ -462,6 +470,8 @@ func skipPad(r *bitio.Reader, start uint64, budget int) error {
 }
 
 func int2uint(x int64) uint64 { return (uint64(x) + nbmask) ^ nbmask }
+
+//lint:allow intnarrow intentional negabinary reinterpretation across the full 64-bit width
 func uint2int(u uint64) int64 { return int64((u ^ nbmask) - nbmask) }
 
 // fwdLift applies ZFP's forward lifting step to four values at stride s.
@@ -698,6 +708,7 @@ func decodeInts(r *bitio.Reader, data []uint64, maxprec, budget int) error {
 		if m < n {
 			// Truncated plane: deposit what we have and stop reading more
 			// of this plane (mirrors the encoder's continue).
+			//lint:allow decodebound x only has bits below size set, so this runs < size iterations
 			for i := 0; x != 0; i, x = i+1, x>>1 {
 				data[i] += (x & 1) << uint(k)
 			}
@@ -726,6 +737,7 @@ func decodeInts(r *bitio.Reader, data []uint64, maxprec, budget int) error {
 			x |= uint64(1) << uint(n)
 			n++
 		}
+		//lint:allow decodebound x only has bits below size set, so this runs < size iterations
 		for i := 0; x != 0; i, x = i+1, x>>1 {
 			data[i] += (x & 1) << uint(k)
 		}
