@@ -41,7 +41,7 @@ func (w *ArchiveWriter) AddCompressed(name string, stream []byte) error {
 			return fmt.Errorf("repro: duplicate field %q", name)
 		}
 	}
-	if !IsParallelStream(stream) {
+	if !IsParallelStream(stream) && !IsStreamContainer(stream) {
 		if _, err := AlgorithmOf(stream); err != nil {
 			return fmt.Errorf("repro: field %q: %w", name, err)
 		}

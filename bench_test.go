@@ -7,6 +7,10 @@ package repro_test
 // custom metrics; run cmd/benchtables for the full printed tables.
 
 import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
 	"testing"
 
 	"repro"
@@ -293,6 +297,83 @@ func BenchmarkDecompressZFPT(b *testing.B)    { benchDecompress(b, repro.ZFPT) }
 func BenchmarkDecompressSZPWR(b *testing.B)   { benchDecompress(b, repro.SZPWR) }
 func BenchmarkDecompressFPZIP(b *testing.B)   { benchDecompress(b, repro.FPZIP) }
 func BenchmarkDecompressISABELA(b *testing.B) { benchDecompress(b, repro.ISABELA) }
+
+// --- Streaming pipeline benchmarks -------------------------------------
+//
+// BenchmarkCompressParallel vs BenchmarkCompressStream on the same field
+// and chunking is the acceptance comparison for the bounded-memory
+// pipeline: the streaming path must stay within ~10% of the in-memory
+// parallel path's throughput while holding O(workers × chunk) floats.
+
+func benchStreamField(b *testing.B) (datagen.Field, []byte) {
+	b.Helper()
+	f := datagen.NYX(64, 99)[0] // dark_matter_density 64^3, 2 MiB
+	raw := make([]byte, len(f.Data)*8)
+	for i, v := range f.Data {
+		binary.LittleEndian.PutUint64(raw[i*8:], math.Float64bits(v))
+	}
+	return f, raw
+}
+
+const benchStreamChunks = 8
+
+func BenchmarkCompressParallel(b *testing.B) {
+	f, _ := benchStreamField(b)
+	b.SetBytes(int64(f.Bytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := repro.CompressParallel(f.Data, f.Dims, 1e-2, repro.SZT,
+			&repro.ParallelOptions{Chunks: benchStreamChunks})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(f.Bytes())/float64(len(buf)), "ratio")
+		}
+	}
+}
+
+func BenchmarkCompressStream(b *testing.B) {
+	f, raw := benchStreamField(b)
+	chunkRows := (f.Dims[0] + benchStreamChunks - 1) / benchStreamChunks
+	var out bytes.Buffer
+	out.Grow(len(raw))
+	b.SetBytes(int64(f.Bytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out.Reset()
+		st, err := repro.CompressStream(bytes.NewReader(raw), &out, f.Dims, 1e-2, repro.SZT,
+			&repro.StreamOptions{ChunkRows: chunkRows})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(st.BytesIn)/float64(st.BytesOut), "ratio")
+			b.ReportMetric(float64(st.MaxInFlight), "max-in-flight")
+		}
+	}
+}
+
+func BenchmarkDecompressStream(b *testing.B) {
+	f, raw := benchStreamField(b)
+	chunkRows := (f.Dims[0] + benchStreamChunks - 1) / benchStreamChunks
+	var comp bytes.Buffer
+	if _, err := repro.CompressStream(bytes.NewReader(raw), &comp, f.Dims, 1e-2, repro.SZT,
+		&repro.StreamOptions{ChunkRows: chunkRows}); err != nil {
+		b.Fatal(err)
+	}
+	stream := comp.Bytes()
+	b.SetBytes(int64(f.Bytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.DecompressStream(bytes.NewReader(stream), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // --- Allocation microbenchmarks (allochot remediation) -----------------
 //

@@ -40,7 +40,7 @@ go test -race ./...
 
 if [[ "${FUZZTIME}" != "0" ]]; then
     step "fuzz smoke (${FUZZTIME} per target)"
-    for target in FuzzDecompress FuzzDecompressParallel FuzzOpenArchive FuzzHeaderMutation FuzzCompressRoundTrip; do
+    for target in FuzzDecompress FuzzDecompressParallel FuzzOpenArchive FuzzHeaderMutation FuzzCompressRoundTrip FuzzDecompressStream FuzzStreamRoundTrip; do
         echo "-- ${target}"
         go test -run='^$' -fuzz="^${target}\$" -fuzztime="${FUZZTIME}" .
     done

@@ -6,11 +6,20 @@
 // Example:
 //
 //	parallelio -cores 1024,2048,4096 -rel 1e-2 -per-rank-gb 3 -peak-write-gbs 8
+//
+// With -stream the per-core rates are measured through the bounded-memory
+// streaming pipeline (CompressStream/DecompressStream) instead of the
+// in-memory compressors — the regime a rank dumping a field larger than
+// its memory budget actually runs in.
 package main
 
 import (
+	"bytes"
+	"encoding/binary"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -30,6 +39,8 @@ func main() {
 		peakReadGBs  = flag.Float64("peak-read-gbs", 10, "aggregate read bandwidth (GB/s)")
 		side         = flag.Int("side", 64, "NYX cube side for the rate measurement")
 		seed         = flag.Int64("seed", 20180704, "workload seed")
+		stream       = flag.Bool("stream", false, "measure rates through the bounded-memory streaming pipeline")
+		workers      = flag.Int("workers", 0, "streaming worker count (default GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -46,8 +57,12 @@ func main() {
 	bytesPerRank := int64(*perRankGB * float64(1<<30))
 	algos := []repro.Algorithm{repro.SZPWR, repro.FPZIP, repro.SZT}
 
-	fmt.Printf("parallel I/O model: %.0f GB/rank, pwr_eb=%g, NYX %d^3 sample (%d fields)\n",
-		*perRankGB, *rel, *side, len(fields))
+	mode := "in-memory"
+	if *stream {
+		mode = "streaming"
+	}
+	fmt.Printf("parallel I/O model: %.0f GB/rank, pwr_eb=%g, NYX %d^3 sample (%d fields, %s rates)\n",
+		*perRankGB, *rel, *side, len(fields), mode)
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "cores\tcompressor\tCR\tcomp MB/s\tdecomp MB/s\tdump(s)\tload(s)\tvs raw dump")
 	for _, algo := range algos {
@@ -55,9 +70,22 @@ func main() {
 		var compSec, decSec, compBytes float64
 		for i := range fields {
 			f := &fields[i]
-			rates, err := pfs.Measure(f.Bytes(),
-				func() ([]byte, error) { return repro.Compress(f.Data, f.Dims, *rel, algo, nil) },
-				func(buf []byte) error { _, _, err := repro.Decompress(buf); return err })
+			compressFn := func() ([]byte, error) { return repro.Compress(f.Data, f.Dims, *rel, algo, nil) }
+			decompressFn := func(buf []byte) error { _, _, err := repro.Decompress(buf); return err }
+			if *stream {
+				raw := rawLE(f.Data)
+				opts := &repro.StreamOptions{Workers: *workers}
+				compressFn = func() ([]byte, error) {
+					var out bytes.Buffer
+					_, err := repro.CompressStream(bytes.NewReader(raw), &out, f.Dims, *rel, algo, opts)
+					return out.Bytes(), err
+				}
+				decompressFn = func(buf []byte) error {
+					_, err := repro.DecompressStream(bytes.NewReader(buf), io.Discard)
+					return err
+				}
+			}
+			rates, err := pfs.Measure(f.Bytes(), compressFn, decompressFn)
 			if err != nil {
 				fatalf("%v: %v", algo, err)
 			}
@@ -93,6 +121,16 @@ func main() {
 		}
 	}
 	_ = tw.Flush() // display path: errors on w are not recoverable here
+}
+
+// rawLE serializes a field to the little-endian float64 layout the
+// streaming pipeline reads.
+func rawLE(data []float64) []byte {
+	raw := make([]byte, len(data)*8)
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(raw[i*8:], math.Float64bits(v))
+	}
+	return raw
 }
 
 func fatalf(format string, args ...interface{}) {

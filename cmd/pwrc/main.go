@@ -9,9 +9,17 @@
 //	pwrc -c -algo sz_t -rel 1e-3 -dims 512,512,512 -in snap.f64 -out snap.szt
 //	pwrc -d -in snap.szt -out snap.out.f64
 //	pwrc -c -algo sz_abs -abs 0.01 -dims 1048576 -in v.f64 -out v.sz
+//
+// With -stream the file is compressed (or decompressed) through the
+// bounded-memory pipeline: the input is never loaded whole, so fields
+// far larger than RAM stream through O(workers × chunk) memory:
+//
+//	pwrc -c -stream -algo sz_t -rel 1e-3 -dims 4096,512,512 -in huge.f64 -out huge.szs
+//	pwrc -d -stream -in huge.szs -out huge.out.f64
 package main
 
 import (
+	"bufio"
 	"encoding/binary"
 	"flag"
 	"fmt"
@@ -42,6 +50,9 @@ func main() {
 		archive    = flag.Bool("archive", false, "archive mode: bundle/extract a whole manifest of fields")
 		manifest   = flag.String("manifest", "", "MANIFEST.txt path (archive compression)")
 		outdir     = flag.String("outdir", "", "output directory (archive extraction)")
+		stream     = flag.Bool("stream", false, "bounded-memory streaming mode (float64 raw only)")
+		workers    = flag.Int("workers", 0, "streaming worker count (default GOMAXPROCS)")
+		chunkRows  = flag.Int("chunk-rows", 0, "rows of the slowest dimension per streamed chunk (default ~256Ki elements)")
 	)
 	flag.Parse()
 
@@ -74,6 +85,29 @@ func main() {
 		fatalf("-in and -out are required")
 	}
 
+	if *stream {
+		if *f32 {
+			fatalf("-stream supports float64 raw data only")
+		}
+		if *decompress {
+			streamDecompressFile(*in, *out)
+			return
+		}
+		dims, err := parseDims(*dimsFlag)
+		check(err)
+		algo, err := parseAlgo(*algoName)
+		check(err)
+		opts, err := parseBase(*base)
+		check(err)
+		if !(*rel > 0 && *rel < 1) {
+			fatalf("%v needs -rel in (0,1)", algo)
+		}
+		streamCompressFile(*in, *out, dims, *rel, algo, &repro.StreamOptions{
+			Workers: *workers, ChunkRows: *chunkRows, Options: opts,
+		})
+		return
+	}
+
 	if *decompress {
 		buf, err := os.ReadFile(*in)
 		check(err)
@@ -96,16 +130,8 @@ func main() {
 
 	algo, err := parseAlgo(*algoName)
 	check(err)
-	opts := &repro.Options{}
-	switch *base {
-	case "2":
-	case "e":
-		opts.Base = repro.BaseE
-	case "10":
-		opts.Base = repro.Base10
-	default:
-		fatalf("unknown base %q", *base)
-	}
+	opts, err := parseBase(*base)
+	check(err)
 
 	var buf []byte
 	t0 := time.Now()
@@ -145,6 +171,74 @@ func main() {
 		fmt.Printf("verify: bounded=%.4f%% avg_rel=%.3g max_rel=%.3g max_abs=%.3g zeros_perturbed=%d\n",
 			st.BoundedFrac*100, st.Avg, st.Max, st.MaxAbs, st.ZeroPerturbed)
 	}
+}
+
+func parseBase(s string) (*repro.Options, error) {
+	opts := &repro.Options{}
+	switch s {
+	case "2":
+	case "e":
+		opts.Base = repro.BaseE
+	case "10":
+		opts.Base = repro.Base10
+	default:
+		return nil, fmt.Errorf("unknown base %q", s)
+	}
+	return opts, nil
+}
+
+// streamCompressFile compresses in -> out through the bounded-memory
+// pipeline without ever loading the field.
+func streamCompressFile(in, out string, dims []int, rel float64, algo repro.Algorithm, opts *repro.StreamOptions) {
+	src, err := os.Open(in)
+	check(err)
+	defer src.Close() //lint:allow errdrop read-only input
+	dst, err := os.Create(out)
+	check(err)
+	t0 := time.Now()
+	st, err := repro.CompressStream(bufio.NewReaderSize(src, 1<<20), dst, dims, rel, algo, opts)
+	if err != nil {
+		dst.Close() //lint:allow errdrop already failing
+		os.Remove(out)
+		fatalf("stream compress: %v", err)
+	}
+	check(dst.Close())
+	elapsed := time.Since(t0)
+	fmt.Printf("stream-compressed with %v: %d -> %d bytes (CR %.2f) in %v (%.1f MB/s)\n",
+		algo, st.BytesIn, st.BytesOut,
+		metrics.CompressionRatio(int(st.BytesIn), int(st.BytesOut)),
+		elapsed.Round(time.Millisecond),
+		float64(st.BytesIn)/1e6/elapsed.Seconds())
+	fmt.Printf("stream stats: chunks=%d max_in_flight=%d buffers=%d read=%v codec=%v write=%v\n",
+		st.Chunks, st.MaxInFlight, st.BuffersAllocated,
+		st.ReadWall.Round(time.Millisecond), st.CodecWall.Round(time.Millisecond),
+		st.WriteWall.Round(time.Millisecond))
+}
+
+// streamDecompressFile decodes a stream container in -> out.
+func streamDecompressFile(in, out string) {
+	src, err := os.Open(in)
+	check(err)
+	defer src.Close() //lint:allow errdrop read-only input
+	dst, err := os.Create(out)
+	check(err)
+	w := bufio.NewWriterSize(dst, 1<<20)
+	t0 := time.Now()
+	st, err := repro.DecompressStream(src, w)
+	if err == nil {
+		err = w.Flush()
+	}
+	if err != nil {
+		dst.Close() //lint:allow errdrop already failing
+		os.Remove(out)
+		fatalf("stream decompress: %v", err)
+	}
+	check(dst.Close())
+	elapsed := time.Since(t0)
+	fmt.Printf("stream-decompressed: %d -> %d bytes (%d chunks) in %v (%.1f MB/s)\n",
+		st.BytesIn, st.BytesOut, st.Chunks,
+		elapsed.Round(time.Millisecond),
+		float64(st.BytesOut)/1e6/elapsed.Seconds())
 }
 
 func parseAlgo(s string) (repro.Algorithm, error) {

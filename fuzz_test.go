@@ -1,9 +1,14 @@
 package repro
 
 import (
+	"bytes"
 	"encoding/binary"
+	"io"
 	"math"
 	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/streamfmt"
 )
 
 // Fuzz targets: run with `go test -fuzz=FuzzDecompress` etc.; in a normal
@@ -178,6 +183,126 @@ func FuzzHeaderMutation(f *testing.F) {
 		mut := append([]byte(nil), s.buf...)
 		mut[int(pos)%len(mut)] ^= mask
 		s.decode(t, mut)
+	})
+}
+
+// fuzzStreamContainer builds a small valid stream container for seeding.
+func fuzzStreamContainer(chunkRows int) []byte {
+	data := make([]float64, 48)
+	for i := range data {
+		data[i] = math.Cos(float64(i)/5)*40 + 60
+	}
+	raw := make([]byte, len(data)*8)
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(raw[i*8:], math.Float64bits(v))
+	}
+	var buf bytes.Buffer
+	if _, err := CompressStream(bytes.NewReader(raw), &buf, []int{12, 4}, 1e-2, SZT,
+		&StreamOptions{ChunkRows: chunkRows}); err != nil {
+		return nil
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecompressStream asserts the streaming decoder never panics,
+// never hangs its pipeline, and never allocates ahead of the bytes it
+// has actually received; truncation and corruption of frame headers
+// must surface as errors (the decodebound taint discipline, extended to
+// the io.Reader path). On success the emitted byte count must agree
+// with the container header's geometry.
+func FuzzDecompressStream(f *testing.F) {
+	if stream := fuzzStreamContainer(3); stream != nil {
+		f.Add(stream)
+		f.Add(stream[:len(stream)/2])         // truncated mid-frame
+		f.Add(stream[:7])                     // truncated header
+		mut := append([]byte(nil), stream...) // corrupt a chunk CRC region
+		mut[len(mut)/3] ^= 0xFF
+		f.Add(mut)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{streamfmt.Magic})
+	f.Add([]byte{streamfmt.Magic, streamfmt.Version, byte(SZT), 1, 200, 1})
+	// Hostile length prefix: header promising one chunk, frame claiming
+	// a near-2^31 payload with no data behind it.
+	hostile := []byte{streamfmt.Magic, streamfmt.Version, byte(SZT), 1, 8, 2, 0x01}
+	hostile = binary.AppendUvarint(hostile, streamfmt.MaxFrameLen-1)
+	f.Add(hostile)
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		cw := &countingWriter{w: io.Discard}
+		st, err := DecompressStream(bytes.NewReader(buf), cw)
+		if err != nil {
+			return
+		}
+		hr, herr := streamfmt.NewReader(bytes.NewReader(buf))
+		if herr != nil {
+			t.Fatalf("decoded successfully but header does not re-parse: %v", herr)
+		}
+		want := int64(grid.Size(hr.Header().Dims)) * 8
+		if cw.n != want || st.BytesOut != want {
+			t.Fatalf("decoded %d bytes (stats %d), header geometry implies %d", cw.n, st.BytesOut, want)
+		}
+	})
+}
+
+// FuzzStreamRoundTrip drives the full streaming pipeline with arbitrary
+// bytes reinterpreted as floats and a fuzzed chunking, asserting the
+// SZ_T bound (and zero/special preservation) through CompressStream →
+// DecompressStream.
+func FuzzStreamRoundTrip(f *testing.F) {
+	f.Add([]byte{3, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Add(append([]byte{1}, make([]byte, 160)...))
+	f.Add(append([]byte{7}, bytes.Repeat([]byte{0x3F, 0xF0, 1, 2, 3, 4, 5, 6}, 20)...))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < 9 {
+			return
+		}
+		chunkRows := int(raw[0])%8 + 1
+		body := raw[1:]
+		n := len(body) / 8
+		if n == 0 || n > 1<<12 {
+			return
+		}
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[i*8:]))
+		}
+		const rel = 1e-2
+		var comp bytes.Buffer
+		_, err := CompressStream(bytes.NewReader(body[:n*8]), &comp, []int{n}, rel, SZT,
+			&StreamOptions{Workers: 2, ChunkRows: chunkRows})
+		if err != nil {
+			return // e.g. log-range too extreme for the bound: a valid refusal
+		}
+		var dec bytes.Buffer
+		if _, err := DecompressStream(bytes.NewReader(comp.Bytes()), &dec); err != nil {
+			t.Fatalf("own stream failed to decode: %v", err)
+		}
+		db := dec.Bytes()
+		if len(db) != n*8 {
+			t.Fatalf("decoded %d bytes, want %d", len(db), n*8)
+		}
+		for i := range data {
+			o := data[i]
+			d := math.Float64frombits(binary.LittleEndian.Uint64(db[i*8:]))
+			switch {
+			case math.IsNaN(o):
+				if !math.IsNaN(d) {
+					t.Fatalf("NaN lost at %d", i)
+				}
+			case math.IsInf(o, 0):
+				if d != o {
+					t.Fatalf("Inf lost at %d", i)
+				}
+			case o == 0:
+				if d != 0 {
+					t.Fatalf("zero perturbed at %d", i)
+				}
+			default:
+				if math.Abs(d-o)/math.Abs(o) > rel {
+					t.Fatalf("bound violated at %d: %g vs %g", i, d, o)
+				}
+			}
+		}
 	})
 }
 

@@ -1,0 +1,188 @@
+package repro_test
+
+// Golden-stream regression tests: small compressed fixtures committed
+// under testdata/golden/ — one per algorithm, plus the parallel and
+// stream containers — decoded against a recorded CRC of the
+// reconstruction. Accidental format drift (a container or entropy-coder
+// change that can no longer read old archives, or that silently decodes
+// them differently) fails here in tier-1 instead of surfacing when a
+// real archive is reopened.
+//
+// Regenerate after an INTENTIONAL format change with:
+//
+//	go test -run TestGoldenDecode -update-golden .
+//
+// and commit the new fixtures together with the change that required
+// them.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/datagen"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "regenerate testdata/golden fixtures")
+
+const goldenDir = "testdata/golden"
+
+// goldenField is the deterministic source field every fixture encodes:
+// NYX dark-matter density, 8^3, fixed seed.
+func goldenField() datagen.Field {
+	return datagen.NYX(8, 424242)[0]
+}
+
+// goldenCase describes one fixture.
+type goldenCase struct {
+	name string
+	make func(f datagen.Field) ([]byte, error)
+}
+
+func goldenCases() []goldenCase {
+	cases := []goldenCase{}
+	for _, algo := range repro.RelativeAlgorithms() {
+		algo := algo
+		cases = append(cases, goldenCase{
+			name: strings.ToLower(algo.String()),
+			make: func(f datagen.Field) ([]byte, error) {
+				return repro.Compress(f.Data, f.Dims, 1e-2, algo, nil)
+			},
+		})
+	}
+	cases = append(cases,
+		goldenCase{"sz_abs", func(f datagen.Field) ([]byte, error) {
+			return repro.CompressAbs(f.Data, f.Dims, 0.01, repro.SZABS, nil)
+		}},
+		goldenCase{"zfp_acc", func(f datagen.Field) ([]byte, error) {
+			return repro.CompressAbs(f.Data, f.Dims, 0.01, repro.ZFPACC, nil)
+		}},
+		goldenCase{"parallel", func(f datagen.Field) ([]byte, error) {
+			return repro.CompressParallel(f.Data, f.Dims, 1e-2, repro.SZT, &repro.ParallelOptions{Chunks: 3})
+		}},
+		goldenCase{"stream", func(f datagen.Field) ([]byte, error) {
+			var buf bytes.Buffer
+			raw := make([]byte, len(f.Data)*8)
+			for i, v := range f.Data {
+				binary.LittleEndian.PutUint64(raw[i*8:], math.Float64bits(v))
+			}
+			_, err := repro.CompressStream(bytes.NewReader(raw), &buf, f.Dims, 1e-2, repro.SZT,
+				&repro.StreamOptions{ChunkRows: 3})
+			return buf.Bytes(), err
+		}},
+	)
+	return cases
+}
+
+func decodedCRC(dec []float64) uint32 {
+	h := crc32.NewIEEE()
+	var b [8]byte
+	for _, v := range dec {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		_, _ = h.Write(b[:]) // hash.Hash.Write never errors
+	}
+	return h.Sum32()
+}
+
+func manifestPath() string { return filepath.Join(goldenDir, "manifest.txt") }
+
+func readManifest(t *testing.T) map[string]uint32 {
+	t.Helper()
+	f, err := os.Open(manifestPath())
+	if err != nil {
+		t.Fatalf("golden manifest missing (run with -update-golden to create): %v", err)
+	}
+	defer f.Close() //lint:allow errdrop read-only file; scanner errors are checked
+	out := map[string]uint32{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var name string
+		var crc uint32
+		if _, err := fmt.Sscanf(line, "%s %08x", &name, &crc); err != nil {
+			t.Fatalf("bad manifest line %q: %v", line, err)
+		}
+		out[name] = crc
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestGoldenDecode is decode-only on the committed fixtures: every
+// fixture must still parse, decode to the recorded reconstruction
+// (CRC), and respect its bound against the deterministic source field.
+func TestGoldenDecode(t *testing.T) {
+	f := goldenField()
+	if *updateGolden {
+		if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		var manifest strings.Builder
+		manifest.WriteString("# <fixture name> <crc32 of decoded little-endian float64 bytes>\n")
+		manifest.WriteString("# regenerate: go test -run TestGoldenDecode -update-golden .\n")
+		for _, c := range goldenCases() {
+			buf, err := c.make(f)
+			if err != nil {
+				t.Fatalf("%s: %v", c.name, err)
+			}
+			if err := os.WriteFile(filepath.Join(goldenDir, c.name+".bin"), buf, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			dec, _, err := repro.DecompressAny(buf)
+			if err != nil {
+				t.Fatalf("%s: decode own fixture: %v", c.name, err)
+			}
+			fmt.Fprintf(&manifest, "%s %08x\n", c.name, decodedCRC(dec))
+		}
+		if err := os.WriteFile(manifestPath(), []byte(manifest.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %d fixtures under %s", len(goldenCases()), goldenDir)
+	}
+
+	want := readManifest(t)
+	seen := map[string]bool{}
+	for _, c := range goldenCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			seen[c.name] = true
+			wantCRC, ok := want[c.name]
+			if !ok {
+				t.Fatalf("fixture %s not in manifest (stale manifest? run -update-golden)", c.name)
+			}
+			buf, err := os.ReadFile(filepath.Join(goldenDir, c.name+".bin"))
+			if err != nil {
+				t.Fatalf("fixture missing: %v", err)
+			}
+			dec, dims, err := repro.DecompressAny(buf)
+			if err != nil {
+				t.Fatalf("format drift: committed fixture no longer decodes: %v", err)
+			}
+			if len(dec) != len(f.Data) || len(dims) != len(f.Dims) {
+				t.Fatalf("decoded shape %v/%d, want %v/%d", dims, len(dec), f.Dims, len(f.Data))
+			}
+			if got := decodedCRC(dec); got != wantCRC {
+				t.Fatalf("format drift: decoded CRC %08x, manifest says %08x", got, wantCRC)
+			}
+		})
+	}
+	for name := range want {
+		if !seen[name] {
+			t.Errorf("manifest entry %s has no corresponding case (remove it or add the case)", name)
+		}
+	}
+}

@@ -1,0 +1,382 @@
+// Package streamfmt defines the framed on-disk container used by the
+// bounded-memory streaming pipeline (repro.CompressStream): a fixed
+// header describing the field geometry and chunking, a sequence of
+// length-prefixed chunk frames each carrying its own CRC, and a final
+// index frame that seals the stream. The layout is specified in
+// DESIGN.md §7.
+//
+//	stream := header chunk* index
+//	header := magic(0xC8) version(0x01) algo(1B)
+//	          uvarint(rank) uvarint(dim)... uvarint(chunkRows)
+//	chunk  := tag(0x01) uvarint(len) crc32be(payload) payload
+//	index  := tag(0x02) uvarint(count) uvarint(len_i)... crc32be(index body)
+//
+// Every multi-byte integer is an unsigned varint except the CRCs, which
+// are big-endian uint32 over the bytes they cover. The chunk payloads
+// are standard self-describing repro.Compress streams; the container
+// does not look inside them. The index makes truncation detectable: a
+// stream without a matching index frame is corrupt by definition.
+package streamfmt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/grid"
+)
+
+const (
+	// Magic is the container's first byte (0xC5 plain, 0xC6 parallel,
+	// 0xC7 archive, 0xC8 stream).
+	Magic = 0xC8
+	// Version is the current container version byte.
+	Version = 0x01
+
+	tagChunk = 0x01
+	tagIndex = 0x02
+
+	// MaxFrameLen bounds a single chunk frame's payload so a hostile
+	// length prefix cannot demand an absurd allocation up front.
+	MaxFrameLen = 1 << 31
+
+	// maxDim mirrors the parallel container's per-dimension cap.
+	maxDim = 1 << 40
+)
+
+// ErrCorrupt reports a malformed or truncated stream container.
+var ErrCorrupt = errors.New("streamfmt: corrupt stream")
+
+// Header describes the streamed field: which algorithm compressed the
+// chunks, the full field dimensions (row-major, dims[0] slowest), and
+// how many dims[0]-rows each full chunk covers (the last chunk may be
+// shorter).
+type Header struct {
+	Algo      byte
+	Dims      []int
+	ChunkRows int
+}
+
+// Rows returns the extent of the chunked dimension.
+func (h *Header) Rows() int { return h.Dims[0] }
+
+// RowStride returns the number of elements in one dims[0]-row.
+func (h *Header) RowStride() int { return grid.Size(h.Dims) / h.Dims[0] }
+
+// Chunks returns the number of chunk frames the header implies.
+func (h *Header) Chunks() int {
+	return (h.Dims[0] + h.ChunkRows - 1) / h.ChunkRows
+}
+
+// ChunkRowCount returns the number of rows in chunk i (the tail chunk
+// is clipped at the field boundary).
+func (h *Header) ChunkRowCount(i int) int {
+	lo := i * h.ChunkRows
+	n := h.ChunkRows
+	if h.Dims[0]-lo < n {
+		n = h.Dims[0] - lo
+	}
+	return n
+}
+
+func (h *Header) validate() error {
+	if err := grid.Validate(h.Dims, -1); err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if h.Algo == 0 {
+		return fmt.Errorf("%w: zero algorithm byte", ErrCorrupt)
+	}
+	if h.ChunkRows < 1 || h.ChunkRows > h.Dims[0] {
+		return fmt.Errorf("%w: chunk rows %d out of [1,%d]", ErrCorrupt, h.ChunkRows, h.Dims[0])
+	}
+	return nil
+}
+
+// Writer emits a stream container: header up front, one frame per
+// WriteChunk, and the index on Finish.
+type Writer struct {
+	w        io.Writer
+	lens     []uint64
+	scratch  []byte
+	expect   int
+	finished bool
+}
+
+// NewWriter validates the header, writes it to w, and returns a Writer
+// for the chunk frames.
+func NewWriter(w io.Writer, h Header) (*Writer, error) {
+	if err := h.validate(); err != nil {
+		return nil, err
+	}
+	buf := []byte{Magic, Version, h.Algo}
+	buf = binary.AppendUvarint(buf, uint64(len(h.Dims)))
+	for _, d := range h.Dims {
+		buf = binary.AppendUvarint(buf, uint64(d))
+	}
+	buf = binary.AppendUvarint(buf, uint64(h.ChunkRows))
+	if _, err := w.Write(buf); err != nil {
+		return nil, err
+	}
+	return &Writer{w: w, expect: h.Chunks(), lens: make([]uint64, 0, h.Chunks())}, nil
+}
+
+// WriteChunk emits one chunk frame. Chunks must be written in field
+// order; the Writer only checks the count against the header.
+func (sw *Writer) WriteChunk(payload []byte) error {
+	if sw.finished {
+		return errors.New("streamfmt: WriteChunk after Finish")
+	}
+	if len(sw.lens) >= sw.expect {
+		return fmt.Errorf("streamfmt: chunk %d exceeds header's %d chunks", len(sw.lens), sw.expect)
+	}
+	if len(payload) == 0 || len(payload) > MaxFrameLen {
+		return fmt.Errorf("streamfmt: chunk payload length %d out of (0,%d]", len(payload), MaxFrameLen)
+	}
+	sw.scratch = sw.scratch[:0]
+	sw.scratch = append(sw.scratch, tagChunk)
+	sw.scratch = binary.AppendUvarint(sw.scratch, uint64(len(payload)))
+	sw.scratch = binary.BigEndian.AppendUint32(sw.scratch, crc32.ChecksumIEEE(payload))
+	if _, err := sw.w.Write(sw.scratch); err != nil {
+		return err
+	}
+	if _, err := sw.w.Write(payload); err != nil {
+		return err
+	}
+	sw.lens = append(sw.lens, uint64(len(payload)))
+	return nil
+}
+
+// Written returns the number of chunk frames emitted so far.
+func (sw *Writer) Written() int { return len(sw.lens) }
+
+// Finish writes the index frame and seals the container. It fails if
+// the chunk count does not match the header.
+func (sw *Writer) Finish() error {
+	if sw.finished {
+		return errors.New("streamfmt: double Finish")
+	}
+	if len(sw.lens) != sw.expect {
+		return fmt.Errorf("streamfmt: wrote %d chunks, header promised %d", len(sw.lens), sw.expect)
+	}
+	sw.finished = true
+	body := binary.AppendUvarint(nil, uint64(len(sw.lens)))
+	for _, l := range sw.lens {
+		body = binary.AppendUvarint(body, l)
+	}
+	sw.scratch = sw.scratch[:0]
+	sw.scratch = append(sw.scratch, tagIndex)
+	sw.scratch = append(sw.scratch, body...)
+	sw.scratch = binary.BigEndian.AppendUint32(sw.scratch, crc32.ChecksumIEEE(body))
+	_, err := sw.w.Write(sw.scratch)
+	return err
+}
+
+// Reader parses a stream container incrementally: NewReader consumes
+// the header, Next returns chunk payloads until the index frame, which
+// it verifies before reporting io.EOF.
+type Reader struct {
+	br       *bufio.Reader
+	hdr      Header
+	lens     []uint64
+	consumed int64
+	done     bool
+}
+
+// NewReader wraps r (buffered internally) and parses the header.
+func NewReader(r io.Reader) (*Reader, error) {
+	sr := &Reader{br: bufio.NewReader(r)}
+	if err := sr.readHeader(); err != nil {
+		return nil, err
+	}
+	return sr, nil
+}
+
+func (sr *Reader) readHeader() error {
+	var fixed [3]byte
+	if _, err := io.ReadFull(sr.br, fixed[:]); err != nil {
+		return fmt.Errorf("%w: short header: %v", ErrCorrupt, err)
+	}
+	sr.consumed += 3
+	if fixed[0] != Magic || fixed[1] != Version {
+		return fmt.Errorf("%w: bad magic/version % x", ErrCorrupt, fixed[:2])
+	}
+	rank, err := sr.uvarint()
+	if err != nil {
+		return err
+	}
+	if rank == 0 || rank > grid.MaxDims {
+		return fmt.Errorf("%w: rank %d", ErrCorrupt, rank)
+	}
+	dims := make([]int, rank)
+	for i := range dims {
+		d, err := sr.uvarint()
+		if err != nil {
+			return err
+		}
+		if d == 0 || d > maxDim {
+			return fmt.Errorf("%w: dimension %d", ErrCorrupt, d)
+		}
+		dims[i] = int(d)
+	}
+	cr, err := sr.uvarint()
+	if err != nil {
+		return err
+	}
+	if cr == 0 || cr > uint64(dims[0]) {
+		return fmt.Errorf("%w: chunk rows %d", ErrCorrupt, cr)
+	}
+	sr.hdr = Header{Algo: fixed[2], Dims: dims, ChunkRows: int(cr)}
+	if err := sr.hdr.validate(); err != nil {
+		return err
+	}
+	sr.lens = make([]uint64, 0, sr.hdr.Chunks())
+	return nil
+}
+
+// Header returns the parsed stream header. The returned struct shares
+// its Dims slice with the Reader; callers must not mutate it.
+func (sr *Reader) Header() Header { return sr.hdr }
+
+// Consumed returns the number of container bytes read so far.
+func (sr *Reader) Consumed() int64 { return sr.consumed }
+
+// ChunksRead returns the number of chunk frames returned by Next.
+func (sr *Reader) ChunksRead() int { return len(sr.lens) }
+
+// Next returns the payload of the next chunk frame, reusing scratch
+// when it is large enough. It returns io.EOF after the index frame has
+// been read and verified; any malformed frame, CRC mismatch, or
+// truncation yields an error wrapping ErrCorrupt.
+func (sr *Reader) Next(scratch []byte) ([]byte, error) {
+	if sr.done {
+		return nil, io.EOF
+	}
+	tag, err := sr.br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing frame (want %d more chunks + index): %v",
+			ErrCorrupt, sr.hdr.Chunks()-len(sr.lens), err)
+	}
+	sr.consumed++
+	switch tag {
+	case tagChunk:
+		return sr.readChunk(scratch)
+	case tagIndex:
+		if err := sr.readIndex(); err != nil {
+			return nil, err
+		}
+		sr.done = true
+		return nil, io.EOF
+	default:
+		return nil, fmt.Errorf("%w: unknown frame tag 0x%02x", ErrCorrupt, tag)
+	}
+}
+
+func (sr *Reader) readChunk(scratch []byte) ([]byte, error) {
+	if len(sr.lens) >= sr.hdr.Chunks() {
+		return nil, fmt.Errorf("%w: more chunk frames than the header's %d", ErrCorrupt, sr.hdr.Chunks())
+	}
+	plen, err := sr.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if plen == 0 || plen > MaxFrameLen {
+		return nil, fmt.Errorf("%w: chunk payload length %d", ErrCorrupt, plen)
+	}
+	var crcb [4]byte
+	if _, err := io.ReadFull(sr.br, crcb[:]); err != nil {
+		return nil, fmt.Errorf("%w: short chunk CRC: %v", ErrCorrupt, err)
+	}
+	sr.consumed += 4
+	want := binary.BigEndian.Uint32(crcb[:])
+	payload, err := sr.readPayload(scratch, plen)
+	if err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(payload) != want {
+		return nil, fmt.Errorf("%w: chunk %d checksum mismatch", ErrCorrupt, len(sr.lens))
+	}
+	sr.lens = append(sr.lens, plen)
+	return payload, nil
+}
+
+// readPayload reads n declared bytes without trusting n for the initial
+// allocation: the buffer grows geometrically as data actually arrives,
+// so a hostile length prefix on a short stream cannot force a large
+// allocation.
+func (sr *Reader) readPayload(scratch []byte, n uint64) ([]byte, error) {
+	if n <= uint64(cap(scratch)) {
+		buf := scratch[:n]
+		if _, err := io.ReadFull(sr.br, buf); err != nil {
+			return nil, fmt.Errorf("%w: short chunk payload: %v", ErrCorrupt, err)
+		}
+		sr.consumed += int64(n)
+		return buf, nil
+	}
+	const step = 64 << 10
+	buf := make([]byte, 0, step)
+	for uint64(len(buf)) < n {
+		grab := n - uint64(len(buf))
+		if grab > step {
+			grab = step
+		}
+		lo := len(buf)
+		//lint:allow allochot geometric growth bounded by bytes actually read, not by the declared length
+		buf = append(buf, make([]byte, grab)...)
+		m, err := io.ReadFull(sr.br, buf[lo:])
+		sr.consumed += int64(m)
+		if err != nil {
+			return nil, fmt.Errorf("%w: short chunk payload: %v", ErrCorrupt, err)
+		}
+	}
+	return buf, nil
+}
+
+func (sr *Reader) readIndex() error {
+	count, err := sr.uvarint()
+	if err != nil {
+		return err
+	}
+	if count != uint64(len(sr.lens)) || count != uint64(sr.hdr.Chunks()) {
+		return fmt.Errorf("%w: index counts %d chunks, read %d, header promised %d",
+			ErrCorrupt, count, len(sr.lens), sr.hdr.Chunks())
+	}
+	body := binary.AppendUvarint(nil, count)
+	for i := range sr.lens {
+		l, err := sr.uvarint()
+		if err != nil {
+			return err
+		}
+		if l != sr.lens[i] {
+			return fmt.Errorf("%w: index length %d disagrees with chunk %d frame (%d)", ErrCorrupt, l, i, sr.lens[i])
+		}
+		body = binary.AppendUvarint(body, l)
+	}
+	var crcb [4]byte
+	if _, err := io.ReadFull(sr.br, crcb[:]); err != nil {
+		return fmt.Errorf("%w: short index CRC: %v", ErrCorrupt, err)
+	}
+	sr.consumed += 4
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(crcb[:]) {
+		return fmt.Errorf("%w: index checksum mismatch", ErrCorrupt)
+	}
+	return nil
+}
+
+// uvarint reads one varint, bounding its size and tracking consumption.
+func (sr *Reader) uvarint() (uint64, error) {
+	v, err := binary.ReadUvarint(sr.br)
+	if err != nil {
+		return 0, fmt.Errorf("%w: bad varint: %v", ErrCorrupt, err)
+	}
+	// A uvarint of value v occupies exactly the bytes ReadUvarint took;
+	// recompute the width for accounting.
+	w := 1
+	for x := v; x >= 0x80; x >>= 7 {
+		w++
+	}
+	sr.consumed += int64(w)
+	return v, nil
+}

@@ -1,0 +1,189 @@
+package streamfmt
+
+// Container-layer unit tests: framing round trip, header validation,
+// and frame-level tamper detection — independent of the codecs the
+// payloads normally carry.
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func testHeader() Header {
+	return Header{Algo: 3, Dims: []int{10, 4}, ChunkRows: 4}
+}
+
+func buildStream(t *testing.T, h Header, payloads [][]byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, h)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	for _, p := range payloads {
+		if err := w.WriteChunk(p); err != nil {
+			t.Fatalf("WriteChunk: %v", err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		[]byte("chunk-zero"),
+		[]byte("chunk-one-longer-payload"),
+		[]byte("z"),
+	}
+	stream := buildStream(t, testHeader(), payloads)
+
+	r, err := NewReader(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	h := r.Header()
+	if h.Algo != 3 || h.ChunkRows != 4 || len(h.Dims) != 2 || h.Dims[0] != 10 || h.Dims[1] != 4 {
+		t.Fatalf("header round trip: %+v", h)
+	}
+	if got := h.Chunks(); got != 3 {
+		t.Fatalf("Chunks() = %d, want 3", got)
+	}
+	if got := h.ChunkRowCount(2); got != 2 {
+		t.Fatalf("tail chunk rows = %d, want 2", got)
+	}
+	var scratch []byte
+	for i, want := range payloads {
+		got, err := r.Next(scratch)
+		if err != nil {
+			t.Fatalf("Next(%d): %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("chunk %d: got %q want %q", i, got, want)
+		}
+		scratch = got
+	}
+	if _, err := r.Next(scratch); err != io.EOF {
+		t.Fatalf("after index: err = %v, want io.EOF", err)
+	}
+	if r.ChunksRead() != 3 {
+		t.Fatalf("ChunksRead = %d", r.ChunksRead())
+	}
+	if r.Consumed() != int64(len(stream)) {
+		t.Fatalf("Consumed = %d, stream is %d bytes", r.Consumed(), len(stream))
+	}
+}
+
+func TestHeaderValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		h    Header
+	}{
+		{"no-dims", Header{Algo: 1, ChunkRows: 1}},
+		{"zero-dim", Header{Algo: 1, Dims: []int{0, 4}, ChunkRows: 1}},
+		{"zero-chunk-rows", Header{Algo: 1, Dims: []int{8}, ChunkRows: 0}},
+		{"chunk-rows-exceed", Header{Algo: 1, Dims: []int{8}, ChunkRows: 9}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if _, err := NewWriter(&buf, c.h); err == nil {
+				t.Fatalf("NewWriter accepted invalid header %+v", c.h)
+			}
+		})
+	}
+}
+
+func TestWriterFrameDiscipline(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteChunk(nil); err == nil {
+		t.Fatal("empty chunk accepted")
+	}
+	if err := w.Finish(); err == nil {
+		t.Fatal("Finish accepted before all chunks written")
+	}
+}
+
+// TestTamperDetection flips each byte of a valid stream in turn; every
+// mutation must either fail (header parse, CRC, index mismatch) or —
+// never — silently change a payload.
+func TestTamperDetection(t *testing.T) {
+	payloads := [][]byte{[]byte("alpha"), []byte("beta-2"), []byte("g")}
+	stream := buildStream(t, testHeader(), payloads)
+	for pos := 0; pos < len(stream); pos++ {
+		mut := append([]byte(nil), stream...)
+		mut[pos] ^= 0xFF
+		r, err := NewReader(bytes.NewReader(mut))
+		if err != nil {
+			continue
+		}
+		clean := true
+		for i := 0; ; i++ {
+			p, err := r.Next(nil)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				clean = false
+				break
+			}
+			if i >= len(payloads) || !bytes.Equal(p, payloads[i]) {
+				t.Fatalf("flip at %d: chunk %d silently altered", pos, i)
+			}
+		}
+		_ = clean // a fully-clean read can only happen if the flip never survived framing
+	}
+}
+
+// TestTruncationDetected removes the tail of the stream byte by byte;
+// a reader must never reach a verified EOF on a truncated stream.
+func TestTruncationDetected(t *testing.T) {
+	stream := buildStream(t, testHeader(), [][]byte{[]byte("aaaa"), []byte("bbbb"), []byte("cc")})
+	for cut := len(stream) - 1; cut >= 0; cut-- {
+		r, err := NewReader(bytes.NewReader(stream[:cut]))
+		if err != nil {
+			continue
+		}
+		sawEOF := false
+		for {
+			_, err := r.Next(nil)
+			if err == io.EOF {
+				sawEOF = true
+				break
+			}
+			if err != nil {
+				break
+			}
+		}
+		if sawEOF {
+			t.Fatalf("truncation at %d/%d reached verified EOF", cut, len(stream))
+		}
+	}
+}
+
+func TestUnknownTagRejected(t *testing.T) {
+	stream := buildStream(t, testHeader(), [][]byte{[]byte("aaaa"), []byte("bbbb"), []byte("cc")})
+	// The first frame tag follows the header; find it by parsing a
+	// fresh reader's consumed count.
+	r, err := NewReader(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdrLen := int(r.Consumed())
+	mut := append([]byte(nil), stream...)
+	mut[hdrLen] = 0x7E // neither tagChunk nor tagIndex
+	r2, err := NewReader(bytes.NewReader(mut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.Next(nil); err == nil || !strings.Contains(err.Error(), "tag") {
+		t.Fatalf("unknown tag: err = %v", err)
+	}
+}

@@ -213,10 +213,13 @@ func IsParallelStream(buf []byte) bool {
 	return len(buf) >= 2 && buf[0] == parallelMagic
 }
 
-// DecompressAny decodes either a plain or a parallel stream.
+// DecompressAny decodes a plain, parallel, or stream-container buffer.
 func DecompressAny(buf []byte) ([]float64, []int, error) {
 	if IsParallelStream(buf) {
 		return DecompressParallel(buf, 0)
+	}
+	if IsStreamContainer(buf) {
+		return decompressStreamBuf(buf)
 	}
 	return Decompress(buf)
 }

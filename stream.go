@@ -1,0 +1,503 @@
+package repro
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/streamfmt"
+)
+
+// Streaming compression: the same chunked scheme as CompressParallel —
+// slices along dims[0], one self-describing Compress stream per chunk —
+// but the field flows through a bounded pipeline instead of being
+// materialized: a reader goroutine slices rows off an io.Reader of raw
+// little-endian float64s, a worker pool compresses chunks concurrently,
+// and a writer goroutine emits framed chunks (internal/streamfmt) in
+// field order. Peak memory is O(workers × chunk), independent of field
+// size, which is what lets a rank open fields larger than its share of
+// RAM before dumping to the parallel file system (the paper's §V.C
+// deployment shape, as FRaZ and the bit-adaptive particle compressor
+// stress for practical pipelines).
+
+// StreamOptions tunes CompressStream.
+type StreamOptions struct {
+	// Workers is the compression worker-pool size (default GOMAXPROCS).
+	Workers int
+	// ChunkRows is the number of dims[0]-rows per chunk (default: enough
+	// rows for ~256Ki elements, clamped to [1, dims[0]]). The last chunk
+	// is clipped at the field boundary.
+	ChunkRows int
+	// Options passes through per-chunk compressor options.
+	Options *Options
+}
+
+// StreamStats reports per-stream observability counters. All fields are
+// totals over the whole stream; wall times are per stage (Codec summed
+// across workers, so it can exceed the end-to-end time).
+type StreamStats struct {
+	// Chunks is the number of chunk frames processed.
+	Chunks int
+	// BytesIn and BytesOut count the bytes consumed from the source and
+	// emitted to the sink, container framing included.
+	BytesIn, BytesOut int64
+	// ReadWall is time spent reading and unmarshalling input.
+	ReadWall time.Duration
+	// CodecWall is time spent in Compress/Decompress, summed over workers.
+	CodecWall time.Duration
+	// WriteWall is time spent marshalling and writing output.
+	WriteWall time.Duration
+	// MaxInFlight is the peak number of chunks alive in the pipeline.
+	MaxInFlight int
+	// BuffersAllocated is the number of chunk-sized scratch buffers the
+	// pipeline allocated; it is bounded by workers+2 regardless of field
+	// size (the bounded-memory guarantee the tests assert).
+	BuffersAllocated int
+}
+
+// streamJob carries one chunk through the pipeline.
+type streamJob struct {
+	seq  int
+	data []float64 // chunk input (compress) — freelisted
+	rows int
+	in   []byte // chunk payload (decompress) — freelisted after decode
+	out  []byte // compressed frame payload (compress)
+	dec  []float64
+	err  error
+	done chan struct{}
+}
+
+// inflight tracks the live-chunk high-water mark.
+type inflight struct {
+	cur, max atomic.Int64
+}
+
+func (f *inflight) enter() {
+	c := f.cur.Add(1)
+	for {
+		m := f.max.Load()
+		if c <= m || f.max.CompareAndSwap(m, c) {
+			return
+		}
+	}
+}
+
+func (f *inflight) leave() { f.cur.Add(-1) }
+
+// defaultChunkRows targets ~256Ki elements (2 MiB of float64) per chunk.
+func defaultChunkRows(rows, rowStride int) int {
+	const targetElems = 256 << 10
+	cr := targetElems / rowStride
+	if cr < 1 {
+		cr = 1
+	}
+	if cr > rows {
+		cr = rows
+	}
+	return cr
+}
+
+// CompressStream reads a raw little-endian float64 field of the given
+// dims from r, compresses it chunk by chunk under the point-wise
+// relative bound, and writes a framed stream container (decodable by
+// DecompressStream) to w. Peak memory is O(workers × chunk), not
+// O(field). The chunk payloads are ordinary Compress streams, so for
+// matching chunk boundaries the decoded field is element-wise identical
+// to Decompress of a CompressParallel stream.
+func CompressStream(r io.Reader, w io.Writer, dims []int, relBound float64, algo Algorithm, opts *StreamOptions) (*StreamStats, error) {
+	if err := grid.Validate(dims, -1); err != nil {
+		return nil, err
+	}
+	if algo == SZABS || algo == ZFPACC {
+		return nil, ErrNeedsAbsolute
+	}
+	rows := dims[0]
+	rowStride := grid.Size(dims) / rows
+	workers := runtime.GOMAXPROCS(0)
+	chunkRows := 0
+	var copts *Options
+	if opts != nil {
+		if opts.Workers > 0 {
+			workers = opts.Workers
+		}
+		chunkRows = opts.ChunkRows
+		copts = opts.Options
+	}
+	if chunkRows <= 0 {
+		chunkRows = defaultChunkRows(rows, rowStride)
+	}
+	if chunkRows > rows {
+		chunkRows = rows
+	}
+	chunkElems := chunkRows * rowStride
+	if chunkElems > 1<<28 {
+		return nil, fmt.Errorf("repro: chunk of %d elements exceeds the 2 GiB chunk budget; reduce ChunkRows", chunkElems)
+	}
+	maxInFlight := workers + 2
+
+	cw := &countingWriter{w: w}
+	sw, err := streamfmt.NewWriter(cw,
+		streamfmt.Header{Algo: byte(algo), Dims: dims, ChunkRows: chunkRows})
+	if err != nil {
+		return nil, err
+	}
+
+	stats := &StreamStats{}
+	jobs := make(chan *streamJob)
+	order := make(chan *streamJob, maxInFlight)
+	free := make(chan []float64, maxInFlight)
+	stop := make(chan struct{})
+	var fl inflight
+	var codecNS atomic.Int64
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for jb := range jobs {
+				t0 := time.Now()
+				subDims := append([]int{jb.rows}, dims[1:]...)
+				jb.out, jb.err = Compress(jb.data[:jb.rows*rowStride], subDims, relBound, algo, copts)
+				codecNS.Add(time.Since(t0).Nanoseconds())
+				close(jb.done)
+			}
+		}()
+	}
+
+	var readErr error
+	var readWall time.Duration
+	var bytesIn int64
+	var allocated int
+	go func() {
+		defer close(order)
+		defer close(jobs)
+		raw := make([]byte, chunkElems*8)
+		for seq, row := 0, 0; row < rows; seq++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			n := chunkRows
+			if rows-row < n {
+				n = rows - row
+			}
+			var data []float64
+			select {
+			case data = <-free:
+			default:
+				if allocated < maxInFlight {
+					allocated++
+					//lint:allow allochot freelist fill: at most maxInFlight chunk buffers ever, the bounded-memory invariant
+					data = make([]float64, chunkElems)
+				} else {
+					select {
+					case data = <-free:
+					case <-stop:
+						return
+					}
+				}
+			}
+			t0 := time.Now()
+			want := n * rowStride * 8
+			if _, err := io.ReadFull(r, raw[:want]); err != nil {
+				readErr = fmt.Errorf("repro: short stream input at row %d/%d: %w", row, rows, err)
+				return
+			}
+			bytesIn += int64(want)
+			for i := 0; i < n*rowStride; i++ {
+				data[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+			}
+			readWall += time.Since(t0)
+			//lint:allow allochot per-chunk descriptor; live descriptors are bounded by the in-flight cap
+			jb := &streamJob{seq: seq, data: data, rows: n, done: make(chan struct{})}
+			fl.enter()
+			select {
+			case jobs <- jb:
+			case <-stop:
+				fl.leave()
+				return
+			}
+			select {
+			case order <- jb:
+			case <-stop:
+				fl.leave()
+				return
+			}
+			row += n
+		}
+	}()
+
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+			close(stop)
+		}
+	}
+	for jb := range order {
+		<-jb.done
+		if firstErr != nil {
+			fl.leave()
+			continue
+		}
+		if jb.err != nil {
+			fail(fmt.Errorf("chunk %d: %w", jb.seq, jb.err))
+			fl.leave()
+			continue
+		}
+		t0 := time.Now()
+		err := sw.WriteChunk(jb.out)
+		stats.WriteWall += time.Since(t0)
+		if err != nil {
+			fail(fmt.Errorf("chunk %d: %w", jb.seq, err))
+			fl.leave()
+			continue
+		}
+		stats.Chunks++
+		fl.leave()
+		select {
+		case free <- jb.data:
+		default:
+		}
+	}
+	wg.Wait()
+	if firstErr == nil && readErr != nil {
+		firstErr = readErr
+	}
+	stats.ReadWall = readWall
+	stats.CodecWall = time.Duration(codecNS.Load())
+	stats.BytesIn = bytesIn
+	stats.MaxInFlight = int(fl.max.Load())
+	stats.BuffersAllocated = allocated
+	stats.BytesOut = cw.n
+	if firstErr != nil {
+		return stats, firstErr
+	}
+	t0 := time.Now()
+	if err := sw.Finish(); err != nil {
+		return stats, err
+	}
+	stats.WriteWall += time.Since(t0)
+	stats.BytesOut = cw.n
+	return stats, nil
+}
+
+// countingWriter counts bytes written through it.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// DecompressStream decodes a stream container from r, writing the field
+// as raw little-endian float64 bytes to w. Chunks are decompressed by a
+// worker pool and emitted in field order; peak memory is O(workers ×
+// chunk). The returned stats mirror CompressStream's.
+func DecompressStream(r io.Reader, w io.Writer) (*StreamStats, error) {
+	sr, err := streamfmt.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	hdr := sr.Header()
+	dims := hdr.Dims
+	rowStride := hdr.RowStride()
+	expChunks := hdr.Chunks()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > expChunks {
+		workers = expChunks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	maxInFlight := workers + 2
+
+	stats := &StreamStats{}
+	jobs := make(chan *streamJob)
+	order := make(chan *streamJob, maxInFlight)
+	free := make(chan []byte, maxInFlight)
+	stop := make(chan struct{})
+	var fl inflight
+	var codecNS atomic.Int64
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for jb := range jobs {
+				t0 := time.Now()
+				dec, subDims, err := Decompress(jb.in)
+				codecNS.Add(time.Since(t0).Nanoseconds())
+				select {
+				case free <- jb.in:
+				default:
+				}
+				jb.in = nil
+				if err == nil {
+					if len(subDims) != len(dims) || subDims[0] != jb.rows || len(dec) != jb.rows*rowStride {
+						err = fmt.Errorf("%w: chunk %d decoded to shape %v, want %d rows of stride %d",
+							ErrCorrupt, jb.seq, subDims, jb.rows, rowStride)
+					}
+					for i := 1; err == nil && i < len(dims); i++ {
+						if subDims[i] != dims[i] {
+							err = fmt.Errorf("%w: chunk %d dims %v disagree with field %v", ErrCorrupt, jb.seq, subDims, dims)
+						}
+					}
+				}
+				jb.dec, jb.err = dec, err
+				close(jb.done)
+			}
+		}()
+	}
+
+	var readErr error
+	var readWall time.Duration
+	var allocated int
+	go func() {
+		defer close(order)
+		defer close(jobs)
+		for seq := 0; seq < expChunks; seq++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var scratch []byte
+			select {
+			case scratch = <-free:
+			default:
+			}
+			t0 := time.Now()
+			payload, err := sr.Next(scratch)
+			readWall += time.Since(t0)
+			if err != nil {
+				readErr = err
+				return
+			}
+			if len(payload) > cap(scratch) {
+				allocated++ // streamfmt grew a fresh payload buffer
+			}
+			// The payload may alias scratch; hand ownership to the job.
+			//lint:allow allochot per-chunk descriptor; live descriptors are bounded by the in-flight cap
+			jb := &streamJob{seq: seq, in: payload, rows: hdr.ChunkRowCount(seq), done: make(chan struct{})}
+			fl.enter()
+			select {
+			case jobs <- jb:
+			case <-stop:
+				fl.leave()
+				return
+			}
+			select {
+			case order <- jb:
+			case <-stop:
+				fl.leave()
+				return
+			}
+		}
+		// All chunks read: the next frame must be the index.
+		t0 := time.Now()
+		_, err := sr.Next(nil)
+		readWall += time.Since(t0)
+		if err != io.EOF {
+			if err == nil {
+				err = fmt.Errorf("%w: extra frame after final chunk", ErrCorrupt)
+			}
+			readErr = err
+		}
+	}()
+
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+			close(stop)
+		}
+	}
+	var out []byte
+	for jb := range order {
+		<-jb.done
+		if firstErr != nil {
+			fl.leave()
+			continue
+		}
+		if jb.err != nil {
+			fail(fmt.Errorf("chunk %d: %w", jb.seq, jb.err))
+			fl.leave()
+			continue
+		}
+		t0 := time.Now()
+		need := len(jb.dec) * 8
+		if cap(out) < need {
+			//lint:allow allochot grows once to the largest chunk, then reused across all chunks
+			out = make([]byte, need)
+		}
+		out = out[:need]
+		for i, v := range jb.dec {
+			binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+		}
+		_, err := w.Write(out)
+		stats.WriteWall += time.Since(t0)
+		if err != nil {
+			fail(fmt.Errorf("chunk %d: %w", jb.seq, err))
+			fl.leave()
+			continue
+		}
+		stats.Chunks++
+		stats.BytesOut += int64(need)
+		fl.leave()
+	}
+	wg.Wait()
+	if firstErr == nil && readErr != nil {
+		firstErr = readErr
+	}
+	stats.ReadWall = readWall
+	stats.CodecWall = time.Duration(codecNS.Load())
+	stats.BytesIn = sr.Consumed()
+	stats.MaxInFlight = int(fl.max.Load())
+	stats.BuffersAllocated = allocated
+	if firstErr != nil {
+		return stats, firstErr
+	}
+	return stats, nil
+}
+
+// IsStreamContainer reports whether buf starts a CompressStream
+// container.
+func IsStreamContainer(buf []byte) bool {
+	return len(buf) >= 2 && buf[0] == streamfmt.Magic && buf[1] == streamfmt.Version
+}
+
+// decompressStreamBuf decodes an in-memory stream container (the
+// convenience path behind DecompressAny; the streaming path is
+// DecompressStream).
+func decompressStreamBuf(buf []byte) ([]float64, []int, error) {
+	hr, err := streamfmt.NewReader(bytes.NewReader(buf))
+	if err != nil {
+		return nil, nil, err
+	}
+	dims := append([]int(nil), hr.Header().Dims...)
+	var out bytes.Buffer
+	if _, err := DecompressStream(bytes.NewReader(buf), &out); err != nil {
+		return nil, nil, err
+	}
+	raw := out.Bytes()
+	data := make([]float64, len(raw)/8)
+	for i := range data {
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	return data, dims, nil
+}

@@ -1,0 +1,410 @@
+package repro
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/metrics"
+	"repro/internal/testutil"
+)
+
+// rawLE serializes a field as the raw little-endian float64 layout the
+// streaming API reads and writes.
+func rawLE(data []float64) []byte {
+	raw := make([]byte, len(data)*8)
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(raw[i*8:], math.Float64bits(v))
+	}
+	return raw
+}
+
+func fromLE(raw []byte) []float64 {
+	out := make([]float64, len(raw)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	return out
+}
+
+// TestStreamRoundTrip pushes 1D/2D/3D fields through CompressStream and
+// DecompressStream for every relative-bound algorithm and checks the
+// advertised error guarantees survive the chunked pipeline.
+func TestStreamRoundTrip(t *testing.T) {
+	fields := []struct {
+		name string
+		dims []int
+	}{
+		{"1d", []int{600}},
+		{"2d", []int{24, 32}},
+		{"3d", []int{12, 10, 8}},
+	}
+	const rel = 1e-3
+	for _, fc := range fields {
+		n := 1
+		for _, d := range fc.dims {
+			n *= d
+		}
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = 50*math.Sin(float64(i)/9) + 75
+		}
+		raw := rawLE(data)
+		for _, algo := range RelativeAlgorithms() {
+			var comp bytes.Buffer
+			st, err := CompressStream(bytes.NewReader(raw), &comp, fc.dims, rel, algo,
+				&StreamOptions{Workers: 3, ChunkRows: (fc.dims[0] + 3) / 4})
+			if err != nil {
+				t.Fatalf("%s %v: compress: %v", fc.name, algo, err)
+			}
+			if st.BytesIn != int64(len(raw)) {
+				t.Errorf("%s %v: BytesIn %d want %d", fc.name, algo, st.BytesIn, len(raw))
+			}
+			if st.BytesOut != int64(comp.Len()) {
+				t.Errorf("%s %v: BytesOut %d want %d", fc.name, algo, st.BytesOut, comp.Len())
+			}
+			var dec bytes.Buffer
+			dst, err := DecompressStream(bytes.NewReader(comp.Bytes()), &dec)
+			if err != nil {
+				t.Fatalf("%s %v: decompress: %v", fc.name, algo, err)
+			}
+			if dst.Chunks != st.Chunks {
+				t.Errorf("%s %v: decoded %d chunks, encoded %d", fc.name, algo, dst.Chunks, st.Chunks)
+			}
+			got := fromLE(dec.Bytes())
+			if len(got) != len(data) {
+				t.Fatalf("%s %v: decoded %d values, want %d", fc.name, algo, len(got), len(data))
+			}
+			stats, err := metrics.RelError(data, got, rel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if algo == ZFPP {
+				// ZFP_P does not guarantee the bound (the paper's "*").
+				if stats.BoundedFrac < 0.5 {
+					t.Errorf("%s %v: bounded only %.3f", fc.name, algo, stats.BoundedFrac)
+				}
+				continue
+			}
+			if stats.Max > rel*(1+1e-9) {
+				t.Errorf("%s %v: max rel err %g > %g", fc.name, algo, stats.Max, rel)
+			}
+		}
+	}
+}
+
+// TestStreamMatchesParallel asserts the acceptance criterion: for the
+// same chunk boundaries, DecompressStream output is element-wise
+// identical to Decompress of CompressParallel output.
+func TestStreamMatchesParallel(t *testing.T) {
+	f := datagen.NYX(16, 11)[0] // 16^3
+	const rel = 1e-2
+	// 16 rows into 4 chunks of 4: chunkStarts(16,4) gives 4-row chunks,
+	// matching ChunkRows=4 exactly.
+	pbuf, err := CompressParallel(f.Data, f.Dims, rel, SZT, &ParallelOptions{Chunks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdec, pdims, err := DecompressParallel(pbuf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var comp bytes.Buffer
+	if _, err := CompressStream(bytes.NewReader(rawLE(f.Data)), &comp, f.Dims, rel, SZT,
+		&StreamOptions{ChunkRows: 4}); err != nil {
+		t.Fatal(err)
+	}
+	var dec bytes.Buffer
+	if _, err := DecompressStream(bytes.NewReader(comp.Bytes()), &dec); err != nil {
+		t.Fatal(err)
+	}
+	sdec := fromLE(dec.Bytes())
+	if len(sdec) != len(pdec) {
+		t.Fatalf("stream decoded %d values, parallel %d", len(sdec), len(pdec))
+	}
+	for i := range sdec {
+		if !testutil.SameFloat(sdec[i], pdec[i]) {
+			t.Fatalf("element %d differs: stream %g parallel %g", i, sdec[i], pdec[i])
+		}
+	}
+	// And the one-shot path agrees with the streaming path.
+	adec, adims, err := DecompressAny(comp.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adims) != len(pdims) {
+		t.Fatalf("DecompressAny dims %v vs %v", adims, pdims)
+	}
+	for i := range adec {
+		if !testutil.SameFloat(adec[i], sdec[i]) {
+			t.Fatalf("DecompressAny element %d differs", i)
+		}
+	}
+}
+
+// TestStreamDeterministic asserts byte-identical container output across
+// runs and worker counts (frames are emitted in field order regardless
+// of completion order).
+func TestStreamDeterministic(t *testing.T) {
+	f := datagen.NYX(16, 3)[0]
+	raw := rawLE(f.Data)
+	var a, b bytes.Buffer
+	if _, err := CompressStream(bytes.NewReader(raw), &a, f.Dims, 1e-2, SZT, &StreamOptions{Workers: 4, ChunkRows: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompressStream(bytes.NewReader(raw), &b, f.Dims, 1e-2, SZT, &StreamOptions{Workers: 1, ChunkRows: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("stream container depends on worker count")
+	}
+}
+
+// TestStreamInputErrors covers compress-side failure modes: truncated
+// input, bad geometry, absolute-bound algorithms, bad bounds.
+func TestStreamInputErrors(t *testing.T) {
+	data := make([]float64, 64)
+	for i := range data {
+		data[i] = float64(i + 1)
+	}
+	raw := rawLE(data)
+	var sink bytes.Buffer
+	if _, err := CompressStream(bytes.NewReader(raw[:100]), &sink, []int{64}, 1e-2, SZT, nil); err == nil {
+		t.Error("short input: want error")
+	} else if !strings.Contains(err.Error(), "short stream input") {
+		t.Errorf("short input: unexpected error %v", err)
+	}
+	if _, err := CompressStream(bytes.NewReader(raw), &sink, []int{0}, 1e-2, SZT, nil); err == nil {
+		t.Error("zero dim: want error")
+	}
+	if _, err := CompressStream(bytes.NewReader(raw), &sink, []int{64}, 1e-2, SZABS, nil); err == nil {
+		t.Error("absolute algo: want ErrNeedsAbsolute")
+	}
+	if _, err := CompressStream(bytes.NewReader(raw), &sink, []int{64}, 2.0, SZT, nil); err == nil {
+		t.Error("bad bound: want error")
+	}
+	// A failing writer must abort the pipeline with an error, not hang.
+	ew := &errAfterWriter{limit: 10}
+	if _, err := CompressStream(bytes.NewReader(raw), ew, []int{64}, 1e-2, SZT, &StreamOptions{ChunkRows: 4}); err == nil {
+		t.Error("failing sink: want error")
+	}
+}
+
+type errAfterWriter struct{ limit, n int }
+
+func (w *errAfterWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	if w.n > w.limit {
+		return 0, io.ErrClosedPipe
+	}
+	return len(p), nil
+}
+
+// TestStreamDecodeErrors covers decode-side robustness: truncations at
+// every prefix length and single-byte corruption must error out (or
+// decode consistently), never panic or hang.
+func TestStreamDecodeErrors(t *testing.T) {
+	f := datagen.NYX(8, 5)[0]
+	var comp bytes.Buffer
+	if _, err := CompressStream(bytes.NewReader(rawLE(f.Data)), &comp, f.Dims, 1e-2, SZT, &StreamOptions{ChunkRows: 2}); err != nil {
+		t.Fatal(err)
+	}
+	stream := comp.Bytes()
+	for cut := 0; cut < len(stream); cut += 7 {
+		if _, err := DecompressStream(bytes.NewReader(stream[:cut]), io.Discard); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		}
+	}
+	// Flipping any byte must be caught by a CRC, a shape check, or the
+	// inner decoder.
+	for pos := 0; pos < len(stream); pos += 11 {
+		mut := append([]byte(nil), stream...)
+		mut[pos] ^= 0x4
+		var out bytes.Buffer
+		if _, err := DecompressStream(bytes.NewReader(mut), &out); err == nil {
+			if !bytes.Equal(out.Bytes(), rawLEOfDecoded(t, stream)) {
+				t.Fatalf("corruption at %d silently changed output", pos)
+			}
+		}
+	}
+}
+
+func rawLEOfDecoded(t *testing.T, stream []byte) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	if _, err := DecompressStream(bytes.NewReader(stream), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes()
+}
+
+// synthReader procedurally generates a raw float64 field without ever
+// materializing it, so the bounded-memory test's input side is O(1).
+type synthReader struct {
+	remaining int64 // bytes left to produce
+	i         int64 // absolute element index
+}
+
+func (s *synthReader) Read(p []byte) (int, error) {
+	if s.remaining <= 0 {
+		return 0, io.EOF
+	}
+	n := int64(len(p)) - int64(len(p))%8
+	if n > s.remaining {
+		n = s.remaining
+	}
+	if n == 0 {
+		return 0, io.EOF
+	}
+	for off := int64(0); off < n; off += 8 {
+		v := 40*math.Sin(float64(s.i)/17) + 90
+		binary.LittleEndian.PutUint64(p[off:], math.Float64bits(v))
+		s.i++
+	}
+	s.remaining -= n
+	return int(n), nil
+}
+
+// TestStreamBoundedMemory streams a field 16× larger than the pipeline's
+// chunk budget and asserts the bounded-memory invariant: the pipeline
+// allocates at most workers+2 chunk buffers (the deterministic proof)
+// and the sampled heap high-water mark stays far below the field size
+// (the end-to-end check).
+func TestStreamBoundedMemory(t *testing.T) {
+	const (
+		rowStride = 4096 // floats per row: 32 KiB
+		rows      = 1024 // field: 32 MiB
+		chunkRows = 8    // chunk: 256 KiB
+		workers   = 2
+	)
+	fieldBytes := int64(rows * rowStride * 8)
+	budgetBytes := int64((workers + 2) * chunkRows * rowStride * 8)
+	if fieldBytes < 8*budgetBytes {
+		t.Fatalf("test geometry broken: field %d < 8x budget %d", fieldBytes, budgetBytes)
+	}
+
+	var heapMax uint64
+	stopSampling := make(chan struct{})
+	samplerDone := make(chan struct{})
+	var base runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&base)
+	go func() {
+		defer close(samplerDone)
+		var m runtime.MemStats
+		for {
+			select {
+			case <-stopSampling:
+				return
+			default:
+			}
+			runtime.ReadMemStats(&m)
+			if m.HeapAlloc > heapMax {
+				heapMax = m.HeapAlloc
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	src := &synthReader{remaining: fieldBytes}
+	cw := &countingWriter{w: io.Discard}
+	st, err := CompressStream(src, cw, []int{rows, rowStride}, 1e-2, SZT,
+		&StreamOptions{Workers: workers, ChunkRows: chunkRows})
+	close(stopSampling)
+	<-samplerDone
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if st.Chunks != rows/chunkRows {
+		t.Errorf("chunks %d want %d", st.Chunks, rows/chunkRows)
+	}
+	if st.BytesIn != fieldBytes {
+		t.Errorf("BytesIn %d want %d", st.BytesIn, fieldBytes)
+	}
+	if st.BuffersAllocated > workers+2 {
+		t.Errorf("allocated %d chunk buffers, bound is workers+2 = %d", st.BuffersAllocated, workers+2)
+	}
+	if st.MaxInFlight > workers+2 {
+		t.Errorf("max in-flight %d, bound is workers+2 = %d", st.MaxInFlight, workers+2)
+	}
+	resident := int64(st.BuffersAllocated) * chunkRows * rowStride * 8
+	if resident > budgetBytes {
+		t.Errorf("resident chunk-buffer bytes %d exceed budget %d", resident, budgetBytes)
+	}
+	if testutil.RaceEnabled {
+		t.Log("race detector: skipping heap high-water assertion")
+		return
+	}
+	growth := int64(heapMax) - int64(base.HeapAlloc)
+	if growth > fieldBytes/2 {
+		t.Errorf("heap grew by %d bytes streaming a %d-byte field; pipeline is not bounded-memory",
+			growth, fieldBytes)
+	}
+	t.Logf("field %d MiB, heap high-water growth %d KiB, %d chunk buffers",
+		fieldBytes>>20, growth>>10, st.BuffersAllocated)
+}
+
+// TestStreamStatsObservability sanity-checks the per-stage counters.
+func TestStreamStatsObservability(t *testing.T) {
+	f := datagen.NYX(16, 9)[0]
+	var comp bytes.Buffer
+	st, err := CompressStream(bytes.NewReader(rawLE(f.Data)), &comp, f.Dims, 1e-2, SZT, &StreamOptions{ChunkRows: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Chunks != 4 {
+		t.Errorf("chunks %d want 4", st.Chunks)
+	}
+	if st.CodecWall <= 0 || st.MaxInFlight < 1 || st.BuffersAllocated < 1 {
+		t.Errorf("implausible stats: %+v", st)
+	}
+	dst, err := DecompressStream(bytes.NewReader(comp.Bytes()), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst.BytesIn != int64(comp.Len()) {
+		t.Errorf("decode BytesIn %d want %d", dst.BytesIn, comp.Len())
+	}
+	if dst.BytesOut != int64(len(f.Data)*8) {
+		t.Errorf("decode BytesOut %d want %d", dst.BytesOut, len(f.Data)*8)
+	}
+}
+
+// TestArchiveHoldsStreamContainer checks a stream container is a valid
+// archive member and decodes through ArchiveReader.Field.
+func TestArchiveHoldsStreamContainer(t *testing.T) {
+	f := datagen.NYX(8, 13)[0]
+	var comp bytes.Buffer
+	if _, err := CompressStream(bytes.NewReader(rawLE(f.Data)), &comp, f.Dims, 1e-2, ZFPT, &StreamOptions{ChunkRows: 3}); err != nil {
+		t.Fatal(err)
+	}
+	w := NewArchiveWriter()
+	if err := w.AddCompressed("density", comp.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenArchive(w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, dims, err := r.Field("density")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dims) != len(f.Dims) || len(dec) != len(f.Data) {
+		t.Fatalf("archived stream decoded to %v/%d values", dims, len(dec))
+	}
+	stats, err := metrics.RelError(f.Data, dec, 1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Max > 1e-2*(1+1e-9) {
+		t.Errorf("bound violated through archive: %g", stats.Max)
+	}
+}
