@@ -15,11 +15,28 @@ import (
 // (possibly with different algorithms and bounds) and individually
 // retrievable without decoding the others.
 //
-// Layout: magic | uvarint count | index entries | blobs.
-// Each index entry: uvarint(name len) | name | uvarint(blob len).
-// Each blob is a standard Compress/CompressAbs/CompressParallel stream.
+// Two layouts exist. v1 (magic 0xC7) packs blobs back to back with only
+// lengths in the directory, so offsets are implicit. v2 (magic 0xC9,
+// what ArchiveWriter now emits) records each blob's offset explicitly:
+//
+//	archive := magic(0xC9) version(0x01) uvarint(count) entry*
+//	           crc32be(blob area) blob area
+//	entry   := uvarint(name len) name uvarint(offset) uvarint(blob len)
+//
+// with offsets relative to the start of the blob area. OpenArchive reads
+// both, and validates v2 directories structurally before touching any
+// blob: every entry must lie inside the blob area and no two entries may
+// overlap, so a crafted directory cannot alias one blob's bytes into
+// another field or reach outside the container.
 
-const archiveMagic = 0xC7
+const (
+	archiveMagic   = 0xC7 // v1: implicit sequential offsets
+	archiveMagicV2 = 0xC9 // v2: explicit per-entry offsets
+	archiveV2Ver   = 0x01
+
+	maxArchiveFields = 1 << 20
+	maxFieldName     = 4096
+)
 
 // ArchiveWriter accumulates fields.
 type ArchiveWriter struct {
@@ -33,7 +50,7 @@ func NewArchiveWriter() *ArchiveWriter { return &ArchiveWriter{} }
 // AddCompressed adds an already-compressed stream under name. Names must
 // be unique and non-empty.
 func (w *ArchiveWriter) AddCompressed(name string, stream []byte) error {
-	if name == "" || len(name) > 4096 {
+	if name == "" || len(name) > maxFieldName {
 		return fmt.Errorf("repro: invalid field name %q", name)
 	}
 	for _, n := range w.names {
@@ -60,14 +77,18 @@ func (w *ArchiveWriter) Add(name string, data []float64, dims []int, relBound fl
 	return w.AddCompressed(name, buf)
 }
 
-// Bytes serializes the archive.
+// Bytes serializes the archive in the v2 layout (explicit offsets,
+// packed back to back).
 func (w *ArchiveWriter) Bytes() []byte {
-	out := []byte{archiveMagic}
+	out := []byte{archiveMagicV2, archiveV2Ver}
 	out = bitio.AppendUvarint(out, uint64(len(w.names)))
+	var off uint64
 	for i, n := range w.names {
 		out = bitio.AppendUvarint(out, uint64(len(n)))
 		out = append(out, n...)
+		out = bitio.AppendUvarint(out, off)
 		out = bitio.AppendUvarint(out, uint64(len(w.blobs[i])))
+		off += uint64(len(w.blobs[i]))
 	}
 	var crc uint32
 	for _, b := range w.blobs {
@@ -85,33 +106,79 @@ type ArchiveReader struct {
 	names  []string
 	blobs  [][]byte
 	byName map[string][]byte
+	limits *DecodeLimits
 }
 
-// OpenArchive parses an archive produced by ArchiveWriter.Bytes.
+// OpenArchive parses an archive produced by ArchiveWriter.Bytes (v2) or
+// by earlier versions of this package (v1).
 func OpenArchive(buf []byte) (*ArchiveReader, error) {
-	if len(buf) < 2 || buf[0] != archiveMagic {
-		return nil, ErrCorrupt
+	return OpenArchiveLimits(buf, nil)
+}
+
+// OpenArchiveLimits is OpenArchive with decode limits (nil = unlimited):
+// MaxFields bounds the directory, MaxChunkBytes bounds each blob, and
+// both are enforced while parsing the directory, before any blob-sized
+// work. The limits are retained by the reader and applied again when
+// Field decodes a blob.
+func OpenArchiveLimits(buf []byte, limits *DecodeLimits) (_ *ArchiveReader, err error) {
+	defer recoverDecode(&err)
+	if len(buf) < 2 {
+		return nil, fmt.Errorf("%w: %d-byte archive", ErrTruncated, len(buf))
 	}
-	off := 1
+	switch buf[0] {
+	case archiveMagic:
+		return openArchiveV1(buf, limits)
+	case archiveMagicV2:
+		if buf[1] != archiveV2Ver {
+			return nil, fmt.Errorf("%w: archive v2 version 0x%02x", ErrUnsupportedFormat, buf[1])
+		}
+		return openArchiveV2(buf, limits)
+	default:
+		return nil, fmt.Errorf("%w: leading byte 0x%02x is not an archive", ErrUnsupportedFormat, buf[0])
+	}
+}
+
+// readDirCount parses and sanity-bounds the directory count at buf[off:].
+// minEntry is the smallest possible encoded directory entry, so a count
+// beyond (remaining bytes)/minEntry is structurally impossible and is
+// rejected before the count sizes any allocation.
+func readDirCount(buf []byte, off, minEntry int, limits *DecodeLimits) (int, int, error) {
 	count, k := bitio.Uvarint(buf[off:])
-	if k == 0 || count > 1<<20 {
-		return nil, ErrCorrupt
+	if k == 0 || count > maxArchiveFields {
+		return 0, 0, fmt.Errorf("%w: archive field count", ErrCorrupt)
 	}
 	off += k
-	r := &ArchiveReader{byName: make(map[string][]byte, count)}
+	if count > uint64(len(buf)-off)/uint64(minEntry) {
+		return 0, 0, fmt.Errorf("%w: %d fields declared in %d bytes", ErrCorrupt, count, len(buf)-off)
+	}
+	if err := limits.checkFields(int(count)); err != nil {
+		return 0, 0, err
+	}
+	return int(count), off, nil
+}
+
+func openArchiveV1(buf []byte, limits *DecodeLimits) (*ArchiveReader, error) {
+	count, off, err := readDirCount(buf, 1, 3, limits)
+	if err != nil {
+		return nil, err
+	}
+	r := &ArchiveReader{byName: make(map[string][]byte, count), limits: limits}
 	lengths := make([]int, count)
 	var total uint64
-	for i := uint64(0); i < count; i++ {
+	for i := 0; i < count; i++ {
 		nlen, k := bitio.Uvarint(buf[off:])
-		if k == 0 || nlen == 0 || nlen > 4096 || int(nlen) > len(buf)-off-k {
-			return nil, ErrCorrupt
+		if k == 0 || nlen == 0 || nlen > maxFieldName || int(nlen) > len(buf)-off-k {
+			return nil, fmt.Errorf("%w: archive entry %d name", ErrCorrupt, i)
 		}
 		off += k
 		name := string(buf[off : off+int(nlen)])
 		off += int(nlen)
 		blen, k := bitio.Uvarint(buf[off:])
 		if k == 0 || blen > uint64(len(buf)) {
-			return nil, ErrCorrupt
+			return nil, fmt.Errorf("%w: archive entry %d length", ErrCorrupt, i)
+		}
+		if err := limits.checkChunkBytes(int64(blen)); err != nil {
+			return nil, err
 		}
 		off += k
 		if _, dup := r.byName[name]; dup {
@@ -123,24 +190,98 @@ func OpenArchive(buf []byte) (*ArchiveReader, error) {
 		total += blen
 	}
 	if off+4 > len(buf) {
-		return nil, ErrCorrupt
+		return nil, fmt.Errorf("%w (archive checksum)", ErrTruncated)
 	}
 	wantCRC := binary.BigEndian.Uint32(buf[off:])
 	off += 4
 	if total > uint64(len(buf)-off) {
-		return nil, ErrCorrupt
+		return nil, fmt.Errorf("%w: blobs overrun the archive", ErrTruncated)
 	}
-	var crc uint32
 	start := off
-	for i := uint64(0); i < count; i++ {
+	for i := 0; i < count; i++ {
 		blob := buf[off : off+lengths[i]]
 		r.blobs = append(r.blobs, blob)
 		r.byName[r.names[i]] = blob
 		off += lengths[i]
 	}
-	crc = crc32.ChecksumIEEE(buf[start:off])
-	if crc != wantCRC {
+	if crc32.ChecksumIEEE(buf[start:off]) != wantCRC {
 		return nil, fmt.Errorf("%w: archive checksum mismatch", ErrCorrupt)
+	}
+	return r, nil
+}
+
+func openArchiveV2(buf []byte, limits *DecodeLimits) (*ArchiveReader, error) {
+	count, off, err := readDirCount(buf, 2, 4, limits)
+	if err != nil {
+		return nil, err
+	}
+	r := &ArchiveReader{byName: make(map[string][]byte, count), limits: limits}
+	type extent struct {
+		lo, hi uint64
+		name   string
+	}
+	extents := make([]extent, count)
+	offsets := make([]uint64, count)
+	lengths := make([]uint64, count)
+	for i := 0; i < count; i++ {
+		nlen, k := bitio.Uvarint(buf[off:])
+		if k == 0 || nlen == 0 || nlen > maxFieldName || int(nlen) > len(buf)-off-k {
+			return nil, fmt.Errorf("%w: archive entry %d name", ErrCorrupt, i)
+		}
+		off += k
+		name := string(buf[off : off+int(nlen)])
+		off += int(nlen)
+		boff, k := bitio.Uvarint(buf[off:])
+		if k == 0 || boff > uint64(len(buf)) {
+			return nil, fmt.Errorf("%w: archive entry %d offset", ErrCorrupt, i)
+		}
+		off += k
+		blen, k := bitio.Uvarint(buf[off:])
+		if k == 0 || blen > uint64(len(buf)) {
+			return nil, fmt.Errorf("%w: archive entry %d length", ErrCorrupt, i)
+		}
+		if err := limits.checkChunkBytes(int64(blen)); err != nil {
+			return nil, err
+		}
+		off += k
+		if _, dup := r.byName[name]; dup {
+			return nil, fmt.Errorf("%w: duplicate field %q", ErrCorrupt, name)
+		}
+		r.names = append(r.names, name)
+		r.byName[name] = nil
+		offsets[i], lengths[i] = boff, blen
+		extents[i] = extent{boff, boff + blen, name}
+	}
+	if off+4 > len(buf) {
+		return nil, fmt.Errorf("%w (archive checksum)", ErrTruncated)
+	}
+	wantCRC := binary.BigEndian.Uint32(buf[off:])
+	off += 4
+	area := buf[off:]
+	// Every entry must lie inside the blob area…
+	for i := range extents {
+		if extents[i].hi > uint64(len(area)) || extents[i].hi < extents[i].lo {
+			return nil, fmt.Errorf("%w: field %q at [%d,%d) outside the %d-byte blob area",
+				ErrCorrupt, extents[i].name, extents[i].lo, extents[i].hi, len(area))
+		}
+	}
+	// …and no two entries may overlap: a directory aliasing two fields
+	// onto the same bytes is forged, not damaged.
+	sorted := append([]extent(nil), extents...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].lo < sorted[b].lo })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].lo < sorted[i-1].hi {
+			return nil, fmt.Errorf("%w: fields %q and %q overlap in the blob area",
+				ErrCorrupt, sorted[i-1].name, sorted[i].name)
+		}
+	}
+	if crc32.ChecksumIEEE(area) != wantCRC {
+		return nil, fmt.Errorf("%w: archive checksum mismatch", ErrCorrupt)
+	}
+	for i := 0; i < count; i++ {
+		blob := area[offsets[i] : offsets[i]+lengths[i]]
+		r.blobs = append(r.blobs, blob)
+		r.byName[r.names[i]] = blob
 	}
 	return r, nil
 }
@@ -166,11 +307,13 @@ func (r *ArchiveReader) Raw(name string) ([]byte, error) {
 	return blob, nil
 }
 
-// Field decompresses one field by name.
-func (r *ArchiveReader) Field(name string) ([]float64, []int, error) {
+// Field decompresses one field by name, under the limits the archive was
+// opened with.
+func (r *ArchiveReader) Field(name string) (_ []float64, _ []int, err error) {
+	defer recoverDecode(&err)
 	blob, err := r.Raw(name)
 	if err != nil {
 		return nil, nil, err
 	}
-	return DecompressAny(blob)
+	return DecompressAnyLimits(blob, r.limits)
 }

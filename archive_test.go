@@ -1,10 +1,15 @@
 package repro
 
 import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
+	"repro/internal/bitio"
 	"repro/internal/datagen"
 	"repro/internal/grid"
 	"repro/internal/metrics"
@@ -148,6 +153,117 @@ func TestArchiveCorrupt(t *testing.T) {
 		mut[len(mut)-1-rng.Intn(8)] ^= byte(1 << rng.Intn(8))
 		if _, err := OpenArchive(mut); err == nil {
 			t.Fatal("blob corruption not detected")
+		}
+	}
+}
+
+// buildArchiveV2 hand-assembles a v2 archive from an explicit directory,
+// with a correct area CRC, so tests can craft geometries the writer
+// would never emit.
+func buildArchiveV2(entries []struct {
+	name    string
+	off, ln uint64
+}, area []byte) []byte {
+	out := []byte{archiveMagicV2, archiveV2Ver}
+	out = bitio.AppendUvarint(out, uint64(len(entries)))
+	for _, e := range entries {
+		out = bitio.AppendUvarint(out, uint64(len(e.name)))
+		out = append(out, e.name...)
+		out = bitio.AppendUvarint(out, e.off)
+		out = bitio.AppendUvarint(out, e.ln)
+	}
+	out = binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(area))
+	return append(out, area...)
+}
+
+// TestArchiveOverlappingEntries is the regression test for directory
+// validation: a crafted v2 archive whose entries alias the same blob
+// bytes must be rejected, not silently served.
+func TestArchiveOverlappingEntries(t *testing.T) {
+	blob, err := Compress([]float64{1, 2, 3, 4}, []int{4}, 0.1, SZT, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type entry = struct {
+		name    string
+		off, ln uint64
+	}
+	n := uint64(len(blob))
+
+	// Full aliasing: both fields claim the same extent.
+	buf := buildArchiveV2([]entry{{"a", 0, n}, {"b", 0, n}}, blob)
+	if _, err := OpenArchive(buf); !errors.Is(err, ErrCorrupted) || !strings.Contains(err.Error(), "overlap") {
+		t.Fatalf("aliased entries: err = %v, want ErrCorrupted overlap", err)
+	}
+
+	// Partial overlap.
+	area := append(append([]byte(nil), blob...), blob...)
+	buf = buildArchiveV2([]entry{{"a", 0, n}, {"b", n - 1, n}}, area[:2*n-1])
+	if _, err := OpenArchive(buf); !errors.Is(err, ErrCorrupted) || !strings.Contains(err.Error(), "overlap") {
+		t.Fatalf("partial overlap: err = %v, want ErrCorrupted overlap", err)
+	}
+
+	// Out of range: the entry reaches past the blob area.
+	buf = buildArchiveV2([]entry{{"a", 1, n}}, blob)
+	if _, err := OpenArchive(buf); !errors.Is(err, ErrCorrupted) {
+		t.Fatalf("out-of-range entry: err = %v, want ErrCorrupted", err)
+	}
+
+	// The same blobs laid out back to back are fine.
+	buf = buildArchiveV2([]entry{{"a", 0, n}, {"b", n, n}}, area)
+	r, err := OpenArchive(buf)
+	if err != nil {
+		t.Fatalf("valid crafted archive rejected: %v", err)
+	}
+	for _, name := range []string{"a", "b"} {
+		if _, _, err := r.Field(name); err != nil {
+			t.Fatalf("field %q: %v", name, err)
+		}
+	}
+}
+
+// TestArchiveV1Compat pins the reader's support for the legacy implicit-
+// offset layout.
+func TestArchiveV1Compat(t *testing.T) {
+	blob, err := Compress([]float64{5, 6, 7, 8}, []int{2, 2}, 0.1, SZT, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := []byte{archiveMagic}
+	out = bitio.AppendUvarint(out, 2)
+	for _, name := range []string{"x", "y"} {
+		out = bitio.AppendUvarint(out, uint64(len(name)))
+		out = append(out, name...)
+		out = bitio.AppendUvarint(out, uint64(len(blob)))
+	}
+	crc := crc32.Update(crc32.ChecksumIEEE(blob), crc32.IEEETable, blob)
+	out = binary.BigEndian.AppendUint32(out, crc)
+	out = append(out, blob...)
+	out = append(out, blob...)
+
+	r, err := OpenArchive(out)
+	if err != nil {
+		t.Fatalf("v1 archive rejected: %v", err)
+	}
+	for _, name := range []string{"x", "y"} {
+		data, dims, err := r.Field(name)
+		if err != nil || len(data) != 4 || len(dims) != 2 {
+			t.Fatalf("v1 field %q: data=%d dims=%v err=%v", name, len(data), dims, err)
+		}
+	}
+}
+
+// TestArchiveHostileCount rejects a directory count the container could
+// not possibly hold, before it sizes any allocation.
+func TestArchiveHostileCount(t *testing.T) {
+	for _, magic := range []byte{archiveMagic, archiveMagicV2} {
+		hostile := []byte{magic, archiveV2Ver}
+		if magic == archiveMagic {
+			hostile = hostile[:1]
+		}
+		hostile = bitio.AppendUvarint(hostile, 1<<19) // huge count, no bytes behind it
+		if _, err := OpenArchive(hostile); !errors.Is(err, ErrCorrupted) {
+			t.Fatalf("magic %#x: hostile count gave %v, want ErrCorrupted", magic, err)
 		}
 	}
 }

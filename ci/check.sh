@@ -2,8 +2,10 @@
 # ci/check.sh — the full local/CI gate for this repository.
 #
 # Runs, in order: formatting, go vet, the domain lint suite (cmd/pwrvet),
-# build, tests, the race detector, and a short fuzz smoke pass over the
-# decode-path fuzz targets. Everything here must pass before merging.
+# build, tests, a focused fault-injection/cancellation/salvage sweep
+# (these double as the goroutine-leak accounting pass), the race
+# detector, and a short fuzz smoke pass over the decode-path fuzz
+# targets. Everything here must pass before merging.
 #
 # Usage: ci/check.sh [fuzztime]
 #   fuzztime — per-target fuzz budget (default 5s; "0" skips fuzzing).
@@ -33,14 +35,17 @@ step "go build"
 go build ./...
 
 step "go test"
-go test ./...
+go test -timeout 10m ./...
+
+step "fault-injection sweep + goroutine accounting"
+go test -timeout 10m -run 'TestFault|TestDecodeLimits|TestSalvage|Ctx' -count=1 .
 
 step "go test -race"
-go test -race ./...
+go test -race -timeout 20m ./...
 
 if [[ "${FUZZTIME}" != "0" ]]; then
     step "fuzz smoke (${FUZZTIME} per target)"
-    for target in FuzzDecompress FuzzDecompressParallel FuzzOpenArchive FuzzHeaderMutation FuzzCompressRoundTrip FuzzDecompressStream FuzzStreamRoundTrip; do
+    for target in FuzzDecompress FuzzDecompressParallel FuzzOpenArchive FuzzHeaderMutation FuzzCompressRoundTrip FuzzDecompressStream FuzzStreamRoundTrip FuzzStreamSalvage; do
         echo "-- ${target}"
         go test -run='^$' -fuzz="^${target}\$" -fuzztime="${FUZZTIME}" .
     done

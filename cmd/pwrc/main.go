@@ -51,6 +51,7 @@ func main() {
 		manifest   = flag.String("manifest", "", "MANIFEST.txt path (archive compression)")
 		outdir     = flag.String("outdir", "", "output directory (archive extraction)")
 		stream     = flag.Bool("stream", false, "bounded-memory streaming mode (float64 raw only)")
+		salvage    = flag.Bool("salvage", false, "with -d -stream: recover what survives of a damaged container, NaN-filling lost rows")
 		workers    = flag.Int("workers", 0, "streaming worker count (default GOMAXPROCS)")
 		chunkRows  = flag.Int("chunk-rows", 0, "rows of the slowest dimension per streamed chunk (default ~256Ki elements)")
 	)
@@ -58,6 +59,9 @@ func main() {
 
 	if *compress == *decompress {
 		fatalf("exactly one of -c or -d is required")
+	}
+	if *salvage && !(*stream && *decompress) {
+		fatalf("-salvage requires -d -stream")
 	}
 
 	if *archive {
@@ -90,7 +94,11 @@ func main() {
 			fatalf("-stream supports float64 raw data only")
 		}
 		if *decompress {
-			streamDecompressFile(*in, *out)
+			if *salvage {
+				streamSalvageFile(*in, *out)
+			} else {
+				streamDecompressFile(*in, *out)
+			}
 			return
 		}
 		dims, err := parseDims(*dimsFlag)
@@ -239,6 +247,44 @@ func streamDecompressFile(in, out string) {
 		st.BytesIn, st.BytesOut, st.Chunks,
 		elapsed.Round(time.Millisecond),
 		float64(st.BytesOut)/1e6/elapsed.Seconds())
+}
+
+// streamSalvageFile recovers the intact chunks of a damaged stream
+// container and reports exactly what was lost.
+func streamSalvageFile(in, out string) {
+	src, err := os.Open(in)
+	check(err)
+	defer src.Close() //lint:allow errdrop read-only input
+	dst, err := os.Create(out)
+	check(err)
+	w := bufio.NewWriterSize(dst, 1<<20)
+	rep, err := repro.DecompressStreamSalvage(src, w, nil)
+	if err == nil {
+		err = w.Flush()
+	}
+	if err != nil {
+		dst.Close() //lint:allow errdrop already failing
+		os.Remove(out)
+		fatalf("salvage: %v", err)
+	}
+	check(dst.Close())
+	fmt.Printf("salvaged %d of %d chunks (dims=%v, %d -> %d bytes)\n",
+		rep.Recovered, rep.Chunks, rep.Dims, rep.BytesIn, rep.BytesOut)
+	if !rep.IndexOK {
+		fmt.Println("index frame damaged: recovery relied on forward scan")
+	}
+	if rep.Truncated {
+		fmt.Println("container is truncated")
+	}
+	for _, rr := range rep.LostRows {
+		fmt.Printf("lost rows [%d,%d): filled with NaN\n", rr.Lo, rr.Hi)
+	}
+	for _, br := range rep.LostBytes {
+		fmt.Printf("damaged container bytes [%d,%d)\n", br.Lo, br.Hi)
+	}
+	if rep.Lost() == 0 {
+		fmt.Println("no data lost")
+	}
 }
 
 func parseAlgo(s string) (repro.Algorithm, error) {

@@ -7,8 +7,10 @@
 // decodebound (taint: input-derived lengths must be range-guarded before
 // indexing, sizing an allocation, or bounding a loop), goroleak
 // (WaitGroup pairing and channel close-on-all-paths), allochot
-// (per-iteration allocation in hot codec loops), and encdecpair
-// (Encode/Compress API symmetry).
+// (per-iteration allocation in hot codec loops), encdecpair
+// (Encode/Compress API symmetry), and ctxflow (worker-pool goroutines
+// whose channel sends select on neither a cancellation receive nor a
+// default, so the pool cannot be torn down).
 //
 // Usage:
 //

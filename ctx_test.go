@@ -1,0 +1,147 @@
+package repro
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// Cancellation tests: every Ctx entry point must return the context's
+// error when cancelled (before or during the work) and tear down its
+// worker pool completely — zero extra goroutines after settle, which
+// testutil.NoLeak asserts at test end.
+
+// cancelAfterReader cancels a context once n bytes have been delivered,
+// then keeps serving data — so any further progress is the pipeline's
+// choice, not starvation.
+type cancelAfterReader struct {
+	r      io.Reader
+	n      int64
+	cancel context.CancelFunc
+}
+
+func (c *cancelAfterReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if c.n > 0 {
+		if c.n -= int64(n); c.n <= 0 {
+			c.cancel()
+		}
+	}
+	return n, err
+}
+
+func bigField() ([]float64, []int) {
+	data := make([]float64, 8192)
+	for i := range data {
+		data[i] = float64(i%613) + 2
+	}
+	return data, []int{512, 16}
+}
+
+func TestCompressStreamCtxPreCancelled(t *testing.T) {
+	defer testutil.NoLeak(t)()
+	data, dims := bigField()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var sink bytes.Buffer
+	_, err := CompressStreamCtx(ctx, bytes.NewReader(rawLE(data)), &sink, dims, 1e-2, SZT,
+		&StreamOptions{Workers: 2, ChunkRows: 8})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCompressStreamCtxMidStream(t *testing.T) {
+	defer testutil.NoLeak(t)()
+	data, dims := bigField()
+	raw := rawLE(data)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	src := &cancelAfterReader{r: bytes.NewReader(raw), n: int64(len(raw) / 4), cancel: cancel}
+	var sink bytes.Buffer
+	stats, err := CompressStreamCtx(ctx, src, &sink, dims, 1e-2, SZT,
+		&StreamOptions{Workers: 2, ChunkRows: 8})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if stats.BytesIn >= int64(len(raw)) {
+		t.Errorf("pipeline consumed the whole input (%d bytes) after cancellation", stats.BytesIn)
+	}
+}
+
+func TestDecompressStreamCtxMidStream(t *testing.T) {
+	defer testutil.NoLeak(t)()
+	data, dims := bigField()
+	var comp bytes.Buffer
+	if _, err := CompressStream(bytes.NewReader(rawLE(data)), &comp, dims, 1e-2, SZT,
+		&StreamOptions{Workers: 2, ChunkRows: 8}); err != nil {
+		t.Fatal(err)
+	}
+	stream := comp.Bytes()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DecompressStreamCtx(ctx, bytes.NewReader(stream), io.Discard, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled: err = %v, want context.Canceled", err)
+	}
+
+	ctx, cancel = context.WithCancel(context.Background())
+	defer cancel()
+	src := &cancelAfterReader{r: bytes.NewReader(stream), n: int64(len(stream) / 4), cancel: cancel}
+	stats, err := DecompressStreamCtx(ctx, src, io.Discard, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-stream: err = %v, want context.Canceled", err)
+	}
+	if stats.BytesIn >= int64(len(stream)) {
+		t.Errorf("pipeline consumed the whole container (%d bytes) after cancellation", stats.BytesIn)
+	}
+}
+
+func TestParallelCtxCancelled(t *testing.T) {
+	defer testutil.NoLeak(t)()
+	data, dims := bigField()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CompressParallel(data, dims, 1e-2, SZT,
+		&ParallelOptions{Chunks: 16, Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("compress: err = %v, want context.Canceled", err)
+	}
+	buf, err := CompressParallel(data, dims, 1e-2, SZT, &ParallelOptions{Chunks: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecompressParallelCtx(ctx, buf, 0, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("decompress: err = %v, want context.Canceled", err)
+	}
+	// A live context must not disturb the result.
+	dec, gotDims, err := DecompressParallelCtx(context.Background(), buf, 0, nil)
+	if err != nil || len(dec) != len(data) || len(gotDims) != len(dims) {
+		t.Fatalf("live ctx decode: err=%v len=%d", err, len(dec))
+	}
+}
+
+// TestStreamCtxNilBehavesAsBackground pins the nil-context convenience.
+func TestStreamCtxNilBehavesAsBackground(t *testing.T) {
+	defer testutil.NoLeak(t)()
+	data := make([]float64, 64)
+	for i := range data {
+		data[i] = float64(i + 1)
+	}
+	var comp bytes.Buffer
+	//lint:allow all nil ctx is the documented convenience form under test
+	if _, err := CompressStreamCtx(nil, bytes.NewReader(rawLE(data)), &comp, []int{64}, 1e-2, SZT, nil); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	//lint:allow all nil ctx is the documented convenience form under test
+	if _, err := DecompressStreamCtx(nil, bytes.NewReader(comp.Bytes()), &out, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes()[:8], rawLE(data)[:8]) && out.Len() != len(data)*8 {
+		t.Fatal("nil-ctx round trip broken")
+	}
+}

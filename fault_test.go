@@ -1,0 +1,413 @@
+package repro
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/faultio"
+	"repro/internal/testutil"
+)
+
+// The fault-injection harness: every container format is swept with
+// every fault class at every byte offset, and every decode entry point
+// must respond with a clean typed error from the taxonomy in errors.go —
+// never a panic, never a hang, never a goroutine leak, and never a
+// silently wrong answer (success is allowed only with a self-consistent
+// shape, since a fault that flips the unchecksummed algorithm byte can
+// legitimately decode through a different codec).
+
+// faultCorpus builds one small instance of every container format.
+func faultCorpus(t *testing.T) map[string][]byte {
+	t.Helper()
+	data := make([]float64, 40)
+	for i := range data {
+		data[i] = 30*math.Sin(float64(i)/4) + 50
+	}
+	dims := []int{8, 5}
+	corpus := map[string][]byte{}
+
+	plain, err := Compress(data, dims, 1e-2, SZT, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus["plain"] = plain
+
+	par, err := CompressParallel(data, dims, 1e-2, SZT, &ParallelOptions{Chunks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus["parallel"] = par
+
+	var sb bytes.Buffer
+	if _, err := CompressStream(bytes.NewReader(rawLE(data)), &sb, dims, 1e-2, SZT,
+		&StreamOptions{Workers: 2, ChunkRows: 2}); err != nil {
+		t.Fatal(err)
+	}
+	corpus["stream"] = sb.Bytes()
+
+	aw := NewArchiveWriter()
+	if err := aw.AddCompressed("f0", plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.AddCompressed("f1", par); err != nil {
+		t.Fatal(err)
+	}
+	corpus["archive"] = aw.Bytes()
+	return corpus
+}
+
+// typedOK reports whether err belongs to the decode-error taxonomy (or
+// is the fault we injected, propagated without relabeling).
+func typedOK(err error) bool {
+	return errors.Is(err, ErrCorrupted) ||
+		errors.Is(err, ErrUnsupportedFormat) ||
+		errors.Is(err, ErrLimitExceeded) ||
+		errors.Is(err, faultio.ErrInjected)
+}
+
+// shapeConsistent asserts dims are positive and multiply to len(data).
+func shapeConsistent(t *testing.T, desc string, data []float64, dims []int) {
+	t.Helper()
+	n := 1
+	for _, d := range dims {
+		if d <= 0 {
+			t.Fatalf("%s: nonpositive dim in %v", desc, dims)
+		}
+		n *= d
+	}
+	if n != len(data) {
+		t.Fatalf("%s: dims %v product %d != len %d", desc, dims, n, len(data))
+	}
+}
+
+// decodeEntry is one decode path under test, applied to a (possibly
+// mutated) in-memory container.
+type decodeEntry struct {
+	name string
+	run  func(t *testing.T, desc string, buf []byte) error
+}
+
+func bufEntries() []decodeEntry {
+	return []decodeEntry{
+		{"Decompress", func(t *testing.T, desc string, buf []byte) error {
+			data, dims, err := Decompress(buf)
+			if err == nil {
+				shapeConsistent(t, desc, data, dims)
+			}
+			return err
+		}},
+		{"DecompressParallel", func(t *testing.T, desc string, buf []byte) error {
+			data, dims, err := DecompressParallel(buf, 2)
+			if err == nil {
+				shapeConsistent(t, desc, data, dims)
+			}
+			return err
+		}},
+		{"DecompressAny", func(t *testing.T, desc string, buf []byte) error {
+			data, dims, err := DecompressAny(buf)
+			if err == nil {
+				shapeConsistent(t, desc, data, dims)
+			}
+			return err
+		}},
+		{"DecompressStream", func(t *testing.T, desc string, buf []byte) error {
+			_, err := DecompressStream(bytes.NewReader(buf), io.Discard)
+			return err
+		}},
+		{"OpenArchive", func(t *testing.T, desc string, buf []byte) error {
+			r, err := OpenArchive(buf)
+			if err != nil {
+				return err
+			}
+			for _, name := range r.Fields() {
+				data, dims, ferr := r.Field(name)
+				if ferr == nil {
+					shapeConsistent(t, desc+"/"+name, data, dims)
+				} else if !typedOK(ferr) {
+					t.Fatalf("%s: field %q: untyped error %v", desc, name, ferr)
+				}
+			}
+			return nil
+		}},
+	}
+}
+
+// runEntry executes one decode with a panic trap (the recoverDecode
+// boundary should make this unreachable; the trap proves it).
+func runEntry(t *testing.T, e decodeEntry, desc string, buf []byte) (err error) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%s: panic escaped the decode boundary: %v", desc, r)
+		}
+	}()
+	return e.run(t, desc, buf)
+}
+
+// TestFaultSweepTruncation truncates every container at every byte
+// offset and feeds the prefix to every decode entry point.
+func TestFaultSweepTruncation(t *testing.T) {
+	defer testutil.NoLeak(t)()
+	corpus := faultCorpus(t)
+	entries := bufEntries()
+	for name, buf := range corpus {
+		for cut := 0; cut < len(buf); cut++ {
+			mut := buf[:cut]
+			for _, e := range entries {
+				desc := name + "/" + e.name + "/trunc@" + itoa(cut)
+				if err := runEntry(t, e, desc, mut); err != nil && !typedOK(err) {
+					t.Fatalf("%s: untyped error %v", desc, err)
+				}
+			}
+		}
+	}
+}
+
+// TestFaultSweepBitFlips flips a low and a high bit at every byte offset
+// of every container. Every decode either fails with a typed error or
+// succeeds with a self-consistent shape.
+func TestFaultSweepBitFlips(t *testing.T) {
+	defer testutil.NoLeak(t)()
+	corpus := faultCorpus(t)
+	entries := bufEntries()
+	for name, buf := range corpus {
+		mut := make([]byte, len(buf))
+		for pos := 0; pos < len(buf); pos++ {
+			for _, mask := range []byte{0x01, 0x80} {
+				copy(mut, buf)
+				mut[pos] ^= mask
+				for _, e := range entries {
+					desc := name + "/" + e.name + "/flip@" + itoa(pos)
+					if err := runEntry(t, e, desc, mut); err != nil && !typedOK(err) {
+						t.Fatalf("%s: untyped error %v", desc, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFaultSweepZeroFill zeroes an 8-byte run at every offset of every
+// container.
+func TestFaultSweepZeroFill(t *testing.T) {
+	defer testutil.NoLeak(t)()
+	corpus := faultCorpus(t)
+	entries := bufEntries()
+	for name, buf := range corpus {
+		mut := make([]byte, len(buf))
+		for pos := 0; pos < len(buf); pos++ {
+			copy(mut, buf)
+			for i := pos; i < pos+8 && i < len(mut); i++ {
+				mut[i] = 0
+			}
+			for _, e := range entries {
+				desc := name + "/" + e.name + "/zero@" + itoa(pos)
+				if err := runEntry(t, e, desc, mut); err != nil && !typedOK(err) {
+					t.Fatalf("%s: untyped error %v", desc, err)
+				}
+			}
+		}
+	}
+}
+
+// TestFaultSweepReaderFailure drives DecompressStream from a source that
+// fails with an injected I/O error at every byte offset. The pipeline
+// must return the injected error itself (wrapped, never relabeled as
+// corruption) and leave no goroutines behind.
+func TestFaultSweepReaderFailure(t *testing.T) {
+	defer testutil.NoLeak(t)()
+	stream := faultCorpus(t)["stream"]
+	for cut := 0; cut <= len(stream); cut++ {
+		r := faultio.FailAfter(bytes.NewReader(stream), int64(cut))
+		_, err := DecompressStream(r, io.Discard)
+		if cut == len(stream) {
+			// The whole container was delivered; the fault lands after
+			// the sealed index and is never observed.
+			if err != nil {
+				t.Fatalf("fault after container end: %v", err)
+			}
+			continue
+		}
+		if !errors.Is(err, faultio.ErrInjected) {
+			t.Fatalf("fail@%d: err = %v, want the injected I/O error to propagate", cut, err)
+		}
+	}
+}
+
+// TestFaultSweepReaderCorruption drives DecompressStream through
+// flip/zero-fill fault readers (rather than pre-mutated buffers) with
+// short reads layered on, exercising the buffered-reader resumption
+// paths.
+func TestFaultSweepReaderCorruption(t *testing.T) {
+	defer testutil.NoLeak(t)()
+	stream := faultCorpus(t)["stream"]
+	clean := rawLEOfDecoded(t, stream)
+	for pos := 0; pos < len(stream); pos++ {
+		r := faultio.FlipByte(faultio.ShortReads(bytes.NewReader(stream), 13), int64(pos), 0x10)
+		var out bytes.Buffer
+		_, err := DecompressStream(r, &out)
+		if err == nil {
+			if !bytes.Equal(out.Bytes(), clean) {
+				t.Fatalf("flip@%d: silently changed output", pos)
+			}
+			continue
+		}
+		if !typedOK(err) {
+			t.Fatalf("flip@%d: untyped error %v", pos, err)
+		}
+	}
+	for pos := 0; pos < len(stream); pos += 3 {
+		r := faultio.ZeroFill(bytes.NewReader(stream), int64(pos), 6)
+		_, err := DecompressStream(r, io.Discard)
+		if err != nil && !typedOK(err) {
+			t.Fatalf("zero@%d: untyped error %v", pos, err)
+		}
+	}
+}
+
+// TestFaultStalledReader proves a stalling source neither hangs the
+// pipeline past its stall nor leaks its goroutines.
+func TestFaultStalledReader(t *testing.T) {
+	defer testutil.NoLeak(t)()
+	stream := faultCorpus(t)["stream"]
+	for _, cut := range []int64{0, 5, int64(len(stream) / 2), int64(len(stream) - 1)} {
+		start := time.Now()
+		r := faultio.StallThenFail(bytes.NewReader(stream), cut, 10*time.Millisecond)
+		_, err := DecompressStream(r, io.Discard)
+		if !errors.Is(err, faultio.ErrInjected) {
+			t.Fatalf("stall@%d: err = %v, want injected", cut, err)
+		}
+		if d := time.Since(start); d > 5*time.Second {
+			t.Fatalf("stall@%d: decode took %v, pipeline is hanging", cut, d)
+		}
+	}
+}
+
+// TestFaultFailingWriter proves DecompressStream stops reading promptly
+// when the output writer fails: the error surfaces, and the reader side
+// does not consume the whole container first.
+func TestFaultFailingWriter(t *testing.T) {
+	defer testutil.NoLeak(t)()
+	data := make([]float64, 4096)
+	for i := range data {
+		data[i] = float64(i%97) + 1
+	}
+	var sb bytes.Buffer
+	if _, err := CompressStream(bytes.NewReader(rawLE(data)), &sb, []int{256, 16}, 1e-2, SZT,
+		&StreamOptions{Workers: 2, ChunkRows: 8}); err != nil {
+		t.Fatal(err)
+	}
+	stream := sb.Bytes()
+	src := bytes.NewReader(stream)
+	w := faultio.FailWriter(io.Discard, 64) // dies during the first chunk's output
+	stats, err := DecompressStream(src, w)
+	if !errors.Is(err, faultio.ErrInjected) {
+		t.Fatalf("err = %v, want the writer's injected error", err)
+	}
+	// The pipeline may have a bounded read-ahead (the chunks in flight),
+	// but must not have drained the source: with 32 chunks and a
+	// first-chunk write failure, most of the container stays unread.
+	if src.Len() == 0 {
+		t.Errorf("writer failed on chunk 0 but the reader consumed the whole container")
+	}
+	if stats.BytesIn >= int64(len(stream)) {
+		t.Errorf("stats report %d bytes read of %d; want an early stop", stats.BytesIn, len(stream))
+	}
+}
+
+// TestFaultSweepSalvage runs the salvage decoder over every single-byte
+// truncation and bit flip of a stream container: it must never error on
+// frame damage (only on an unusable header), and its output must always
+// match the geometry it reports.
+func TestFaultSweepSalvage(t *testing.T) {
+	defer testutil.NoLeak(t)()
+	stream := faultCorpus(t)["stream"]
+	check := func(desc string, buf []byte) {
+		var out bytes.Buffer
+		rep, err := DecompressStreamSalvage(bytes.NewReader(buf), &out, nil)
+		if err != nil {
+			if !typedOK(err) {
+				t.Fatalf("%s: untyped error %v", desc, err)
+			}
+			return
+		}
+		n := 1
+		for _, d := range rep.Dims {
+			n *= d
+		}
+		if int64(out.Len()) != rep.BytesOut || out.Len() != n*8 {
+			t.Fatalf("%s: wrote %d bytes, report says %d, geometry %v implies %d",
+				desc, out.Len(), rep.BytesOut, rep.Dims, n*8)
+		}
+		if rep.Recovered+len(rep.LostChunks) != rep.Chunks {
+			t.Fatalf("%s: %d recovered + %d lost != %d chunks",
+				desc, rep.Recovered, len(rep.LostChunks), rep.Chunks)
+		}
+	}
+	for cut := 0; cut < len(stream); cut++ {
+		check("trunc@"+itoa(cut), stream[:cut])
+	}
+	mut := make([]byte, len(stream))
+	for pos := 0; pos < len(stream); pos++ {
+		copy(mut, stream)
+		mut[pos] ^= 0x20
+		check("flip@"+itoa(pos), mut)
+	}
+}
+
+// TestDecodeLimits exercises every limit against containers that exceed
+// it; the error must be ErrLimitExceeded before a large decode happens.
+func TestDecodeLimits(t *testing.T) {
+	defer testutil.NoLeak(t)()
+	corpus := faultCorpus(t)
+	tiny := &DecodeLimits{MaxElements: 4}
+	if _, err := DecompressStreamCtx(context.Background(), bytes.NewReader(corpus["stream"]), io.Discard, tiny); !errors.Is(err, ErrLimitExceeded) {
+		t.Errorf("stream MaxElements: err = %v", err)
+	}
+	if _, _, err := DecompressParallelCtx(context.Background(), corpus["parallel"], 0, tiny); !errors.Is(err, ErrLimitExceeded) {
+		t.Errorf("parallel MaxElements: err = %v", err)
+	}
+	if _, _, err := DecompressAnyLimits(corpus["plain"], tiny); !errors.Is(err, ErrLimitExceeded) {
+		t.Errorf("plain MaxElements: err = %v", err)
+	}
+	small := &DecodeLimits{MaxChunkBytes: 3}
+	if _, err := DecompressStreamCtx(context.Background(), bytes.NewReader(corpus["stream"]), io.Discard, small); !errors.Is(err, ErrLimitExceeded) {
+		t.Errorf("stream MaxChunkBytes: err = %v", err)
+	}
+	if _, err := OpenArchiveLimits(corpus["archive"], small); !errors.Is(err, ErrLimitExceeded) {
+		t.Errorf("archive MaxChunkBytes: err = %v", err)
+	}
+	if _, err := OpenArchiveLimits(corpus["archive"], &DecodeLimits{MaxFields: 1}); !errors.Is(err, ErrLimitExceeded) {
+		t.Errorf("archive MaxFields: err = %v", err)
+	}
+	// Generous limits must not reject valid containers.
+	big := &DecodeLimits{MaxElements: 1 << 20, MaxChunkBytes: 1 << 20, MaxFields: 64}
+	if _, err := DecompressStreamCtx(context.Background(), bytes.NewReader(corpus["stream"]), io.Discard, big); err != nil {
+		t.Errorf("stream under generous limits: %v", err)
+	}
+	if r, err := OpenArchiveLimits(corpus["archive"], big); err != nil {
+		t.Errorf("archive under generous limits: %v", err)
+	} else if _, _, err := r.Field("f0"); err != nil {
+		t.Errorf("archive field under generous limits: %v", err)
+	}
+}
+
+// itoa avoids pulling strconv into the hot sweep loops' fmt usage.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

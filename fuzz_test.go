@@ -353,3 +353,37 @@ func FuzzCompressRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// FuzzStreamSalvage asserts the salvage decoder never panics and keeps
+// its books consistent: every chunk is either recovered or reported
+// lost, and on success the output length matches the header geometry.
+func FuzzStreamSalvage(f *testing.F) {
+	if stream := fuzzStreamContainer(2); stream != nil {
+		f.Add(stream)
+		mid := append([]byte(nil), stream...) // damaged middle chunk
+		mid[len(mid)/2] ^= 0x20
+		f.Add(mid)
+		if rep, err := streamfmt.ScanSalvage(stream, streamfmt.Limits{}); err == nil && rep.IndexOK {
+			idx := append([]byte(nil), stream...) // damaged index frame
+			idx[rep.Frames[len(rep.Frames)-1].End+2] ^= 0xFF
+			f.Add(idx)
+		}
+		f.Add(stream[:len(stream)*2/3]) // truncated
+	}
+	f.Add([]byte{})
+	f.Add([]byte{streamfmt.Magic, streamfmt.Version})
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		var out bytes.Buffer
+		rep, err := DecompressStreamSalvage(bytes.NewReader(buf), &out, nil)
+		if err != nil {
+			return
+		}
+		if rep.Recovered+rep.Lost() != rep.Chunks {
+			t.Fatalf("books off: recovered %d + lost %d != chunks %d", rep.Recovered, rep.Lost(), rep.Chunks)
+		}
+		want := int64(grid.Size(rep.Dims)) * 8
+		if rep.BytesOut != want || int64(out.Len()) != want {
+			t.Fatalf("emitted %d bytes (stats %d), header geometry implies %d", out.Len(), rep.BytesOut, want)
+		}
+	})
+}

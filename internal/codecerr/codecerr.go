@@ -1,0 +1,49 @@
+// Package codecerr defines the module's shared decode-error taxonomy.
+// The sentinels live in an internal leaf package so that both the root
+// repro package and the internal container parsers (streamfmt, and any
+// future format package) can wrap the same identities with %w; the root
+// package re-exports them as repro.ErrCorrupted et al. so callers use
+// errors.Is against one well-known set.
+//
+// Taxonomy:
+//
+//   - ErrCorrupted: the input is structurally damaged — bad framing, a
+//     checksum mismatch, an impossible geometry. The bytes are wrong.
+//   - ErrTruncated: the input ends before the container's structure
+//     does. ErrTruncated wraps ErrCorrupted, so errors.Is(err,
+//     ErrCorrupted) also holds: truncation is a species of damage, but
+//     one a caller may want to distinguish (an interrupted transfer can
+//     be resumed; bit rot cannot).
+//   - ErrLimitExceeded: the input is well-formed but declares resources
+//     beyond the caller's configured DecodeLimits. The bytes may be
+//     fine; the caller refused to decode them at this size.
+//   - ErrUnsupportedFormat: the input does not start with a container
+//     this module knows (wrong magic or version) — not damage, just not
+//     ours.
+//
+// Genuine I/O failures from the underlying reader are never folded into
+// these sentinels: they are propagated wrapped, so errors.Is against
+// the reader's own error keeps working.
+package codecerr
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	// ErrCorrupted reports a structurally damaged container.
+	ErrCorrupted = errors.New("repro: corrupt stream")
+
+	// ErrTruncated reports input that ends mid-structure. It wraps
+	// ErrCorrupted.
+	ErrTruncated = fmt.Errorf("%w: truncated input", ErrCorrupted)
+
+	// ErrLimitExceeded reports input that declares resources beyond the
+	// configured decode limits.
+	ErrLimitExceeded = errors.New("repro: decode limit exceeded")
+
+	// ErrUnsupportedFormat reports input whose magic/version is not a
+	// container this module decodes.
+	ErrUnsupportedFormat = errors.New("repro: unsupported container format")
+)

@@ -1,0 +1,183 @@
+// Package faultio provides deterministic fault-injecting readers and
+// writers for exercising decoder robustness: I/O failure at an exact
+// byte offset, short reads, bit flips, zero-fill runs, stalls, and
+// truncation. Everything is stdlib-only and allocation-light so the
+// fault harness can sweep every byte offset of a container without
+// dominating test time.
+//
+// All injected failures return (or wrap) ErrInjected, so a test can
+// assert both that a decode failed and that the failure it saw is the
+// one it injected rather than an unrelated bug.
+package faultio
+
+import (
+	"errors"
+	"io"
+	"time"
+)
+
+// ErrInjected is the error every injected fault returns.
+var ErrInjected = errors.New("faultio: injected fault")
+
+// offsetReader tracks how many bytes have been delivered downstream.
+type offsetReader struct {
+	r   io.Reader
+	off int64
+}
+
+// FailAfter returns a reader that delivers the first n bytes of r
+// intact, then fails every subsequent Read with ErrInjected — the shape
+// of a device error mid-transfer. n = 0 fails the first Read.
+func FailAfter(r io.Reader, n int64) io.Reader {
+	return &failReader{offsetReader{r: r}, n}
+}
+
+type failReader struct {
+	offsetReader
+	limit int64
+}
+
+func (f *failReader) Read(p []byte) (int, error) {
+	if f.off >= f.limit {
+		return 0, ErrInjected
+	}
+	if rem := f.limit - f.off; int64(len(p)) > rem {
+		p = p[:rem]
+	}
+	n, err := f.r.Read(p)
+	f.off += int64(n)
+	if err == io.EOF {
+		// The source ended before the fault offset; the fault wins so
+		// the harness sees a uniform failure mode.
+		err = ErrInjected
+	}
+	return n, err
+}
+
+// TruncateAfter returns a reader that ends cleanly (io.EOF) after the
+// first n bytes of r — the shape of a torn-off download or an
+// interrupted dump. Unlike io.LimitReader it is explicit about intent.
+func TruncateAfter(r io.Reader, n int64) io.Reader {
+	return io.LimitReader(r, n)
+}
+
+// ShortReads returns a reader that delivers at most max bytes per Read
+// call, exercising every resumption path in downstream buffering. The
+// data is unmodified.
+func ShortReads(r io.Reader, max int) io.Reader {
+	if max < 1 {
+		max = 1
+	}
+	return &shortReader{r: r, max: max}
+}
+
+type shortReader struct {
+	r   io.Reader
+	max int
+}
+
+func (s *shortReader) Read(p []byte) (int, error) {
+	if len(p) > s.max {
+		p = p[:s.max]
+	}
+	return s.r.Read(p)
+}
+
+// FlipByte returns a reader that XORs the byte at absolute offset off
+// with mask as it passes through — a single-bit mask models bit rot,
+// 0xFF a torn byte. Offsets past the end of the stream flip nothing.
+func FlipByte(r io.Reader, off int64, mask byte) io.Reader {
+	return &flipReader{offsetReader{r: r}, off, mask}
+}
+
+type flipReader struct {
+	offsetReader
+	target int64
+	mask   byte
+}
+
+func (f *flipReader) Read(p []byte) (int, error) {
+	n, err := f.r.Read(p)
+	if i := f.target - f.off; i >= 0 && i < int64(n) {
+		p[i] ^= f.mask
+	}
+	f.off += int64(n)
+	return n, err
+}
+
+// ZeroFill returns a reader that replaces n bytes starting at absolute
+// offset off with zeros — the shape of a hole punched by a failed
+// storage block.
+func ZeroFill(r io.Reader, off, n int64) io.Reader {
+	return &zeroReader{offsetReader{r: r}, off, off + n}
+}
+
+type zeroReader struct {
+	offsetReader
+	lo, hi int64
+}
+
+func (z *zeroReader) Read(p []byte) (int, error) {
+	n, err := z.r.Read(p)
+	for i := 0; i < n; i++ {
+		if pos := z.off + int64(i); pos >= z.lo && pos < z.hi {
+			p[i] = 0
+		}
+	}
+	z.off += int64(n)
+	return n, err
+}
+
+// StallThenFail returns a reader that delivers the first n bytes, then
+// blocks for delay before failing with ErrInjected — a hung device that
+// eventually times out. Tests use a small delay and an outer timeout to
+// prove the consumer neither spins nor deadlocks while an I/O is
+// pending.
+func StallThenFail(r io.Reader, n int64, delay time.Duration) io.Reader {
+	return &stallReader{failReader{offsetReader{r: r}, n}, delay, false}
+}
+
+type stallReader struct {
+	failReader
+	delay   time.Duration
+	stalled bool
+}
+
+func (s *stallReader) Read(p []byte) (int, error) {
+	if s.off >= s.limit && !s.stalled {
+		s.stalled = true
+		time.Sleep(s.delay)
+	}
+	return s.failReader.Read(p)
+}
+
+// FailWriter returns a writer that accepts the first n bytes and fails
+// every Write after that with ErrInjected, reporting the partial count
+// of the write that crossed the boundary — the shape of a full disk or
+// a dropped pipe on the output side.
+func FailWriter(w io.Writer, n int64) io.Writer {
+	return &failWriter{w: w, limit: n}
+}
+
+type failWriter struct {
+	w     io.Writer
+	off   int64
+	limit int64
+}
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.off >= f.limit {
+		return 0, ErrInjected
+	}
+	take := len(p)
+	injected := false
+	if rem := f.limit - f.off; int64(take) > rem {
+		take, injected = int(rem), true
+	}
+	n, err := f.w.Write(p[:take])
+	f.off += int64(n)
+	if err == nil && injected {
+		err = ErrInjected
+	}
+	return n, err
+}

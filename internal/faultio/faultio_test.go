@@ -1,0 +1,138 @@
+package faultio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+func src(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)
+	}
+	return b
+}
+
+func TestFailAfter(t *testing.T) {
+	data := src(100)
+	for _, cut := range []int64{0, 1, 37, 99, 100, 150} {
+		r := FailAfter(bytes.NewReader(data), cut)
+		got, err := io.ReadAll(r)
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("cut %d: err = %v, want ErrInjected", cut, err)
+		}
+		want := cut
+		if want > 100 {
+			want = 100
+		}
+		if !bytes.Equal(got, data[:want]) {
+			t.Fatalf("cut %d: delivered %d bytes, want %d intact", cut, len(got), want)
+		}
+	}
+}
+
+func TestTruncateAfter(t *testing.T) {
+	data := src(64)
+	got, err := io.ReadAll(TruncateAfter(bytes.NewReader(data), 10))
+	if err != nil || !bytes.Equal(got, data[:10]) {
+		t.Fatalf("got %d bytes, err %v; want 10 clean bytes", len(got), err)
+	}
+}
+
+func TestShortReads(t *testing.T) {
+	data := src(1000)
+	r := ShortReads(bytes.NewReader(data), 3)
+	buf := make([]byte, 64)
+	var got []byte
+	for {
+		n, err := r.Read(buf)
+		if n > 3 {
+			t.Fatalf("Read returned %d > max 3", n)
+		}
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("short reads corrupted the data")
+	}
+}
+
+func TestFlipByte(t *testing.T) {
+	data := src(50)
+	// Flip across a short-read boundary to exercise offset tracking.
+	r := FlipByte(ShortReads(bytes.NewReader(data), 7), 33, 0x80)
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), data...)
+	want[33] ^= 0x80
+	if !bytes.Equal(got, want) {
+		t.Fatal("flip landed on the wrong byte")
+	}
+	// Past-the-end flip is a no-op.
+	got, _ = io.ReadAll(FlipByte(bytes.NewReader(data), 1000, 0xFF))
+	if !bytes.Equal(got, data) {
+		t.Fatal("past-end flip modified data")
+	}
+}
+
+func TestZeroFill(t *testing.T) {
+	data := src(40)
+	got, err := io.ReadAll(ZeroFill(ShortReads(bytes.NewReader(data), 5), 10, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		want := data[i]
+		if i >= 10 && i < 18 {
+			want = 0
+		}
+		if b != want {
+			t.Fatalf("byte %d = %#x, want %#x", i, b, want)
+		}
+	}
+}
+
+func TestStallThenFail(t *testing.T) {
+	data := src(20)
+	start := time.Now()
+	r := StallThenFail(bytes.NewReader(data), 5, 20*time.Millisecond)
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if !bytes.Equal(got, data[:5]) {
+		t.Fatalf("delivered %d bytes before stall, want 5", len(got))
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("stall lasted %v, want >= 20ms", d)
+	}
+}
+
+func TestFailWriter(t *testing.T) {
+	var sink bytes.Buffer
+	w := FailWriter(&sink, 10)
+	n, err := w.Write(src(7))
+	if n != 7 || err != nil {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	n, err = w.Write(src(7))
+	if n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("boundary write: n=%d err=%v, want 3, ErrInjected", n, err)
+	}
+	if n, err = w.Write(src(1)); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-fault write: n=%d err=%v", n, err)
+	}
+	if sink.Len() != 10 {
+		t.Fatalf("sink got %d bytes, want exactly 10", sink.Len())
+	}
+}

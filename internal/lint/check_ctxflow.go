@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// ctxflowCheck audits cancellation flow at goroutine launch sites: a
+// worker goroutine that blocks on a channel send with no escape route
+// cannot be torn down when the pipeline fails or its context is
+// cancelled — the send blocks forever once the consumer stops receiving,
+// and the pool leaks (exactly the shutdown bug the streaming pipeline's
+// stop channel exists to prevent).
+//
+// Two rules, applied to every channel send lexically inside a
+// go-statement function literal:
+//
+//	R1  a bare send statement is flagged: there is no way for
+//	    cancellation to reach it.
+//	R2  a send that is a select case is flagged when the select has
+//	    neither a default case nor any receive case (a stop channel,
+//	    ctx.Done(), an error channel): a select of only sends still
+//	    blocks forever.
+//
+// A send on a buffered channel can be legitimately non-blocking by
+// construction (a semaphore with capacity == pool size, a result slot
+// per worker); such audited sites carry //lint:allow ctxflow with the
+// capacity invariant.
+type ctxflowCheck struct{}
+
+func (ctxflowCheck) Name() string { return "ctxflow" }
+func (ctxflowCheck) Doc() string {
+	return "flag goroutine channel sends that select on neither a cancellation receive nor default"
+}
+
+func (ctxflowCheck) Run(pkg *Package) []Finding {
+	var out []Finding
+	forEachFuncDecl(pkg, func(f *ast.File, d *ast.FuncDecl) {
+		if pkg.IsTestFile(f) {
+			return
+		}
+		ast.Inspect(d.Body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if fl, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+				ctxflowSends(pkg, fl.Body, &out)
+			}
+			// Keep descending: a nested go statement is its own launch
+			// site and is visited by this same Inspect.
+			return true
+		})
+	})
+	return out
+}
+
+// ctxflowSends walks one goroutine body, flagging sends per R1/R2.
+// Nested go statements are skipped (they are separate launch sites).
+func ctxflowSends(pkg *Package, body *ast.BlockStmt, out *[]Finding) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.SelectStmt:
+			escape := false
+			for _, c := range n.Body.List {
+				switch c.(*ast.CommClause).Comm.(type) {
+				case nil: // default case
+					escape = true
+				case *ast.ExprStmt, *ast.AssignStmt: // receive case
+					escape = true
+				}
+			}
+			for _, c := range n.Body.List {
+				cc := c.(*ast.CommClause)
+				if send, ok := cc.Comm.(*ast.SendStmt); ok && !escape {
+					*out = append(*out, pkg.Module.newFinding("ctxflow", send.Pos(),
+						"select has only send cases; add a stop/ctx.Done() receive or a default so cancellation can reach this goroutine"))
+				}
+				for _, s := range cc.Body {
+					ast.Inspect(s, walk)
+				}
+			}
+			return false
+		case *ast.SendStmt:
+			*out = append(*out, pkg.Module.newFinding("ctxflow", n.Pos(),
+				"goroutine blocks on a bare channel send; select it against a stop/ctx.Done() receive or a default so the pool can be torn down"))
+			return false
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}

@@ -17,6 +17,9 @@
 //	             base-study dispatch.
 //	benchclock — tests must not assert orderings of wall-clock-derived
 //	             durations without a race-detector/CI guard.
+//	ctxflow    — goroutine channel sends must select against a
+//	             cancellation receive (stop channel, ctx.Done()) or a
+//	             default, so worker pools can be torn down.
 //
 // Five further checks run on a per-function dataflow engine (cfg.go): a
 // statement-level control-flow graph with reaching definitions and
@@ -96,6 +99,7 @@ func AllChecks() []Check {
 		intnarrowCheck{},
 		decodeboundCheck{},
 		goroleakCheck{},
+		ctxflowCheck{},
 		allochotCheck{},
 		encdecpairCheck{},
 	}

@@ -1,6 +1,9 @@
 package lint
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // Fixture tests for the dataflow checks (intnarrow, decodebound,
 // goroleak, allochot, encdecpair). Each check gets at least one seeded
@@ -479,4 +482,126 @@ func DecodeFrame(b []byte, o *FrameOptions) []byte {
 `,
 	})
 	wantClean(t, findings, suppressed, 0)
+}
+
+// --- ctxflow -----------------------------------------------------------
+
+func TestCtxflowBareSend(t *testing.T) {
+	findings, _ := runCheck(t, "ctxflow", map[string]string{
+		"a.go": `package fixture
+
+func Pool(jobs chan int) {
+	go func() {
+		jobs <- 1
+	}()
+}
+`,
+	})
+	wantOne(t, findings, 5, "bare channel send")
+}
+
+func TestCtxflowSelectOnlySends(t *testing.T) {
+	findings, _ := runCheck(t, "ctxflow", map[string]string{
+		"a.go": `package fixture
+
+func Pool(a, b chan int) {
+	go func() {
+		select {
+		case a <- 1:
+		case b <- 2:
+		}
+	}()
+}
+`,
+	})
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2 (one per send case): %v", len(findings), findings)
+	}
+	for _, f := range findings {
+		if !strings.Contains(f.Message, "only send cases") {
+			t.Errorf("message %q missing %q", f.Message, "only send cases")
+		}
+	}
+}
+
+func TestCtxflowStopReceiveClean(t *testing.T) {
+	findings, suppressed := runCheck(t, "ctxflow", map[string]string{
+		"a.go": `package fixture
+
+func Pool(jobs chan int, stop chan struct{}) {
+	go func() {
+		select {
+		case jobs <- 1:
+		case <-stop:
+			return
+		}
+	}()
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 0)
+}
+
+func TestCtxflowDefaultClean(t *testing.T) {
+	findings, suppressed := runCheck(t, "ctxflow", map[string]string{
+		"a.go": `package fixture
+
+func Pool(results chan int) {
+	go func() {
+		select {
+		case results <- 1:
+		default:
+		}
+	}()
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 0)
+}
+
+func TestCtxflowSendOutsideGoroutineClean(t *testing.T) {
+	findings, suppressed := runCheck(t, "ctxflow", map[string]string{
+		"a.go": `package fixture
+
+func Feed(jobs chan int) {
+	jobs <- 1
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 0)
+}
+
+func TestCtxflowNestedGoIsItsOwnSite(t *testing.T) {
+	findings, _ := runCheck(t, "ctxflow", map[string]string{
+		"a.go": `package fixture
+
+func Pool(jobs chan int, stop chan struct{}) {
+	go func() {
+		go func() {
+			jobs <- 2
+		}()
+		select {
+		case jobs <- 1:
+		case <-stop:
+		}
+	}()
+}
+`,
+	})
+	wantOne(t, findings, 6, "bare channel send")
+}
+
+func TestCtxflowSuppressed(t *testing.T) {
+	findings, suppressed := runCheck(t, "ctxflow", map[string]string{
+		"a.go": `package fixture
+
+func Pool(sem chan struct{}) {
+	go func() {
+		//lint:allow ctxflow semaphore sized to the pool; send cannot block
+		sem <- struct{}{}
+	}()
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 1)
 }

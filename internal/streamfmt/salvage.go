@@ -1,0 +1,256 @@
+package streamfmt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Salvage scan: structural recovery of a damaged stream container.
+//
+// A normal Reader aborts at the first malformed frame because it cannot
+// trust anything downstream of damage. With the whole container in
+// memory the geometry can be re-derived from two redundant sources —
+// the per-frame length prefixes and the sealing index frame — so
+// undamaged chunks on both sides of a corrupted frame are still
+// recoverable:
+//
+//   - If the tail index frame verifies (its own CRC), it fixes every
+//     chunk frame's offset exactly, so a chunk whose length prefix was
+//     destroyed does not desynchronize the frames after it.
+//   - Without the index (damaged or truncated away), the scan walks
+//     frames forward trusting each length prefix; a chunk that fails
+//     its CRC but has a plausible extent is skipped in place, and the
+//     scan stops at the first structural break (everything after is
+//     lost).
+//
+// The scan assumes in-place corruption (bit rot, zero-fill, torn
+// writes) — inserted or deleted bytes shift all downstream offsets and
+// degrade to the forward-scan behavior.
+
+// FrameInfo describes one chunk frame's salvage outcome.
+type FrameInfo struct {
+	// Seq is the chunk's field-order index.
+	Seq int
+	// Offset and End delimit the frame (tag byte through payload) in
+	// the container, when known; End == 0 means the extent is unknown
+	// (structure lost before this frame).
+	Offset, End int64
+	// Payload is the CRC-verified chunk payload, nil when damaged.
+	Payload []byte
+	// Damaged reports that the frame could not be verified.
+	Damaged bool
+	// Reason says why a damaged frame was rejected.
+	Reason string
+}
+
+// ScanReport is the result of a salvage scan.
+type ScanReport struct {
+	Header Header
+	// HeaderLen is the container offset where frames begin.
+	HeaderLen int64
+	// Frames has exactly Header.Chunks() entries, in field order.
+	Frames []FrameInfo
+	// IndexOK reports whether the tail index frame verified; when true,
+	// frame offsets come from the index and a damaged frame cannot
+	// desynchronize its successors.
+	IndexOK bool
+	// Truncated reports that the container ended before its structure
+	// did (the failure shape of an interrupted dump).
+	Truncated bool
+}
+
+// ScanSalvage scans an in-memory stream container, verifying what it
+// can. It fails only when the header itself is unusable (no geometry to
+// salvage against) or violates lim; any damage past the header is
+// reported per frame instead.
+func ScanSalvage(buf []byte, lim Limits) (*ScanReport, error) {
+	sr, err := NewReaderLimits(bytes.NewReader(buf), lim)
+	if err != nil {
+		return nil, err
+	}
+	hdr := sr.Header()
+	rep := &ScanReport{
+		Header:    hdr,
+		HeaderLen: sr.Consumed(),
+		Frames:    make([]FrameInfo, hdr.Chunks()),
+	}
+	for i := range rep.Frames {
+		rep.Frames[i].Seq = i
+	}
+	if lens, ok := findIndex(buf, rep.HeaderLen, hdr.Chunks()); ok {
+		rep.IndexOK = true
+		scanWithIndex(buf, rep, lens, lim)
+		return rep, nil
+	}
+	scanForward(buf, rep, lim)
+	return rep, nil
+}
+
+// findIndex locates and verifies the sealing index frame near the tail:
+// a tagIndex byte whose body parses to exactly `chunks` lengths, whose
+// CRC verifies, and whose frame ends exactly at the end of the buffer.
+// The CRC makes a false positive on payload bytes vanishingly unlikely.
+func findIndex(buf []byte, headerLen int64, chunks int) ([]uint64, bool) {
+	// The smallest index frame is tag + count varint + CRC.
+	for start := int64(len(buf)) - 6; start >= headerLen; start-- {
+		if buf[start] != tagIndex {
+			continue
+		}
+		if lens, ok := parseIndexAt(buf[start+1:], chunks); ok {
+			return lens, true
+		}
+	}
+	return nil, false
+}
+
+// parseIndexAt parses an index body + CRC that must consume body exactly.
+func parseIndexAt(body []byte, chunks int) ([]uint64, bool) {
+	off := 0
+	count, k := binary.Uvarint(body)
+	if k <= 0 || count != uint64(chunks) {
+		return nil, false
+	}
+	off += k
+	lens := make([]uint64, chunks)
+	for i := range lens {
+		l, k := binary.Uvarint(body[off:])
+		if k <= 0 || l == 0 || l > MaxFrameLen {
+			return nil, false
+		}
+		lens[i] = l
+		off += k
+	}
+	if len(body)-off != 4 {
+		return nil, false
+	}
+	if crc32.ChecksumIEEE(body[:off]) != binary.BigEndian.Uint32(body[off:]) {
+		return nil, false
+	}
+	return lens, true
+}
+
+// scanWithIndex verifies each chunk frame at the offset the index
+// implies; a frame that disagrees with the index in any way is damaged,
+// but its successors keep their known offsets.
+func scanWithIndex(buf []byte, rep *ScanReport, lens []uint64, lim Limits) {
+	off := rep.HeaderLen
+	for i := range rep.Frames {
+		f := &rep.Frames[i]
+		f.Offset = off
+		frameLen := int64(1+uvarintLen(lens[i])+4) + int64(lens[i])
+		f.End = off + frameLen
+		off = f.End
+		if lens[i] > lim.chunkCap() {
+			f.Damaged = true
+			f.Reason = fmt.Sprintf("chunk of %d bytes exceeds limit %d", lens[i], lim.chunkCap())
+			continue
+		}
+		if f.End > int64(len(buf)) {
+			f.Damaged = true
+			f.Reason = "frame extends past the container"
+			rep.Truncated = true
+			continue
+		}
+		payload, reason := verifyFrame(buf[f.Offset:f.End], lens[i])
+		if payload == nil {
+			f.Damaged = true
+			f.Reason = reason
+			continue
+		}
+		f.Payload = payload
+	}
+}
+
+// verifyFrame checks one complete frame region against the index's
+// length for it, returning the payload or a rejection reason.
+func verifyFrame(frame []byte, want uint64) ([]byte, string) {
+	if frame[0] != tagChunk {
+		return nil, fmt.Sprintf("frame tag 0x%02x", frame[0])
+	}
+	plen, k := binary.Uvarint(frame[1:])
+	if k <= 0 || plen != want {
+		return nil, fmt.Sprintf("length prefix %d disagrees with index (%d)", plen, want)
+	}
+	// A corrupted, non-canonically-wide varint can claim the right value
+	// in too many bytes; the CRC and payload must still fit the extent
+	// the index implies.
+	crcOff := 1 + k
+	if crcOff+4+int(want) != len(frame) {
+		return nil, "length prefix width disagrees with index extent"
+	}
+	crc := binary.BigEndian.Uint32(frame[crcOff:])
+	payload := frame[crcOff+4:]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, "checksum mismatch"
+	}
+	return payload, ""
+}
+
+// scanForward walks frames trusting per-frame length prefixes (the
+// no-index fallback). A CRC-failed chunk with a plausible extent is
+// skipped in place; the first structural break loses the rest.
+func scanForward(buf []byte, rep *ScanReport, lim Limits) {
+	off := rep.HeaderLen
+	for i := range rep.Frames {
+		f := &rep.Frames[i]
+		f.Offset = off
+		if off >= int64(len(buf)) {
+			f.Damaged, f.Reason, f.Offset = true, "container ended", 0
+			rep.Truncated = true
+			continue
+		}
+		if buf[off] != tagChunk {
+			// Unknown tag with no index to resync against: the frame
+			// boundary is lost for good.
+			markRest(rep, i, fmt.Sprintf("cannot resync past frame tag 0x%02x without an index", buf[off]))
+			return
+		}
+		plen, k := binary.Uvarint(buf[off+1:])
+		if k <= 0 || plen == 0 || plen > MaxFrameLen {
+			markRest(rep, i, "unparseable length prefix and no index to resync against")
+			return
+		}
+		if plen > lim.chunkCap() {
+			markRest(rep, i, fmt.Sprintf("chunk of %d bytes exceeds limit %d", plen, lim.chunkCap()))
+			return
+		}
+		f.End = off + int64(1+k+4) + int64(plen)
+		if f.End > int64(len(buf)) {
+			f.Damaged, f.Reason = true, "frame extends past the container"
+			rep.Truncated = true
+			markRest(rep, i+1, "container ended")
+			return
+		}
+		crcOff := off + int64(1+k)
+		crc := binary.BigEndian.Uint32(buf[crcOff:])
+		payload := buf[crcOff+4 : f.End]
+		if crc32.ChecksumIEEE(payload) == crc {
+			f.Payload = payload
+		} else {
+			f.Damaged, f.Reason = true, "checksum mismatch"
+		}
+		off = f.End
+	}
+}
+
+// markRest damages every frame from i on with reason (offsets unknown).
+func markRest(rep *ScanReport, i int, reason string) {
+	for ; i < len(rep.Frames); i++ {
+		f := &rep.Frames[i]
+		f.Damaged, f.Reason = true, reason
+		f.End = 0
+	}
+	rep.Truncated = true
+}
+
+// uvarintLen returns the encoded width of v.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

@@ -26,12 +26,13 @@ import (
 	"hash/crc32"
 	"io"
 
+	"repro/internal/codecerr"
 	"repro/internal/grid"
 )
 
 const (
 	// Magic is the container's first byte (0xC5 plain, 0xC6 parallel,
-	// 0xC7 archive, 0xC8 stream).
+	// 0xC7 archive, 0xC8 stream, 0xC9 archive v2).
 	Magic = 0xC8
 	// Version is the current container version byte.
 	Version = 0x01
@@ -47,8 +48,57 @@ const (
 	maxDim = 1 << 40
 )
 
-// ErrCorrupt reports a malformed or truncated stream container.
-var ErrCorrupt = errors.New("streamfmt: corrupt stream")
+// Error identities are the module-wide taxonomy from internal/codecerr
+// (re-exported by the root package as repro.ErrCorrupted et al.).
+var (
+	// ErrCorrupt reports a malformed stream container.
+	ErrCorrupt = codecerr.ErrCorrupted
+	// ErrTruncated reports a container that ends mid-structure; it
+	// wraps ErrCorrupt.
+	ErrTruncated = codecerr.ErrTruncated
+	// ErrLimit reports a container that declares resources beyond the
+	// caller's Limits.
+	ErrLimit = codecerr.ErrLimitExceeded
+	// ErrUnsupported reports bytes that are not a stream container.
+	ErrUnsupported = codecerr.ErrUnsupportedFormat
+)
+
+// Limits bounds what a Reader will agree to decode, enforced before any
+// input-derived allocation. The zero value means "no limit".
+type Limits struct {
+	// MaxElements caps the total field elements the header may declare.
+	MaxElements int64
+	// MaxChunkBytes caps a single chunk frame's compressed payload.
+	MaxChunkBytes int64
+}
+
+// chunkCap returns the effective per-frame payload cap.
+func (l Limits) chunkCap() uint64 {
+	if l.MaxChunkBytes > 0 && l.MaxChunkBytes < MaxFrameLen {
+		return uint64(l.MaxChunkBytes)
+	}
+	return MaxFrameLen
+}
+
+// checkHeader applies the element limit to a validated header.
+func (l Limits) checkHeader(h *Header) error {
+	if l.MaxElements > 0 && int64(grid.Size(h.Dims)) > l.MaxElements {
+		return fmt.Errorf("%w: header declares %d elements, limit %d",
+			ErrLimit, grid.Size(h.Dims), l.MaxElements)
+	}
+	return nil
+}
+
+// readErr classifies an I/O failure encountered mid-structure: EOF
+// means the container ended early (truncation); any other error is the
+// reader's own failure and is propagated wrapped, not relabeled as
+// corruption.
+func readErr(err error, what string) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("%w (%s)", ErrTruncated, what)
+	}
+	return fmt.Errorf("streamfmt: reading %s: %w", what, err)
+}
 
 // Header describes the streamed field: which algorithm compressed the
 // chunks, the full field dimensions (row-major, dims[0] slowest), and
@@ -180,6 +230,7 @@ func (sw *Writer) Finish() error {
 type Reader struct {
 	br       *bufio.Reader
 	hdr      Header
+	lim      Limits
 	lens     []uint64
 	consumed int64
 	done     bool
@@ -187,7 +238,13 @@ type Reader struct {
 
 // NewReader wraps r (buffered internally) and parses the header.
 func NewReader(r io.Reader) (*Reader, error) {
-	sr := &Reader{br: bufio.NewReader(r)}
+	return NewReaderLimits(r, Limits{})
+}
+
+// NewReaderLimits is NewReader with decode limits enforced before any
+// input-derived allocation.
+func NewReaderLimits(r io.Reader, lim Limits) (*Reader, error) {
+	sr := &Reader{br: bufio.NewReader(r), lim: lim}
 	if err := sr.readHeader(); err != nil {
 		return nil, err
 	}
@@ -197,11 +254,11 @@ func NewReader(r io.Reader) (*Reader, error) {
 func (sr *Reader) readHeader() error {
 	var fixed [3]byte
 	if _, err := io.ReadFull(sr.br, fixed[:]); err != nil {
-		return fmt.Errorf("%w: short header: %v", ErrCorrupt, err)
+		return readErr(err, "stream header")
 	}
 	sr.consumed += 3
 	if fixed[0] != Magic || fixed[1] != Version {
-		return fmt.Errorf("%w: bad magic/version % x", ErrCorrupt, fixed[:2])
+		return fmt.Errorf("%w: magic/version % x is not a stream container", ErrUnsupported, fixed[:2])
 	}
 	rank, err := sr.uvarint()
 	if err != nil {
@@ -232,6 +289,9 @@ func (sr *Reader) readHeader() error {
 	if err := sr.hdr.validate(); err != nil {
 		return err
 	}
+	if err := sr.lim.checkHeader(&sr.hdr); err != nil {
+		return err
+	}
 	sr.lens = make([]uint64, 0, sr.hdr.Chunks())
 	return nil
 }
@@ -256,8 +316,8 @@ func (sr *Reader) Next(scratch []byte) ([]byte, error) {
 	}
 	tag, err := sr.br.ReadByte()
 	if err != nil {
-		return nil, fmt.Errorf("%w: missing frame (want %d more chunks + index): %v",
-			ErrCorrupt, sr.hdr.Chunks()-len(sr.lens), err)
+		return nil, readErr(err, fmt.Sprintf("frame tag (want %d more chunks + index)",
+			sr.hdr.Chunks()-len(sr.lens)))
 	}
 	sr.consumed++
 	switch tag {
@@ -285,9 +345,12 @@ func (sr *Reader) readChunk(scratch []byte) ([]byte, error) {
 	if plen == 0 || plen > MaxFrameLen {
 		return nil, fmt.Errorf("%w: chunk payload length %d", ErrCorrupt, plen)
 	}
+	if plen > sr.lim.chunkCap() {
+		return nil, fmt.Errorf("%w: chunk payload of %d bytes, limit %d", ErrLimit, plen, sr.lim.chunkCap())
+	}
 	var crcb [4]byte
 	if _, err := io.ReadFull(sr.br, crcb[:]); err != nil {
-		return nil, fmt.Errorf("%w: short chunk CRC: %v", ErrCorrupt, err)
+		return nil, readErr(err, "chunk CRC")
 	}
 	sr.consumed += 4
 	want := binary.BigEndian.Uint32(crcb[:])
@@ -310,7 +373,7 @@ func (sr *Reader) readPayload(scratch []byte, n uint64) ([]byte, error) {
 	if n <= uint64(cap(scratch)) {
 		buf := scratch[:n]
 		if _, err := io.ReadFull(sr.br, buf); err != nil {
-			return nil, fmt.Errorf("%w: short chunk payload: %v", ErrCorrupt, err)
+			return nil, readErr(err, "chunk payload")
 		}
 		sr.consumed += int64(n)
 		return buf, nil
@@ -328,7 +391,7 @@ func (sr *Reader) readPayload(scratch []byte, n uint64) ([]byte, error) {
 		m, err := io.ReadFull(sr.br, buf[lo:])
 		sr.consumed += int64(m)
 		if err != nil {
-			return nil, fmt.Errorf("%w: short chunk payload: %v", ErrCorrupt, err)
+			return nil, readErr(err, "chunk payload")
 		}
 	}
 	return buf, nil
@@ -356,7 +419,7 @@ func (sr *Reader) readIndex() error {
 	}
 	var crcb [4]byte
 	if _, err := io.ReadFull(sr.br, crcb[:]); err != nil {
-		return fmt.Errorf("%w: short index CRC: %v", ErrCorrupt, err)
+		return readErr(err, "index CRC")
 	}
 	sr.consumed += 4
 	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(crcb[:]) {
@@ -365,18 +428,27 @@ func (sr *Reader) readIndex() error {
 	return nil
 }
 
-// uvarint reads one varint, bounding its size and tracking consumption.
+// uvarint reads one varint byte by byte, bounding its size and tracking
+// consumption. Reading manually (rather than binary.ReadUvarint) keeps
+// the error classification exact: truncation and genuine I/O errors go
+// through readErr, only an over-long encoding is corruption.
 func (sr *Reader) uvarint() (uint64, error) {
-	v, err := binary.ReadUvarint(sr.br)
-	if err != nil {
-		return 0, fmt.Errorf("%w: bad varint: %v", ErrCorrupt, err)
+	var v uint64
+	var shift uint
+	for i := 0; i < binary.MaxVarintLen64; i++ {
+		b, err := sr.br.ReadByte()
+		if err != nil {
+			return 0, readErr(err, "varint")
+		}
+		sr.consumed++
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				break
+			}
+			return v | uint64(b)<<shift, nil
+		}
+		v |= uint64(b&0x7f) << shift
+		shift += 7
 	}
-	// A uvarint of value v occupies exactly the bytes ReadUvarint took;
-	// recompute the width for accounting.
-	w := 1
-	for x := v; x >= 0x80; x >>= 7 {
-		w++
-	}
-	sr.consumed += int64(w)
-	return v, nil
+	return 0, fmt.Errorf("%w: varint overflows 64 bits", ErrCorrupt)
 }

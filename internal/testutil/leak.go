@@ -1,0 +1,41 @@
+// Package testutil holds shared test helpers. It is imported only from
+// _test.go files.
+package testutil
+
+import (
+	"runtime"
+	"time"
+)
+
+// NoLeak returns a check that fails the test if the process has more
+// goroutines at test end than at the call, after allowing in-flight
+// goroutines a settle window. Use it first thing in a test:
+//
+//	defer testutil.NoLeak(t)()
+//
+// The count is process-global, so tests using NoLeak must not run in
+// parallel with tests that start goroutines.
+func NoLeak(t interface {
+	Helper()
+	Errorf(format string, args ...any)
+}) func() {
+	base := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak: %d goroutines at test end, %d at start\n%s", n, base, buf)
+	}
+}

@@ -1,10 +1,12 @@
 package repro
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bitio"
 	"repro/internal/grid"
@@ -16,6 +18,12 @@ import (
 // evaluation. Prediction-based compressors lose a little ratio at chunk
 // boundaries (each chunk restarts its predictor), which is the same
 // trade-off MPI-rank-local compression makes on real systems.
+//
+// The worker pools pull chunk indices from an atomic counter rather than
+// queueing goroutines behind a semaphore: exactly min(workers, chunks)
+// goroutines run, each checks the pool's context between chunks, and
+// cancellation stops the pool after at most the chunks already being
+// processed.
 
 const parallelMagic = 0xC6
 
@@ -31,6 +39,10 @@ type ParallelOptions struct {
 	Chunks int
 	// Options passes through per-chunk compressor options.
 	Options *Options
+	// Ctx, when non-nil, cancels the worker pool: compression stops
+	// after the chunks already in flight and returns the context's
+	// error.
+	Ctx context.Context
 }
 
 // CompressParallel compresses data under a point-wise relative bound using
@@ -40,6 +52,7 @@ func CompressParallel(data []float64, dims []int, relBound float64, algo Algorit
 	if err := grid.Validate(dims, len(data)); err != nil {
 		return nil, err
 	}
+	ctx := context.Background()
 	workers := runtime.GOMAXPROCS(0)
 	chunks := 0
 	var opts *Options
@@ -49,6 +62,7 @@ func CompressParallel(data []float64, dims []int, relBound float64, algo Algorit
 		}
 		chunks = popts.Chunks
 		opts = popts.Options
+		ctx = orDefault(popts.Ctx)
 	}
 	if chunks <= 0 {
 		chunks = workers
@@ -69,22 +83,16 @@ func CompressParallel(data []float64, dims []int, relBound float64, algo Algorit
 		err error
 	}
 	results := make([]result, chunks)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for c := 0; c < chunks; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			lo, hi := starts[c], starts[c+1]
-			sub := data[lo*rowStride : hi*rowStride]
-			subDims := append([]int{hi - lo}, dims[1:]...)
-			buf, err := Compress(sub, subDims, relBound, algo, opts)
-			results[c] = result{buf, err}
-		}(c)
+	runPool(ctx, workers, chunks, func(c int) {
+		lo, hi := starts[c], starts[c+1]
+		sub := data[lo*rowStride : hi*rowStride]
+		subDims := append([]int{hi - lo}, dims[1:]...)
+		buf, err := Compress(sub, subDims, relBound, algo, opts)
+		results[c] = result{buf, err}
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, ctxCause(ctx)
 	}
-	wg.Wait()
 	for c := range results {
 		if results[c].err != nil {
 			return nil, fmt.Errorf("chunk %d: %w", c, results[c].err)
@@ -107,49 +115,102 @@ func CompressParallel(data []float64, dims []int, relBound float64, algo Algorit
 	return out, nil
 }
 
+// runPool runs fn(0..n-1) on min(workers, n) goroutines pulling indices
+// from a shared counter. Workers observe ctx between indices, so
+// cancellation stops the pool after the indices already claimed; the
+// caller checks ctx after the pool drains.
+func runPool(ctx context.Context, workers, n int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= n || ctx.Err() != nil {
+					return
+				}
+				fn(c)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // DecompressParallel decodes a CompressParallel stream using up to
 // `workers` goroutines (0 = GOMAXPROCS).
 func DecompressParallel(buf []byte, workers int) ([]float64, []int, error) {
-	if len(buf) < 2 || buf[0] != parallelMagic {
-		return nil, nil, ErrCorrupt
+	return DecompressParallelCtx(context.Background(), buf, workers, nil)
+}
+
+// DecompressParallelCtx is DecompressParallel under a context and decode
+// limits (nil = unlimited), both enforced before any input-derived
+// allocation or chunk decode.
+func DecompressParallelCtx(ctx context.Context, buf []byte, workers int, limits *DecodeLimits) (_ []float64, _ []int, err error) {
+	defer recoverDecode(&err)
+	ctx = orDefault(ctx)
+	if len(buf) < 2 {
+		return nil, nil, fmt.Errorf("%w: %d-byte parallel container", ErrTruncated, len(buf))
+	}
+	if buf[0] != parallelMagic {
+		return nil, nil, fmt.Errorf("%w: leading byte 0x%02x is not a parallel container", ErrUnsupportedFormat, buf[0])
 	}
 	off := 2
 	rankU, k := bitio.Uvarint(buf[off:])
 	if k == 0 || rankU == 0 || rankU > grid.MaxDims {
-		return nil, nil, ErrCorrupt
+		return nil, nil, fmt.Errorf("%w: rank %d", ErrCorrupt, rankU)
 	}
 	off += k
 	dims := make([]int, rankU)
 	for i := range dims {
 		d, k := bitio.Uvarint(buf[off:])
 		if k == 0 || d == 0 || d > 1<<40 {
-			return nil, nil, ErrCorrupt
+			return nil, nil, fmt.Errorf("%w: dimension %d", ErrCorrupt, d)
 		}
 		dims[i] = int(d)
 		off += k
 	}
 	if err := grid.Validate(dims, -1); err != nil {
-		return nil, nil, ErrCorrupt
+		return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if err := limits.checkElements(int64(grid.Size(dims))); err != nil {
+		return nil, nil, err
 	}
 	chunksU, k := bitio.Uvarint(buf[off:])
 	if k == 0 || chunksU == 0 || chunksU > uint64(dims[0]) {
-		return nil, nil, ErrCorrupt
+		return nil, nil, fmt.Errorf("%w: chunk count %d", ErrCorrupt, chunksU)
 	}
 	off += k
+	// Each chunk needs at least a one-byte length prefix, so a count
+	// beyond the remaining bytes is structurally impossible — reject it
+	// before sizing the length table off an attacker-declared count.
+	if chunksU > uint64(len(buf)-off) {
+		return nil, nil, fmt.Errorf("%w: %d chunks declared with %d bytes left", ErrCorrupt, chunksU, len(buf)-off)
+	}
 	chunks := int(chunksU)
 	lengths := make([]int, chunks)
 	total := 0
 	for c := range lengths {
 		l, k := bitio.Uvarint(buf[off:])
 		if k == 0 || l > uint64(len(buf)) {
-			return nil, nil, ErrCorrupt
+			return nil, nil, fmt.Errorf("%w: chunk %d length", ErrCorrupt, c)
+		}
+		if err := limits.checkChunkBytes(int64(l)); err != nil {
+			return nil, nil, err
 		}
 		off += k
 		lengths[c] = int(l)
 		total += int(l)
 	}
 	if off+total > len(buf) {
-		return nil, nil, ErrCorrupt
+		return nil, nil, fmt.Errorf("%w: chunk lengths overrun the container", ErrTruncated)
 	}
 
 	if workers <= 0 {
@@ -167,29 +228,24 @@ func DecompressParallel(buf []byte, workers int) ([]float64, []int, error) {
 	}
 
 	errs := make([]error, chunks)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for c := 0; c < chunks; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			dec, subDims, err := Decompress(chunkBufs[c])
-			if err != nil {
-				errs[c] = err
-				return
-			}
-			lo, hi := starts[c], starts[c+1]
-			wantRows := hi - lo
-			if len(subDims) != len(dims) || subDims[0] != wantRows || len(dec) != wantRows*rowStride {
-				errs[c] = ErrCorrupt
-				return
-			}
-			copy(out[lo*rowStride:hi*rowStride], dec)
-		}(c)
+	runPool(ctx, workers, chunks, func(c int) {
+		dec, subDims, err := Decompress(chunkBufs[c])
+		if err != nil {
+			errs[c] = err
+			return
+		}
+		lo, hi := starts[c], starts[c+1]
+		wantRows := hi - lo
+		if len(subDims) != len(dims) || subDims[0] != wantRows || len(dec) != wantRows*rowStride {
+			errs[c] = fmt.Errorf("%w: chunk decoded to shape %v, want %d rows of stride %d",
+				ErrCorrupt, subDims, wantRows, rowStride)
+			return
+		}
+		copy(out[lo*rowStride:hi*rowStride], dec)
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, nil, ctxCause(ctx)
 	}
-	wg.Wait()
 	for c, err := range errs {
 		if err != nil {
 			return nil, nil, fmt.Errorf("chunk %d: %w", c, err)
@@ -215,11 +271,24 @@ func IsParallelStream(buf []byte) bool {
 
 // DecompressAny decodes a plain, parallel, or stream-container buffer.
 func DecompressAny(buf []byte) ([]float64, []int, error) {
+	return DecompressAnyLimits(buf, nil)
+}
+
+// DecompressAnyLimits is DecompressAny with decode limits (nil =
+// unlimited) enforced on whichever container format the buffer carries.
+func DecompressAnyLimits(buf []byte, limits *DecodeLimits) (_ []float64, _ []int, err error) {
+	defer recoverDecode(&err)
 	if IsParallelStream(buf) {
-		return DecompressParallel(buf, 0)
+		return DecompressParallelCtx(context.Background(), buf, 0, limits)
 	}
 	if IsStreamContainer(buf) {
-		return decompressStreamBuf(buf)
+		return decompressStreamBuf(buf, limits)
 	}
-	return Decompress(buf)
+	data, dims, err := Decompress(buf)
+	if err == nil {
+		if lerr := limits.checkElements(int64(len(data))); lerr != nil {
+			return nil, nil, lerr
+		}
+	}
+	return data, dims, err
 }

@@ -8,9 +8,11 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/grid"
 	"repro/internal/metrics"
+	"repro/internal/testutil"
 )
 
 func TestParallelRoundTrip(t *testing.T) {
+	defer testutil.NoLeak(t)()
 	fields := datagen.NYX(24, 11)
 	f := fields[0]
 	rel := 1e-2
@@ -41,6 +43,7 @@ func TestParallelRoundTrip(t *testing.T) {
 }
 
 func TestParallelMoreChunksThanRows(t *testing.T) {
+	defer testutil.NoLeak(t)()
 	data := []float64{1, 2, 3, 4, 5, 6}
 	buf, err := CompressParallel(data, []int{3, 2}, 0.01, SZT,
 		&ParallelOptions{Chunks: 100})
@@ -59,6 +62,7 @@ func TestParallelMoreChunksThanRows(t *testing.T) {
 }
 
 func TestParallelAllAlgorithms(t *testing.T) {
+	defer testutil.NoLeak(t)()
 	fields := datagen.NYX(16, 12)
 	f := fields[0]
 	rel := 0.05
@@ -116,6 +120,7 @@ func TestDecompressAnyPlainStream(t *testing.T) {
 }
 
 func TestParallelCorrupt(t *testing.T) {
+	defer testutil.NoLeak(t)()
 	fields := datagen.NYX(16, 14)
 	f := fields[0]
 	buf, err := CompressParallel(f.Data, f.Dims, 0.01, SZT, &ParallelOptions{Chunks: 4})

@@ -165,13 +165,11 @@ func (o *Options) isabelaOpts() *isabela.Options {
 	return &isabela.Options{Window: o.ISABELAWindow, Coeffs: o.ISABELACoeffs}
 }
 
-var (
-	// ErrCorrupt reports an unrecognized or damaged container.
-	ErrCorrupt = errors.New("repro: corrupt stream")
-	// ErrNeedsAbsolute reports a relative bound passed to an
-	// absolute-bound-only algorithm (or vice versa).
-	ErrNeedsAbsolute = errors.New("repro: algorithm takes an absolute bound; use CompressAbs")
-)
+// ErrNeedsAbsolute reports a relative bound passed to an
+// absolute-bound-only algorithm (or vice versa). The decode-error
+// sentinels (ErrCorrupted, ErrTruncated, ErrLimitExceeded,
+// ErrUnsupportedFormat) live in errors.go.
+var ErrNeedsAbsolute = errors.New("repro: algorithm takes an absolute bound; use CompressAbs")
 
 const containerMagic = 0xC5
 
@@ -326,45 +324,61 @@ func wrap(algo Algorithm, inner []byte) []byte {
 }
 
 // Decompress decodes any stream produced by Compress or CompressAbs.
-func Decompress(buf []byte) ([]float64, []int, error) {
-	if len(buf) < 6 || buf[0] != containerMagic {
-		return nil, nil, ErrCorrupt
+func Decompress(buf []byte) (_ []float64, _ []int, err error) {
+	defer recoverDecode(&err)
+	if len(buf) >= 1 && buf[0] != containerMagic {
+		return nil, nil, fmt.Errorf("%w: leading byte 0x%02x", ErrUnsupportedFormat, buf[0])
+	}
+	if len(buf) < 6 {
+		return nil, nil, fmt.Errorf("%w (plain container header)", ErrTruncated)
 	}
 	algo := Algorithm(buf[1])
 	inner := buf[6:]
 	if crc32.ChecksumIEEE(inner) != binary.BigEndian.Uint32(buf[2:6]) {
 		return nil, nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
 	}
+	var data []float64
+	var dims []int
 	switch algo {
 	case SZT, ZFPT:
-		return core.Decompress(inner, core.DefaultResolve)
+		data, dims, err = core.Decompress(inner, core.DefaultResolve)
 	case SZABS, SZPWR:
-		return sz.Decompress(inner)
+		data, dims, err = sz.Decompress(inner)
 	case ZFPACC, ZFPP, ZFPRATE:
-		return zfp.Decompress(inner)
+		data, dims, err = zfp.Decompress(inner)
 	case FPZIP:
-		return fpzip.Decompress(inner)
+		data, dims, err = fpzip.Decompress(inner)
 	case FPZIP32:
-		f32, dims, err := fpzip.Decompress32(inner)
-		if err != nil {
-			return nil, nil, err
+		var f32 []float32
+		f32, dims, err = fpzip.Decompress32(inner)
+		if err == nil {
+			data = make([]float64, len(f32))
+			for i, v := range f32 {
+				data[i] = float64(v)
+			}
 		}
-		wide := make([]float64, len(f32))
-		for i, v := range f32 {
-			wide[i] = float64(v)
-		}
-		return wide, dims, nil
 	case ISABELA:
-		return isabela.Decompress(inner)
+		data, dims, err = isabela.Decompress(inner)
 	default:
 		return nil, nil, fmt.Errorf("%w: algorithm byte %d", ErrCorrupt, buf[1])
 	}
+	if err != nil {
+		// The container CRC covers the payload but not the algo byte, so
+		// a payload the named codec rejects means the container itself is
+		// damaged (most often a flipped algorithm byte dispatching to the
+		// wrong decoder).
+		return nil, nil, fmt.Errorf("%w: %v payload: %w", ErrCorrupt, algo, err)
+	}
+	return data, dims, nil
 }
 
 // AlgorithmOf reports which algorithm produced the stream.
 func AlgorithmOf(buf []byte) (Algorithm, error) {
-	if len(buf) < 2 || buf[0] != containerMagic {
-		return 0, ErrCorrupt
+	if len(buf) >= 1 && buf[0] != containerMagic {
+		return 0, fmt.Errorf("%w: leading byte 0x%02x", ErrUnsupportedFormat, buf[0])
+	}
+	if len(buf) < 2 {
+		return 0, fmt.Errorf("%w (plain container header)", ErrTruncated)
 	}
 	return Algorithm(buf[1]), nil
 }
@@ -399,16 +413,21 @@ func Compress32(data []float32, dims []int, relBound float64, algo Algorithm, op
 }
 
 // Decompress32 decodes into float32s.
-func Decompress32(buf []byte) ([]float32, []int, error) {
+func Decompress32(buf []byte) (_ []float32, _ []int, err error) {
+	defer recoverDecode(&err)
 	if algo, err := AlgorithmOf(buf); err == nil && algo == FPZIP32 {
 		if len(buf) < 6 {
-			return nil, nil, ErrCorrupt
+			return nil, nil, fmt.Errorf("%w (plain container header)", ErrTruncated)
 		}
 		inner := buf[6:]
 		if crc32.ChecksumIEEE(inner) != binary.BigEndian.Uint32(buf[2:6]) {
 			return nil, nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
 		}
-		return fpzip.Decompress32(inner)
+		f32, dims, err := fpzip.Decompress32(inner)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: %v payload: %w", ErrCorrupt, FPZIP32, err)
+		}
+		return f32, dims, nil
 	}
 	wide, dims, err := Decompress(buf)
 	if err != nil {

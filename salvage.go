@@ -1,0 +1,183 @@
+package repro
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/streamfmt"
+)
+
+// Salvage decode: best-effort recovery from a damaged stream container.
+// Where DecompressStream aborts at the first bad frame, salvage uses the
+// container's redundant geometry — per-chunk CRCs plus the sealing index
+// frame — to verify each chunk independently, skip the damaged ones, and
+// resynchronize at the next intact frame. Rows covered by lost chunks
+// are filled with NaN so the output keeps the field's exact shape and
+// downstream analysis can mask the holes.
+
+// RowRange is a half-open range [Lo, Hi) of dims[0]-rows.
+type RowRange struct{ Lo, Hi int }
+
+// ByteRange is a half-open range [Lo, Hi) of container byte offsets.
+type ByteRange struct{ Lo, Hi int64 }
+
+// SalvageReport accounts for what DecompressStreamSalvage recovered.
+type SalvageReport struct {
+	// Dims is the field geometry from the container header.
+	Dims []int
+	// Chunks and Recovered count the chunk frames the header promised
+	// and the ones that decoded cleanly.
+	Chunks, Recovered int
+	// LostChunks lists the field-order indices of unrecoverable chunks.
+	LostChunks []int
+	// LostRows lists the dims[0]-row ranges filled with NaN, merged
+	// across adjacent lost chunks.
+	LostRows []RowRange
+	// LostBytes lists the damaged container regions, where the scan
+	// could still delimit them; a region reaching the end of the
+	// container means frame boundaries were lost from there on.
+	LostBytes []ByteRange
+	// IndexOK reports that the sealing index frame verified, in which
+	// case damage to one chunk cannot desynchronize its successors.
+	IndexOK bool
+	// Truncated reports that the container ended before its structure
+	// did.
+	Truncated bool
+	// BytesIn and BytesOut count container bytes read and field bytes
+	// written (NaN fill included).
+	BytesIn, BytesOut int64
+}
+
+// Lost reports the number of unrecoverable chunks.
+func (r *SalvageReport) Lost() int { return len(r.LostChunks) }
+
+// DecompressStreamSalvage reads a (possibly damaged) stream container
+// from r and writes the field to w as raw little-endian float64 bytes,
+// in full: every row of the header's geometry is emitted, with rows from
+// unrecoverable chunks filled with NaN. The report says exactly what was
+// lost. The whole container is buffered in memory (resynchronization
+// needs the tail index), so limits.MaxElements should be set when r is
+// untrusted.
+//
+// An error is returned only when salvage is impossible (unreadable
+// source, unusable header, or a limit violation) or when w fails; damage
+// to chunk frames is never an error, it is the condition this function
+// exists to survive.
+func DecompressStreamSalvage(r io.Reader, w io.Writer, limits *DecodeLimits) (_ *SalvageReport, err error) {
+	defer recoverDecode(&err)
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("repro: reading container: %w", err)
+	}
+	scan, err := streamfmt.ScanSalvage(buf, limits.streamLimits())
+	if err != nil {
+		return nil, err
+	}
+	hdr := scan.Header
+	rowStride := hdr.RowStride()
+	rep := &SalvageReport{
+		Dims:      append([]int(nil), hdr.Dims...),
+		Chunks:    len(scan.Frames),
+		IndexOK:   scan.IndexOK,
+		Truncated: scan.Truncated,
+		BytesIn:   int64(len(buf)),
+	}
+
+	var out []byte
+	emit := func(vals []float64) error {
+		need := len(vals) * 8
+		if cap(out) < need {
+			//lint:allow allochot grows once to the largest chunk, then reused across all chunks
+			out = make([]byte, need)
+		}
+		out = out[:need]
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+		}
+		if _, err := w.Write(out); err != nil {
+			return err
+		}
+		rep.BytesOut += int64(need)
+		return nil
+	}
+
+	var nanRow []float64
+	row := 0
+	lastEnd := scan.HeaderLen
+	for i := range scan.Frames {
+		f := &scan.Frames[i]
+		rows := hdr.ChunkRowCount(i)
+		var dec []float64
+		if f.Payload != nil {
+			d, subDims, derr := Decompress(f.Payload)
+			switch {
+			case derr != nil:
+				f.Damaged, f.Reason = true, fmt.Sprintf("payload does not decode: %v", derr)
+			case len(subDims) == 0 || subDims[0] != rows || len(d) != rows*rowStride:
+				f.Damaged, f.Reason = true, fmt.Sprintf("payload decodes to shape %v, want %d rows of stride %d", subDims, rows, rowStride)
+			default:
+				dec = d
+			}
+		}
+		if dec != nil {
+			rep.Recovered++
+			if err := emit(dec); err != nil {
+				return rep, err
+			}
+		} else {
+			rep.LostChunks = append(rep.LostChunks, i)
+			rep.addLostRows(row, row+rows)
+			rep.addLostBytes(f.Offset, f.End, lastEnd, int64(len(buf)))
+			if nanRow == nil {
+				//lint:allow allochot nil-guarded: one NaN row allocated for the whole scan
+				nanRow = make([]float64, rowStride)
+				for j := range nanRow {
+					nanRow[j] = math.NaN()
+				}
+			}
+			for j := 0; j < rows; j++ {
+				if err := emit(nanRow); err != nil {
+					return rep, err
+				}
+			}
+		}
+		if f.End > 0 {
+			lastEnd = f.End
+		}
+		row += rows
+	}
+	return rep, nil
+}
+
+// addLostRows appends [lo,hi), merging with an adjacent previous range.
+func (r *SalvageReport) addLostRows(lo, hi int) {
+	if n := len(r.LostRows); n > 0 && r.LostRows[n-1].Hi == lo {
+		r.LostRows[n-1].Hi = hi
+		return
+	}
+	r.LostRows = append(r.LostRows, RowRange{lo, hi})
+}
+
+// addLostBytes appends the damaged region for a frame. A frame with an
+// unknown extent (End == 0: structure lost) damages everything from the
+// last known frame boundary to the end of the container.
+func (r *SalvageReport) addLostBytes(off, end, lastEnd, total int64) {
+	if end == 0 {
+		off, end = lastEnd, total
+		if off > end {
+			off = end
+		}
+	}
+	if n := len(r.LostBytes); n > 0 {
+		last := &r.LostBytes[n-1]
+		if off <= last.Hi {
+			if end > last.Hi {
+				last.Hi = end
+			}
+			return
+		}
+	}
+	r.LostBytes = append(r.LostBytes, ByteRange{off, end})
+}

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -26,6 +27,15 @@ import (
 // RAM before dumping to the parallel file system (the paper's §V.C
 // deployment shape, as FRaZ and the bit-adaptive particle compressor
 // stress for practical pipelines).
+//
+// Both directions come in a Ctx variant that threads a context.Context
+// through the reader/worker/writer stages: cancellation (like a sink
+// write error) closes the pipeline's stop channel, after which the
+// reader pulls no further frames, the worker pool drains, and every
+// pipeline goroutine exits before the call returns. The one blocking
+// operation a context cannot interrupt is a Read/Write already in
+// flight on the caller's reader or writer — teardown completes when
+// that call returns, the same contract as any blocking Go I/O.
 
 // StreamOptions tunes CompressStream.
 type StreamOptions struct {
@@ -104,6 +114,19 @@ func defaultChunkRows(rows, rowStride int) int {
 	return cr
 }
 
+// orDefault returns ctx, or context.Background for nil.
+func orDefault(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
+// ctxCause labels a context's error for pipeline failure reporting.
+func ctxCause(ctx context.Context) error {
+	return fmt.Errorf("repro: stream cancelled: %w", context.Cause(ctx))
+}
+
 // CompressStream reads a raw little-endian float64 field of the given
 // dims from r, compresses it chunk by chunk under the point-wise
 // relative bound, and writes a framed stream container (decodable by
@@ -112,6 +135,14 @@ func defaultChunkRows(rows, rowStride int) int {
 // matching chunk boundaries the decoded field is element-wise identical
 // to Decompress of a CompressParallel stream.
 func CompressStream(r io.Reader, w io.Writer, dims []int, relBound float64, algo Algorithm, opts *StreamOptions) (*StreamStats, error) {
+	return CompressStreamCtx(context.Background(), r, w, dims, relBound, algo, opts)
+}
+
+// CompressStreamCtx is CompressStream under a context: cancellation
+// tears down the reader and worker pool promptly (after at most the
+// chunks already in flight) and returns ctx's error.
+func CompressStreamCtx(ctx context.Context, r io.Reader, w io.Writer, dims []int, relBound float64, algo Algorithm, opts *StreamOptions) (*StreamStats, error) {
+	ctx = orDefault(ctx)
 	if err := grid.Validate(dims, -1); err != nil {
 		return nil, err
 	}
@@ -184,6 +215,9 @@ func CompressStream(r io.Reader, w io.Writer, dims []int, relBound float64, algo
 			select {
 			case <-stop:
 				return
+			case <-ctx.Done():
+				readErr = ctxCause(ctx)
+				return
 			default:
 			}
 			n := chunkRows
@@ -243,30 +277,43 @@ func CompressStream(r io.Reader, w io.Writer, dims []int, relBound float64, algo
 			close(stop)
 		}
 	}
-	for jb := range order {
+	writeOne := func(jb *streamJob) {
+		defer fl.leave()
 		<-jb.done
 		if firstErr != nil {
-			fl.leave()
-			continue
+			return
 		}
 		if jb.err != nil {
 			fail(fmt.Errorf("chunk %d: %w", jb.seq, jb.err))
-			fl.leave()
-			continue
+			return
 		}
 		t0 := time.Now()
 		err := sw.WriteChunk(jb.out)
 		stats.WriteWall += time.Since(t0)
 		if err != nil {
 			fail(fmt.Errorf("chunk %d: %w", jb.seq, err))
-			fl.leave()
-			continue
+			return
 		}
 		stats.Chunks++
-		fl.leave()
 		select {
 		case free <- jb.data:
 		default:
+		}
+	}
+drain:
+	for {
+		select {
+		case jb, ok := <-order:
+			if !ok {
+				break drain
+			}
+			writeOne(jb)
+		case <-ctx.Done():
+			fail(ctxCause(ctx))
+			for jb := range order {
+				writeOne(jb)
+			}
+			break drain
 		}
 	}
 	wg.Wait()
@@ -308,7 +355,19 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 // worker pool and emitted in field order; peak memory is O(workers ×
 // chunk). The returned stats mirror CompressStream's.
 func DecompressStream(r io.Reader, w io.Writer) (*StreamStats, error) {
-	sr, err := streamfmt.NewReader(r)
+	return DecompressStreamCtx(context.Background(), r, w, nil)
+}
+
+// DecompressStreamCtx is DecompressStream under a context and decode
+// limits. Cancellation — or an error from w — stops the reader from
+// pulling further frames beyond those already in flight, drains the
+// worker pool, and returns with no goroutines left behind. limits (nil
+// = unlimited) is enforced against the container header and every
+// chunk frame before the corresponding allocation.
+func DecompressStreamCtx(ctx context.Context, r io.Reader, w io.Writer, limits *DecodeLimits) (_ *StreamStats, err error) {
+	defer recoverDecode(&err)
+	ctx = orDefault(ctx)
+	sr, err := streamfmt.NewReaderLimits(r, limits.streamLimits())
 	if err != nil {
 		return nil, err
 	}
@@ -374,6 +433,9 @@ func DecompressStream(r io.Reader, w io.Writer) (*StreamStats, error) {
 			select {
 			case <-stop:
 				return
+			case <-ctx.Done():
+				readErr = ctxCause(ctx)
+				return
 			default:
 			}
 			var scratch []byte
@@ -408,7 +470,17 @@ func DecompressStream(r io.Reader, w io.Writer) (*StreamStats, error) {
 				return
 			}
 		}
-		// All chunks read: the next frame must be the index.
+		// All chunks read: the next frame must be the index. Skip the
+		// read when the pipeline already failed — the writer's error
+		// must not race an extra pull from the source.
+		select {
+		case <-stop:
+			return
+		case <-ctx.Done():
+			readErr = ctxCause(ctx)
+			return
+		default:
+		}
 		t0 := time.Now()
 		_, err := sr.Next(nil)
 		readWall += time.Since(t0)
@@ -428,16 +500,15 @@ func DecompressStream(r io.Reader, w io.Writer) (*StreamStats, error) {
 		}
 	}
 	var out []byte
-	for jb := range order {
+	writeOne := func(jb *streamJob) {
+		defer fl.leave()
 		<-jb.done
 		if firstErr != nil {
-			fl.leave()
-			continue
+			return
 		}
 		if jb.err != nil {
 			fail(fmt.Errorf("chunk %d: %w", jb.seq, jb.err))
-			fl.leave()
-			continue
+			return
 		}
 		t0 := time.Now()
 		need := len(jb.dec) * 8
@@ -453,12 +524,26 @@ func DecompressStream(r io.Reader, w io.Writer) (*StreamStats, error) {
 		stats.WriteWall += time.Since(t0)
 		if err != nil {
 			fail(fmt.Errorf("chunk %d: %w", jb.seq, err))
-			fl.leave()
-			continue
+			return
 		}
 		stats.Chunks++
 		stats.BytesOut += int64(need)
-		fl.leave()
+	}
+drain:
+	for {
+		select {
+		case jb, ok := <-order:
+			if !ok {
+				break drain
+			}
+			writeOne(jb)
+		case <-ctx.Done():
+			fail(ctxCause(ctx))
+			for jb := range order {
+				writeOne(jb)
+			}
+			break drain
+		}
 	}
 	wg.Wait()
 	if firstErr == nil && readErr != nil {
@@ -484,14 +569,14 @@ func IsStreamContainer(buf []byte) bool {
 // decompressStreamBuf decodes an in-memory stream container (the
 // convenience path behind DecompressAny; the streaming path is
 // DecompressStream).
-func decompressStreamBuf(buf []byte) ([]float64, []int, error) {
-	hr, err := streamfmt.NewReader(bytes.NewReader(buf))
+func decompressStreamBuf(buf []byte, limits *DecodeLimits) ([]float64, []int, error) {
+	hr, err := streamfmt.NewReaderLimits(bytes.NewReader(buf), limits.streamLimits())
 	if err != nil {
 		return nil, nil, err
 	}
 	dims := append([]int(nil), hr.Header().Dims...)
 	var out bytes.Buffer
-	if _, err := DecompressStream(bytes.NewReader(buf), &out); err != nil {
+	if _, err := DecompressStreamCtx(context.Background(), bytes.NewReader(buf), &out, limits); err != nil {
 		return nil, nil, err
 	}
 	raw := out.Bytes()

@@ -37,6 +37,7 @@ func fromLE(raw []byte) []float64 {
 // DecompressStream for every relative-bound algorithm and checks the
 // advertised error guarantees survive the chunked pipeline.
 func TestStreamRoundTrip(t *testing.T) {
+	defer testutil.NoLeak(t)()
 	fields := []struct {
 		name string
 		dims []int
@@ -103,6 +104,7 @@ func TestStreamRoundTrip(t *testing.T) {
 // same chunk boundaries, DecompressStream output is element-wise
 // identical to Decompress of CompressParallel output.
 func TestStreamMatchesParallel(t *testing.T) {
+	defer testutil.NoLeak(t)()
 	f := datagen.NYX(16, 11)[0] // 16^3
 	const rel = 1e-2
 	// 16 rows into 4 chunks of 4: chunkStarts(16,4) gives 4-row chunks,
@@ -152,6 +154,7 @@ func TestStreamMatchesParallel(t *testing.T) {
 // runs and worker counts (frames are emitted in field order regardless
 // of completion order).
 func TestStreamDeterministic(t *testing.T) {
+	defer testutil.NoLeak(t)()
 	f := datagen.NYX(16, 3)[0]
 	raw := rawLE(f.Data)
 	var a, b bytes.Buffer
@@ -169,6 +172,7 @@ func TestStreamDeterministic(t *testing.T) {
 // TestStreamInputErrors covers compress-side failure modes: truncated
 // input, bad geometry, absolute-bound algorithms, bad bounds.
 func TestStreamInputErrors(t *testing.T) {
+	defer testutil.NoLeak(t)()
 	data := make([]float64, 64)
 	for i := range data {
 		data[i] = float64(i + 1)
@@ -210,6 +214,7 @@ func (w *errAfterWriter) Write(p []byte) (int, error) {
 // every prefix length and single-byte corruption must error out (or
 // decode consistently), never panic or hang.
 func TestStreamDecodeErrors(t *testing.T) {
+	defer testutil.NoLeak(t)()
 	f := datagen.NYX(8, 5)[0]
 	var comp bytes.Buffer
 	if _, err := CompressStream(bytes.NewReader(rawLE(f.Data)), &comp, f.Dims, 1e-2, SZT, &StreamOptions{ChunkRows: 2}); err != nil {
@@ -277,6 +282,7 @@ func (s *synthReader) Read(p []byte) (int, error) {
 // and the sampled heap high-water mark stays far below the field size
 // (the end-to-end check).
 func TestStreamBoundedMemory(t *testing.T) {
+	defer testutil.NoLeak(t)()
 	const (
 		rowStride = 4096 // floats per row: 32 KiB
 		rows      = 1024 // field: 32 MiB
@@ -353,6 +359,7 @@ func TestStreamBoundedMemory(t *testing.T) {
 
 // TestStreamStatsObservability sanity-checks the per-stage counters.
 func TestStreamStatsObservability(t *testing.T) {
+	defer testutil.NoLeak(t)()
 	f := datagen.NYX(16, 9)[0]
 	var comp bytes.Buffer
 	st, err := CompressStream(bytes.NewReader(rawLE(f.Data)), &comp, f.Dims, 1e-2, SZT, &StreamOptions{ChunkRows: 4})
