@@ -167,7 +167,7 @@ func openArchiveV1(buf []byte, limits *DecodeLimits) (*ArchiveReader, error) {
 	var total uint64
 	for i := 0; i < count; i++ {
 		nlen, k := bitio.Uvarint(buf[off:])
-		if k == 0 || nlen == 0 || nlen > maxFieldName || int(nlen) > len(buf)-off-k {
+		if k == 0 || nlen == 0 || nlen > maxFieldName || nlen > uint64(len(buf)-off-k) {
 			return nil, fmt.Errorf("%w: archive entry %d name", ErrCorrupt, i)
 		}
 		off += k
@@ -225,7 +225,7 @@ func openArchiveV2(buf []byte, limits *DecodeLimits) (*ArchiveReader, error) {
 	lengths := make([]uint64, count)
 	for i := 0; i < count; i++ {
 		nlen, k := bitio.Uvarint(buf[off:])
-		if k == 0 || nlen == 0 || nlen > maxFieldName || int(nlen) > len(buf)-off-k {
+		if k == 0 || nlen == 0 || nlen > maxFieldName || nlen > uint64(len(buf)-off-k) {
 			return nil, fmt.Errorf("%w: archive entry %d name", ErrCorrupt, i)
 		}
 		off += k

@@ -28,8 +28,22 @@ fi
 step "go vet"
 go vet ./...
 
-step "pwrvet (domain lint)"
-go run ./cmd/pwrvet ./...
+step "pwrvet (domain lint, baseline-gated)"
+PWRVET="$(mktemp -d)/pwrvet"
+trap 'rm -rf "$(dirname "${PWRVET}")"' EXIT
+go build -o "${PWRVET}" ./cmd/pwrvet
+lint_start="$(date +%s)"
+"${PWRVET}" -baseline ci/pwrvet-baseline.json ./...
+lint_end="$(date +%s)"
+lint_elapsed=$((lint_end - lint_start))
+echo "module-wide pass: ${lint_elapsed}s"
+if (( lint_elapsed > 60 )); then
+    echo "pwrvet exceeded the 60s wall-clock budget (${lint_elapsed}s)" >&2
+    exit 1
+fi
+
+step "pwrvet self-lint"
+"${PWRVET}" ./internal/lint/... ./cmd/pwrvet
 
 step "go build"
 go build ./...

@@ -10,15 +10,32 @@
 // (per-iteration allocation in hot codec loops), encdecpair
 // (Encode/Compress API symmetry), and ctxflow (worker-pool goroutines
 // whose channel sends select on neither a cancellation receive nor a
-// default, so the pool cannot be torn down).
+// default, so the pool cannot be torn down) — and the interprocedural
+// summary layer: limitreach (decode-entry-tainted allocation sizes must
+// pass a DecodeLimits/range guard on every call path), wrapreach
+// (narrowing conversions of unvalidated decoder input across call
+// boundaries), boundconst (raw log2(1+b) error bounds reaching quantizer
+// sinks without the Lemma-2 tightening), and purity (package-level writes
+// in worker-pool-reachable functions).
 //
 // Usage:
 //
-//	pwrvet [flags] [dir]
+//	pwrvet [flags] [dir ...]
 //
-// dir (default ".") is any directory inside the module; the whole module
-// is always analyzed. Exit status is 0 when clean, 1 when there are
-// unsuppressed findings, 2 on usage or load errors.
+// Each dir (default ".") is a directory inside the module; the whole
+// module is always analyzed, and when directories are given only the
+// findings whose file lives under one of them are reported. Exit status
+// is 0 when clean, 1 when there are unsuppressed findings, 2 on usage or
+// load errors.
+//
+// With -json, findings are emitted as NDJSON: one JSON object per line
+// with the check name, position, message, and (for interprocedural
+// findings) the witness call chain.
+//
+// With -baseline file, findings matching an entry of the NDJSON baseline
+// (same check, file, and message; line numbers are ignored so unrelated
+// edits do not invalidate it) are accepted and do not affect the exit
+// status. Regenerate the baseline with: pwrvet -json > file.
 //
 // Findings are suppressed inline with:
 //
@@ -28,6 +45,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -46,14 +64,15 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("pwrvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		jsonOut = fs.Bool("json", false, "emit findings as a JSON array")
-		checks  = fs.String("checks", "", "comma-separated checks to run (default: all)")
-		disable = fs.String("disable", "", "comma-separated checks to skip")
-		list    = fs.Bool("list", false, "list available checks and exit")
-		quiet   = fs.Bool("q", false, "suppress the summary line")
+		jsonOut  = fs.Bool("json", false, "emit findings as NDJSON (one object per line)")
+		baseline = fs.String("baseline", "", "NDJSON file of accepted findings (matched by check+file+message)")
+		checks   = fs.String("checks", "", "comma-separated checks to run (default: all)")
+		disable  = fs.String("disable", "", "comma-separated checks to skip")
+		list     = fs.Bool("list", false, "list available checks and exit")
+		quiet    = fs.Bool("q", false, "suppress the summary line")
 	)
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: pwrvet [flags] [dir]\n")
+		fmt.Fprintf(stderr, "usage: pwrvet [flags] [dir ...]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -74,21 +93,20 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
-	dir := "."
-	switch fs.NArg() {
-	case 0:
-	case 1:
-		// Accept a "./..." suffix so the tool composes with go-tool habits.
-		dir = strings.TrimSuffix(fs.Arg(0), "...")
-		if dir == "" {
-			dir = "."
+	// Accept "./..." suffixes so the tool composes with go-tool habits.
+	dirs := make([]string, 0, fs.NArg())
+	for _, a := range fs.Args() {
+		d := strings.TrimSuffix(a, "...")
+		if d == "" {
+			d = "."
 		}
-	default:
-		fs.Usage()
-		return 2
+		dirs = append(dirs, d)
+	}
+	if len(dirs) == 0 {
+		dirs = []string{"."}
 	}
 
-	root, err := lint.FindModuleRoot(dir)
+	root, err := lint.FindModuleRoot(dirs[0])
 	if err != nil {
 		fmt.Fprintln(stderr, "pwrvet:", err)
 		return 2
@@ -106,30 +124,121 @@ func run(args []string, stdout, stderr *os.File) int {
 			findings[i].File = rel
 		}
 	}
+	findings, err = filterDirs(findings, root, dirs)
+	if err != nil {
+		fmt.Fprintln(stderr, "pwrvet:", err)
+		return 2
+	}
 
-	if *jsonOut {
-		enc := json.NewEncoder(stdout)
-		enc.SetIndent("", "  ")
-		if findings == nil {
-			findings = []lint.Finding{}
-		}
-		if err := enc.Encode(findings); err != nil {
+	baselined := 0
+	if *baseline != "" {
+		accepted, err := loadBaseline(*baseline)
+		if err != nil {
 			fmt.Fprintln(stderr, "pwrvet:", err)
 			return 2
+		}
+		kept := findings[:0]
+		for _, f := range findings {
+			if accepted[baselineKey(f)] {
+				baselined++
+				continue
+			}
+			kept = append(kept, f)
+		}
+		findings = kept
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout) // no indent: one object per line
+		for _, f := range findings {
+			if err := enc.Encode(f); err != nil {
+				fmt.Fprintln(stderr, "pwrvet:", err)
+				return 2
+			}
 		}
 	} else {
 		for _, f := range findings {
 			fmt.Fprintln(stdout, f.String())
+			for _, hop := range f.Chain {
+				fmt.Fprintf(stdout, "\tvia %s\n", hop)
+			}
 		}
 		if !*quiet {
-			fmt.Fprintf(stdout, "pwrvet: %d finding(s), %d suppressed, %d check(s) over %d package(s)\n",
-				len(findings), suppressed, len(selected), len(mod.Packages))
+			fmt.Fprintf(stdout, "pwrvet: %d finding(s), %d suppressed, %d baselined, %d check(s) over %d package(s)\n",
+				len(findings), suppressed, baselined, len(selected), len(mod.Packages))
 		}
 	}
 	if len(findings) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// filterDirs keeps the findings whose (module-relative) file lives under
+// one of the given directories. A "." directory keeps everything.
+func filterDirs(findings []lint.Finding, root string, dirs []string) ([]lint.Finding, error) {
+	prefixes := make([]string, 0, len(dirs))
+	for _, d := range dirs {
+		abs, err := filepath.Abs(d)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil {
+			return nil, err
+		}
+		if rel == "." {
+			return findings, nil
+		}
+		prefixes = append(prefixes, rel+string(filepath.Separator))
+	}
+	kept := findings[:0]
+	for _, f := range findings {
+		for _, p := range prefixes {
+			if strings.HasPrefix(f.File, p) {
+				kept = append(kept, f)
+				break
+			}
+		}
+	}
+	return kept, nil
+}
+
+// baselineKey identifies a finding for baseline matching: the line and
+// column are deliberately excluded so edits elsewhere in the file do not
+// invalidate accepted findings.
+func baselineKey(f lint.Finding) string {
+	return f.Check + "\x00" + f.File + "\x00" + f.Message
+}
+
+// loadBaseline reads an NDJSON findings file (as written by -json). Blank
+// lines and lines starting with '#' are ignored.
+func loadBaseline(path string) (map[string]bool, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = fh.Close() }() // read-only file; close error carries nothing
+	accepted := map[string]bool{}
+	sc := bufio.NewScanner(fh)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var f lint.Finding
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", path, lineNo, err)
+		}
+		accepted[baselineKey(f)] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return accepted, nil
 }
 
 // selectChecks applies -checks / -disable to the registered set.

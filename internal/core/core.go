@@ -390,7 +390,9 @@ func ParseHeader(buf []byte) (*SideInfo, int, error) {
 	}
 	if !si.AllPositive {
 		blobLen, k := bitio.Uvarint(buf[off:])
-		if k == 0 || int(blobLen) > len(buf)-off-k {
+		// Compare in uint64: int(blobLen) would wrap negative for
+		// blobLen >= 2^63 and slip past the guard into the slice below.
+		if k == 0 || blobLen > uint64(len(buf)-off-k) {
 			return nil, 0, ErrCorrupt
 		}
 		off += k
@@ -465,14 +467,15 @@ func Decompress(buf []byte, resolve func(name string) Backend) ([]float64, []int
 		return nil, nil, err
 	}
 	nameLen, k := bitio.Uvarint(buf[off:])
-	if k == 0 || nameLen > 64 || int(nameLen) > len(buf)-off-k {
+	if k == 0 || nameLen > 64 || nameLen > uint64(len(buf)-off-k) {
 		return nil, nil, ErrCorrupt
 	}
 	off += k
 	name := string(buf[off : off+int(nameLen)])
 	off += int(nameLen)
 	innerLen, k := bitio.Uvarint(buf[off:])
-	if k == 0 || int(innerLen) > len(buf)-off-k {
+	// uint64 compare: int(innerLen) wraps negative for huge values.
+	if k == 0 || innerLen > uint64(len(buf)-off-k) {
 		return nil, nil, ErrCorrupt
 	}
 	off += k

@@ -284,7 +284,7 @@ func Decompress(buf []byte) ([]float64, []int, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		nctrl := int(nctrlU)
+		nctrl := int(nctrlU) //lint:allow wrapreach ReadBits(16) caps the value at 2^16-1, well inside int
 		if nctrl != 0 && (nctrl < 4 || nctrl > wlen) {
 			return nil, nil, ErrCorrupt
 		}

@@ -1,0 +1,445 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+)
+
+// boundconstCheck verifies the Lemma-2 plumbing: an error-bound value
+// that reaches a quantizer sink (internal/quant, internal/sz,
+// internal/zfp bound parameters) must not be the raw mapped bound
+// log2(1+b_r) — it has to pass through the round-off tightening
+// b'_a = log2(1+b_r) − c·max|log2 x|·ε₀ first, or the quantizer's
+// guarantee is off by exactly the floating-point error Lemma 2 accounts
+// for.
+//
+// The analysis is a constant-provenance lattice over the same mask
+// machinery as summary.go: a value is classified RAW when it is the
+// result of a log(1+x) pattern, TIGHT once a subtraction (or a
+// multiplication by a constant below 1, the slack form) is applied, and
+// parameter bits track a bound flowing through helper functions so the
+// check works across calls — a helper that forwards its parameter into a
+// quantizer makes every caller passing a raw bound a finding, with the
+// call chain in the message. A value that is RAW on one path and TIGHT
+// on another joins to both bits and is not reported (the ablation knob
+// DisableRoundoffGuard deliberately creates such joins).
+//
+// Struct fields are untracked here as everywhere in the engine, so a
+// bound stashed in a struct (core.Transform.AbsBound) leaves the lattice;
+// the core transform's own tightening is covered by its unit tests.
+type boundconstCheck struct{}
+
+func (boundconstCheck) Name() string { return "boundconst" }
+func (boundconstCheck) Doc() string {
+	return "flag raw log2(1+b) error bounds reaching quantizer sinks without the Lemma-2 round-off tightening"
+}
+
+// Class bits live above the parameter bits, like ipSeedBit.
+const (
+	bcRawBit   = uint64(1) << 62
+	bcTightBit = uint64(1) << 63
+)
+
+// bcLogRe names the logarithm callees whose log(1+x) result is the raw
+// mapped bound.
+var bcLogRe = regexp.MustCompile(`^([Ll]og2|[Ll]og10|[Ll]og)$`)
+
+// bcSinkPkgs are the packages whose exported bound parameters are sinks.
+var bcSinkPkgs = map[string]bool{"quant": true, "sz": true, "zfp": true}
+
+// bcSinkNameRe makes fixture (and future helper) sinks recognizable by
+// name when they live outside the quantizer packages.
+var bcSinkNameRe = regexp.MustCompile(`^(Quantize|NewQuantizer|CompressAbs|CompressAccuracy)`)
+
+// bcParamRe matches the bound-carrying parameter names at a sink.
+var bcParamRe = regexp.MustCompile(`(?i)bound|tol|eps|acc`)
+
+// bcSummary is the bound-provenance abstract of one function: retMask
+// carries the class bits and untightened parameter bits of the return
+// value, sinkVia maps a parameter index to a witness chain showing the
+// parameter reaching a bound sink untightened.
+type bcSummary struct {
+	retMask uint64
+	sinkVia map[int]*ipSite
+	events  []*ipSite // raw-bound-reaches-sink witnesses, sink last
+}
+
+func bcEqual(a, b *bcSummary) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.retMask != b.retMask || len(a.sinkVia) != len(b.sinkVia) {
+		return false
+	}
+	for i := range a.sinkVia {
+		if b.sinkVia[i] == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// boundconst builds (once) and returns the module's bound-provenance
+// result.
+func (m *Module) boundconst() map[string]*bcSummary {
+	m.bcOnce.Do(func() { m.bc = buildBoundconst(m) })
+	return m.bc
+}
+
+func buildBoundconst(m *Module) map[string]*bcSummary {
+	r := m.interproc() // reuse the function index
+	g := m.Graph()
+
+	callers := map[string][]string{}
+	for from, tos := range g.edges {
+		if r.units[from] == nil {
+			continue
+		}
+		seen := map[string]bool{}
+		for _, to := range tos {
+			if r.units[to] != nil && !seen[to] {
+				seen[to] = true
+				callers[to] = append(callers[to], from)
+			}
+		}
+	}
+	for _, cs := range callers {
+		sort.Strings(cs)
+	}
+
+	sums := map[string]*bcSummary{}
+	queue := bottomUpOrder(g, r.units)
+	inQueue := map[string]bool{}
+	for _, id := range queue {
+		inQueue[id] = true
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		inQueue[id] = false
+		ns := bcAnalyze(r.units[id], sums)
+		changed := !bcEqual(sums[id], ns)
+		sums[id] = ns
+		if changed {
+			for _, c := range callers[id] {
+				if !inQueue[c] {
+					inQueue[c] = true
+					queue = append(queue, c)
+				}
+			}
+		}
+	}
+	return sums
+}
+
+func (boundconstCheck) Run(pkg *Package) []Finding {
+	sums := pkg.Module.boundconst()
+	ids := make([]string, 0, len(sums))
+	for id := range sums {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	byPos := map[token.Pos][]*ipSite{}
+	for _, id := range ids {
+		for _, site := range sums[id].events {
+			var chain []*ipSite
+			for s := site; s != nil; s = s.next {
+				chain = append(chain, s)
+			}
+			sink := chain[len(chain)-1].pos
+			if prev, ok := byPos[sink]; !ok || len(chain) > len(prev) {
+				byPos[sink] = chain
+			}
+		}
+	}
+	var sinks []token.Pos
+	for p := range byPos {
+		sinks = append(sinks, p)
+	}
+	sort.Slice(sinks, func(i, j int) bool { return sinks[i] < sinks[j] })
+
+	var out []Finding
+	for _, sink := range sinks {
+		if !pkg.ownsPos(sink) {
+			continue
+		}
+		h := ipHit{sink: sink, chain: byPos[sink]}
+		f := pkg.Module.newFinding("boundconst", sink,
+			"raw log2(1+b) bound reaches a quantizer sink on the path %s without the Lemma-2 round-off tightening; subtract the max|log2 x|·ε₀ margin (core.Forward's roundoff guard) first",
+			h.chainPath(pkg.Module))
+		f.Chain = h.chainStrings(pkg.Module)
+		out = append(out, f)
+	}
+	return out
+}
+
+// --- per-function analysis ----------------------------------------------
+
+type bcEval struct {
+	u    *funcUnit
+	info *types.Info
+	sums map[string]*bcSummary
+	sum  *bcSummary
+	seen map[token.Pos]bool
+}
+
+func bcAnalyze(u *funcUnit, sums map[string]*bcSummary) *bcSummary {
+	ev := &bcEval{
+		u:    u,
+		info: u.pkg.Info,
+		sums: sums,
+		sum:  &bcSummary{sinkVia: map[int]*ipSite{}},
+		seen: map[token.Pos]bool{},
+	}
+	boundary := maskState{}
+	for i, p := range u.params {
+		if p != nil && paramBit(i) != 0 && isFloat(p.Type()) {
+			boundary[p] = paramBit(i)
+		}
+	}
+	g := u.cfgOf()
+	in := g.maskFlow(boundary, func(b *cfgBlock, s maskState) maskState {
+		for _, n := range b.nodes {
+			ev.step(s, n, false)
+		}
+		return s
+	})
+	for _, b := range g.reversePostorder() {
+		s, ok := in[b]
+		if !ok {
+			continue
+		}
+		s = s.clone()
+		for _, n := range b.nodes {
+			ev.step(s, n, true)
+		}
+	}
+	return ev.sum
+}
+
+func (ev *bcEval) step(s maskState, n ast.Node, report bool) {
+	if report {
+		ev.checkSinks(s, n)
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		maskAssign(ev.info, s, n, ev.maskOf)
+	case *ast.DeclStmt:
+		maskDeclare(ev.info, s, n, ev.maskOf)
+	case *ast.ReturnStmt:
+		if report {
+			ev.collectReturn(s, n)
+		}
+	}
+	// Guard conditions do not sanitize here: comparing a bound leaves it
+	// just as raw as before.
+}
+
+func (ev *bcEval) collectReturn(s maskState, n *ast.ReturnStmt) {
+	if len(n.Results) == 0 {
+		for _, o := range ev.u.results {
+			ev.sum.retMask |= s[o]
+		}
+		return
+	}
+	for _, e := range n.Results {
+		ev.sum.retMask |= ev.maskOf(s, e)
+	}
+}
+
+// maskOf evaluates a float expression's bound provenance: parameter bits
+// for untightened flows, bcRawBit for log(1+x) results, bcTightBit once a
+// subtraction or sub-unit scaling is applied.
+func (ev *bcEval) maskOf(s maskState, e ast.Expr) uint64 {
+	if tv, ok := ev.info.Types[e]; ok && tv.Value != nil {
+		return 0
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return ev.maskOf(s, e.X)
+	case *ast.Ident:
+		if o := objOf(ev.info, e); o != nil {
+			return s[o]
+		}
+	case *ast.UnaryExpr:
+		return ev.maskOf(s, e.X)
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND, token.LOR, token.EQL, token.NEQ,
+			token.LSS, token.LEQ, token.GTR, token.GEQ:
+			return 0
+		case token.SUB:
+			// The Lemma-2 shape: subtracting the round-off margin
+			// tightens whatever was raw (or parameter-fresh).
+			m := ev.maskOf(s, e.X) | ev.maskOf(s, e.Y)
+			if m&^bcTightBit != 0 {
+				return bcTightBit
+			}
+			return m
+		case token.MUL:
+			// Multiplying by a constant below 1 is the slack form of the
+			// tightening (e.g. the 0.999 derating in the ISABELA path).
+			if (bcSubUnitConst(ev.info, e.X) && ev.maskOf(s, e.Y) != 0) ||
+				(bcSubUnitConst(ev.info, e.Y) && ev.maskOf(s, e.X) != 0) {
+				return bcTightBit
+			}
+			return ev.maskOf(s, e.X) | ev.maskOf(s, e.Y)
+		default:
+			// ADD, QUO, ...: log2(1+b)/log2(a) rebases but stays raw.
+			return ev.maskOf(s, e.X) | ev.maskOf(s, e.Y)
+		}
+	case *ast.IndexExpr:
+		return ev.maskOf(s, e.X)
+	case *ast.CallExpr:
+		return ev.callMask(s, e)
+	}
+	return 0
+}
+
+func (ev *bcEval) callMask(s maskState, call *ast.CallExpr) uint64 {
+	if isConversion(ev.info, call) && len(call.Args) == 1 {
+		return ev.maskOf(s, call.Args[0])
+	}
+	if builtinName(ev.info, call) != "" {
+		return 0
+	}
+	if bcLogRe.MatchString(calleeBaseName(call)) && len(call.Args) == 1 && bcIsOnePlus(ev.info, call.Args[0]) {
+		return bcRawBit
+	}
+	fn := staticCallee(ev.info, call)
+	if fn == nil {
+		return 0
+	}
+	cs := ev.sums[funcID(fn)]
+	if cs == nil {
+		return 0
+	}
+	m := cs.retMask & (bcRawBit | bcTightBit)
+	for j, am := range callArgMasks(ev.info, s, call, fn, ev.maskOf) {
+		if am != 0 && cs.retMask&paramBit(j) != 0 {
+			m |= am
+		}
+	}
+	return m
+}
+
+// checkSinks records raw bounds entering sink parameters, and parameter
+// flows into sinks (directly or through a summarized callee).
+func (ev *bcEval) checkSinks(s maskState, n ast.Node) {
+	inspectEvaluated(n, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok || isConversion(ev.info, call) || builtinName(ev.info, call) != "" {
+			return true
+		}
+		fn := staticCallee(ev.info, call)
+		if fn == nil {
+			return true
+		}
+		sig, _ := fn.Type().(*types.Signature)
+		if sig == nil {
+			return true
+		}
+		nRecv := 0
+		if sig.Recv() != nil {
+			nRecv = 1
+		}
+		cs := ev.sums[funcID(fn)]
+		direct := bcIsSinkFunc(fn)
+		for i, a := range call.Args {
+			j := nRecv + i
+			if sig.Variadic() && j >= nRecv+sig.Params().Len()-1 {
+				j = nRecv + sig.Params().Len() - 1
+			}
+			am := ev.maskOf(s, a)
+			if am == 0 {
+				continue
+			}
+			var site *ipSite
+			if direct && bcIsBoundParam(sig, j-nRecv) {
+				site = &ipSite{fn: ev.u.id, pos: a.Pos()}
+			} else if cs != nil && cs.sinkVia[j] != nil {
+				site = &ipSite{fn: ev.u.id, pos: call.Pos(), next: cs.sinkVia[j]}
+			}
+			if site == nil {
+				continue
+			}
+			if am&bcRawBit != 0 && am&bcTightBit == 0 {
+				ev.event(site)
+			}
+			for pi := range ev.u.params {
+				if am&paramBit(pi) != 0 && ev.sum.sinkVia[pi] == nil {
+					ev.sum.sinkVia[pi] = site
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (ev *bcEval) event(site *ipSite) {
+	sink := site.sink().pos
+	if ev.seen[sink] {
+		return
+	}
+	ev.seen[sink] = true
+	ev.sum.events = append(ev.sum.events, site)
+}
+
+// bcIsSinkFunc reports whether fn's bound parameters are quantizer sinks.
+func bcIsSinkFunc(fn *types.Func) bool {
+	if fn.Pkg() != nil && bcSinkPkgs[fn.Pkg().Name()] {
+		return true
+	}
+	return bcSinkNameRe.MatchString(fn.Name())
+}
+
+// bcIsBoundParam reports whether signature parameter i is a float64
+// error-bound parameter by name.
+func bcIsBoundParam(sig *types.Signature, i int) bool {
+	if i < 0 || i >= sig.Params().Len() {
+		return false
+	}
+	p := sig.Params().At(i)
+	b, ok := p.Type().Underlying().(*types.Basic)
+	if !ok || b.Kind() != types.Float64 {
+		return false
+	}
+	return bcParamRe.MatchString(p.Name())
+}
+
+// bcIsOnePlus matches the 1+x / x+1 argument shape of the mapped bound.
+func bcIsOnePlus(info *types.Info, e ast.Expr) bool {
+	be, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	if !ok || be.Op != token.ADD {
+		return false
+	}
+	one := func(x ast.Expr) bool {
+		tv, ok := info.Types[x]
+		if !ok || tv.Value == nil {
+			return false
+		}
+		f := constant.ToFloat(tv.Value)
+		return f.Kind() == constant.Float &&
+			constant.Compare(f, token.EQL, constant.MakeFloat64(1))
+	}
+	return one(be.X) || one(be.Y)
+}
+
+// bcSubUnitConst reports whether e is a constant with |value| < 1.
+func bcSubUnitConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	f := constant.ToFloat(tv.Value)
+	if f.Kind() != constant.Float {
+		return false
+	}
+	v, _ := constant.Float64Val(f)
+	return v > -1 && v < 1
+}

@@ -344,17 +344,22 @@ func (ta *taintState) checkLoopBound(s objSet, cond ast.Expr, out *[]Finding) {
 		}
 	}
 	flatten(cond)
-	anyTainted, anyClean := false, false
+	var firstTainted ast.Expr
+	anyClean := false
 	for _, c := range cmps {
 		xt, yt := ta.tainted(s, c.X), ta.tainted(s, c.Y)
 		if xt || yt {
-			anyTainted = true
+			if firstTainted == nil {
+				// Anchor the diagnostic at the offending comparison, not
+				// the whole (possibly multi-line) condition.
+				firstTainted = c
+			}
 		} else {
 			anyClean = true
 		}
 	}
-	if anyTainted && !anyClean {
-		*out = append(*out, ta.pkg.Module.newFinding("decodebound", cond.Pos(),
+	if firstTainted != nil && !anyClean {
+		*out = append(*out, ta.pkg.Module.newFinding("decodebound", firstTainted.Pos(),
 			"loop bound comes from unvalidated input: corrupt input controls the iteration count; guard it against the payload size first"))
 	}
 }

@@ -1,0 +1,39 @@
+package lint
+
+// limitreachCheck is the interprocedural allocation-bound check: every
+// make/append-growth whose size is tainted by decoder input along any
+// call path from an exported decode entry (Decompress*, ScanSalvage,
+// archive/stream readers) must pass a DecodeLimits check or an ordinary
+// range guard before the allocation. The hardened-decode work placed
+// limits.checkElements/checkChunkBytes calls by hand; this check is the
+// machine proof that no call path — including new ones added later —
+// reaches an allocation without one.
+//
+// The per-function decodebound check already owns purely local events
+// (a seed flowing into a make inside one decode function), so limitreach
+// reports only facts that need the summary layer: taint crossing at
+// least one call boundary, or an entry's own untrusted parameter sizing
+// an allocation. Findings carry the full witness chain from the entry to
+// the sink.
+type limitreachCheck struct{}
+
+func (limitreachCheck) Name() string { return "limitreach" }
+func (limitreachCheck) Doc() string {
+	return "flag allocations sized by decoder input on any interprocedural path from a decode entry without a DecodeLimits/range guard"
+}
+
+func (limitreachCheck) Run(pkg *Package) []Finding {
+	r := pkg.Module.interproc()
+	var out []Finding
+	for _, h := range r.hits(ipAlloc, false) {
+		if !pkg.ownsPos(h.sink) {
+			continue
+		}
+		f := pkg.Module.newFinding("limitreach", h.sink,
+			"allocation size derives from decoder input with no DecodeLimits or range guard on the path %s; check it against DecodeLimits or the remaining payload before allocating",
+			h.chainPath(pkg.Module))
+		f.Chain = h.chainStrings(pkg.Module)
+		out = append(out, f)
+	}
+	return out
+}

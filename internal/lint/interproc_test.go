@@ -1,0 +1,555 @@
+package lint
+
+import (
+	"testing"
+)
+
+// wantChain asserts the single finding carries a witness chain of n hops.
+func wantChain(t *testing.T, findings []Finding, n int) {
+	t.Helper()
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
+	}
+	if len(findings[0].Chain) != n {
+		t.Errorf("chain has %d hops, want %d: %v", len(findings[0].Chain), n, findings[0].Chain)
+	}
+}
+
+// --- limitreach ----------------------------------------------------------
+
+// The acceptance fixture: an unguarded decode-side make([]T, n) two calls
+// below the exported entry, reported with the full call chain.
+func TestLimitreachUnguardedMakeTwoCallsDown(t *testing.T) {
+	findings, _ := runCheck(t, "limitreach", map[string]string{
+		"a.go": `package fixture
+
+func DecompressStream(buf []byte) []float64 {
+	n := int(buf[0])
+	return readBody(buf, n)
+}
+
+func readBody(buf []byte, n int) []float64 {
+	return grow(n)
+}
+
+func grow(n int) []float64 {
+	return make([]float64, n)
+}
+`,
+	})
+	wantOne(t, findings, 13, "fixture.DecompressStream → fixture.readBody → fixture.grow")
+	wantChain(t, findings, 3)
+}
+
+func TestLimitreachAppendGrowthOneCallDown(t *testing.T) {
+	findings, _ := runCheck(t, "limitreach", map[string]string{
+		"a.go": `package fixture
+
+func DecodeFrames(buf []byte) []byte {
+	return gather(nil, buf)
+}
+
+func gather(dst, src []byte) []byte {
+	return append(dst, src...)
+}
+`,
+	})
+	wantOne(t, findings, 8, "fixture.DecodeFrames → fixture.gather")
+}
+
+// A named guard call (the DecodeLimits convention) sanitizes the size for
+// the rest of the entry, including the callee allocation.
+func TestLimitreachGuardCallClean(t *testing.T) {
+	findings, suppressed := runCheck(t, "limitreach", map[string]string{
+		"a.go": `package fixture
+
+func DecompressChecked(buf []byte) []float64 {
+	n := int(buf[0])
+	err := checkElements(n)
+	if err != nil {
+		return nil
+	}
+	return grow(n)
+}
+
+func grow(n int) []float64 {
+	return make([]float64, n)
+}
+
+type limitErr string
+
+func (e limitErr) Error() string { return string(e) }
+
+func checkElements(n int) error {
+	if n > 1024 {
+		return limitErr("too large")
+	}
+	return nil
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 0)
+}
+
+// An ordinary range guard against the remaining payload also sanitizes.
+func TestLimitreachRangeGuardClean(t *testing.T) {
+	findings, suppressed := runCheck(t, "limitreach", map[string]string{
+		"a.go": `package fixture
+
+func DecompressRanged(buf []byte) []float64 {
+	n := int(buf[0])
+	if n > len(buf)-1 {
+		return nil
+	}
+	return grow(n)
+}
+
+func grow(n int) []float64 {
+	return make([]float64, n)
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 0)
+}
+
+// Taint in a function no decode entry reaches is not limitreach's business.
+func TestLimitreachUnreachableFromEntriesClean(t *testing.T) {
+	findings, suppressed := runCheck(t, "limitreach", map[string]string{
+		"a.go": `package fixture
+
+func helper(buf []byte) []float64 {
+	return grow(int(buf[0]))
+}
+
+func grow(n int) []float64 {
+	return make([]float64, n)
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 0)
+}
+
+// --- wrapreach -----------------------------------------------------------
+
+// A callee that narrows a width the caller never validated: the conversion
+// is diagnosed at the callee with the cross-function chain.
+func TestWrapreachNarrowingInTrustingCallee(t *testing.T) {
+	findings, _ := runCheck(t, "wrapreach", map[string]string{
+		"a.go": `package fixture
+
+func DecompressStream(buf []byte) int {
+	v := be64(buf)
+	return toInt(v)
+}
+
+func be64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * uint(i))
+	}
+	return v
+}
+
+func toInt(v uint64) int {
+	return int(v)
+}
+`,
+	})
+	wantOne(t, findings, 17, "fixture.DecompressStream → fixture.toInt")
+	wantChain(t, findings, 2)
+}
+
+func TestWrapreachDirectNarrowingInEntry(t *testing.T) {
+	findings, _ := runCheck(t, "wrapreach", map[string]string{
+		"a.go": `package fixture
+
+func ParseCount(buf []byte) int {
+	v := uint64(buf[0]) | uint64(buf[1])<<8
+	return int(v)
+}
+`,
+	})
+	wantOne(t, findings, 5, "narrowing conversion of unvalidated decoder input")
+}
+
+func TestWrapreachRangeGuardClean(t *testing.T) {
+	findings, suppressed := runCheck(t, "wrapreach", map[string]string{
+		"a.go": `package fixture
+
+func DecodeLen(buf []byte) int {
+	v := uint64(buf[0])<<32 | uint64(buf[1])
+	if v > 1<<20 {
+		return 0
+	}
+	return int(v)
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 0)
+}
+
+// Masking to the target width bounds the value: no wrap possible.
+func TestWrapreachMaskedConversionClean(t *testing.T) {
+	findings, suppressed := runCheck(t, "wrapreach", map[string]string{
+		"a.go": `package fixture
+
+func DecodeTag(buf []byte) int {
+	v := uint64(buf[0]) << 8
+	return int(v & 0xffff)
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 0)
+}
+
+// A caller-side guard protects the callee's narrowing: the entry's
+// argument is sanitized, and the callee's own event carries no entry taint.
+func TestWrapreachGuardedCallerClean(t *testing.T) {
+	findings, suppressed := runCheck(t, "wrapreach", map[string]string{
+		"a.go": `package fixture
+
+func DecompressSafe(buf []byte) int {
+	v := wide(buf)
+	if v > 4096 {
+		return 0
+	}
+	return narrow(v)
+}
+
+func wide(b []byte) uint64 {
+	return uint64(b[0])
+}
+
+func narrow(v uint64) int {
+	return int(v)
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 0)
+}
+
+// --- boundconst ----------------------------------------------------------
+
+func TestBoundconstRawLogBoundAtSink(t *testing.T) {
+	findings, _ := runCheck(t, "boundconst", map[string]string{
+		"a.go": `package fixture
+
+func Quantize(vals []float64, bound float64) {
+	_ = vals
+	_ = bound
+}
+
+func log2(x float64) float64 {
+	return x
+}
+
+func Setup(b float64) {
+	m := log2(1 + b)
+	Quantize(nil, m)
+}
+`,
+	})
+	wantOne(t, findings, 14, "raw log2(1+b) bound reaches a quantizer sink")
+}
+
+// A helper forwarding its parameter into the quantizer makes every caller
+// passing a raw bound a finding, with the call chain.
+func TestBoundconstRawBoundThroughHelper(t *testing.T) {
+	findings, _ := runCheck(t, "boundconst", map[string]string{
+		"a.go": `package fixture
+
+func Quantize(vals []float64, bound float64) {
+	_ = vals
+	_ = bound
+}
+
+func log2(x float64) float64 {
+	return x
+}
+
+func apply(tol float64) {
+	Quantize(nil, tol)
+}
+
+func SetupVia(b float64) {
+	apply(log2(1 + b))
+}
+`,
+	})
+	wantOne(t, findings, 13, "fixture.SetupVia → fixture.apply")
+	wantChain(t, findings, 2)
+}
+
+// Subtracting the round-off margin (or scaling by a sub-unit constant)
+// tightens the bound: both Lemma-2 shapes are clean.
+func TestBoundconstTightenedClean(t *testing.T) {
+	findings, suppressed := runCheck(t, "boundconst", map[string]string{
+		"a.go": `package fixture
+
+func Quantize(vals []float64, bound float64) {
+	_ = vals
+	_ = bound
+}
+
+func log2(x float64) float64 {
+	return x
+}
+
+func SetupTight(b float64) {
+	m := log2(1+b) - 0.001
+	Quantize(nil, m)
+}
+
+func SetupScaled(b float64) {
+	Quantize(nil, log2(1+b)*0.5)
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 0)
+}
+
+// A value raw on one path and tightened on another joins to both classes
+// and is not reported — the DisableRoundoffGuard ablation pattern.
+func TestBoundconstAblationJoinClean(t *testing.T) {
+	findings, suppressed := runCheck(t, "boundconst", map[string]string{
+		"a.go": `package fixture
+
+func Quantize(vals []float64, bound float64) {
+	_ = vals
+	_ = bound
+}
+
+func log2(x float64) float64 {
+	return x
+}
+
+func SetupAblate(b float64, tighten bool) {
+	m := log2(1 + b)
+	if tighten {
+		m = m - 0.001
+	}
+	Quantize(nil, m)
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 0)
+}
+
+// --- purity --------------------------------------------------------------
+
+func TestPurityGoroutineCalleeWritesGlobal(t *testing.T) {
+	findings, _ := runCheck(t, "purity", map[string]string{
+		"a.go": `package fixture
+
+var counter int
+
+func work(i int) {
+	counter += i
+}
+
+func Run() {
+	done := make(chan struct{})
+	go func() {
+		work(1)
+		close(done)
+	}()
+	<-done
+}
+`,
+	})
+	wantOne(t, findings, 6, "writes package-level counter")
+}
+
+// A function handed to a pool runner roots the worker set, and the write
+// two calls down is attributed to that root.
+func TestPurityPoolArgTransitiveWrite(t *testing.T) {
+	findings, _ := runCheck(t, "purity", map[string]string{
+		"a.go": `package fixture
+
+var total float64
+
+func runPool(fn func(int)) {
+	fn(0)
+}
+
+func tally(i int) {
+	bump(i)
+}
+
+func bump(i int) {
+	total += float64(i)
+}
+
+func Launch() {
+	runPool(tally)
+}
+`,
+	})
+	wantOne(t, findings, 14, "via fixture.tally")
+}
+
+// Writes into caller-owned storage (parameters, locals) are fine.
+func TestPurityParamWriteClean(t *testing.T) {
+	findings, suppressed := runCheck(t, "purity", map[string]string{
+		"a.go": `package fixture
+
+func fill(dst []float64, i int) {
+	dst[i] = float64(i)
+}
+
+func Spawn() []float64 {
+	dst := make([]float64, 4)
+	done := make(chan struct{})
+	go func() {
+		fill(dst, 0)
+		close(done)
+	}()
+	<-done
+	return dst
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 0)
+}
+
+// Global writes outside any worker-reachable function are not purity's
+// concern.
+func TestPurityNonWorkerGlobalWriteClean(t *testing.T) {
+	findings, suppressed := runCheck(t, "purity", map[string]string{
+		"a.go": `package fixture
+
+var mode int
+
+func SetMode(m int) {
+	mode = m
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 0)
+}
+
+// --- summary-level facts -------------------------------------------------
+
+func TestSummaryReturnLoopAndSeedFacts(t *testing.T) {
+	m, err := LoadSources(map[string]string{"a.go": `package fixture
+
+func passthrough(a, b int) int {
+	return b
+}
+
+func loopy(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+
+func readHeader(buf []byte) uint64 {
+	return uint64(buf[0])
+}
+`})
+	if err != nil {
+		t.Fatalf("LoadSources: %v", err)
+	}
+	r := m.interproc()
+
+	pt := r.sums["fixture.passthrough"]
+	if pt == nil {
+		t.Fatal("no summary for passthrough")
+	}
+	if pt.retMask != paramBit(1) {
+		t.Errorf("passthrough retMask = %b, want param bit 1 only", pt.retMask)
+	}
+	if pt.retSeed {
+		t.Error("passthrough retSeed = true, want false")
+	}
+
+	lp := r.sums["fixture.loopy"]
+	if lp == nil {
+		t.Fatal("no summary for loopy")
+	}
+	if lp.loopVia[0] == nil {
+		t.Error("loopy: parameter 0 does not reach a loop bound, want loopVia[0] set")
+	}
+	if lp.retMask != 0 {
+		t.Errorf("loopy retMask = %b, want 0", lp.retMask)
+	}
+
+	rh := r.sums["fixture.readHeader"]
+	if rh == nil {
+		t.Fatal("no summary for readHeader")
+	}
+	if !rh.retSeed {
+		t.Error("readHeader retSeed = false, want true (decode-context byte load)")
+	}
+	if rh.retMask != paramBit(0) {
+		t.Errorf("readHeader retMask = %b, want param bit 0", rh.retMask)
+	}
+}
+
+// The entry set must cover the stream decoders — including the float32
+// variant — with both byte slices and Read-method interfaces untrusted;
+// unexported and non-decode names stay out.
+func TestEntryDetectionCoversStreamDecoders(t *testing.T) {
+	m, err := LoadSources(map[string]string{"a.go": `package fixture
+
+type byteSource interface {
+	Read(p []byte) (int, error)
+}
+
+func DecompressStream32(r byteSource, buf []byte) int {
+	_ = r
+	return len(buf)
+}
+
+func ScanSalvage(buf []byte) int { return len(buf) }
+
+func Compress(buf []byte) int { return len(buf) }
+
+func helper(buf []byte) int { return len(buf) }
+`})
+	if err != nil {
+		t.Fatalf("LoadSources: %v", err)
+	}
+	r := m.interproc()
+	if mask := r.entries["fixture.DecompressStream32"]; mask != paramBit(0)|paramBit(1) {
+		t.Errorf("DecompressStream32 entry mask = %b, want reader and buffer params untrusted", mask)
+	}
+	if _, ok := r.entries["fixture.ScanSalvage"]; !ok {
+		t.Error("ScanSalvage not registered as a decode entry")
+	}
+	if _, ok := r.entries["fixture.Compress"]; ok {
+		t.Error("Compress registered as a decode entry, want encode side excluded")
+	}
+	if _, ok := r.entries["fixture.helper"]; ok {
+		t.Error("unexported helper registered as a decode entry")
+	}
+}
+
+// Recursive and mutually-recursive summaries reach a fixed point, and the
+// taint still crosses the cycle.
+func TestSummaryFixpointOnRecursion(t *testing.T) {
+	findings, _ := runCheck(t, "limitreach", map[string]string{
+		"a.go": `package fixture
+
+func DecodeNest(buf []byte) []float64 {
+	return descend(int(buf[0]), 3)
+}
+
+func descend(n, depth int) []float64 {
+	if depth == 0 {
+		return alloc(n)
+	}
+	return descend(n, depth-1)
+}
+
+func alloc(n int) []float64 {
+	return make([]float64, n)
+}
+`,
+	})
+	// depth is guarded (the == comparison sanitizes it) but n is not: the
+	// cycle must still deliver n's taint to the allocation.
+	wantOne(t, findings, 15, "fixture.DecodeNest → fixture.descend → fixture.alloc")
+}

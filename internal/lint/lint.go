@@ -37,6 +37,20 @@
 //	encdecpair  — every exported Encode/Compress has a mirrored
 //	              Decode/Decompress with matching option structs.
 //
+// Four checks run on the interprocedural summary layer (summary.go,
+// interproc.go): per-function taint/provenance summaries propagated
+// bottom-up over the call graph with fixed-point iteration:
+//
+//	limitreach  — allocations sized by decoder input on any call path
+//	              from an exported decode entry must pass a DecodeLimits
+//	              or range guard first.
+//	boundconst  — error bounds reaching the quantizer packages must be
+//	              the Lemma-2 tightened value, not raw log2(1+b).
+//	purity      — functions invoked from worker pools must not write
+//	              package-level state (chunk-order determinism).
+//	wrapreach   — narrowing conversions of unvalidated decoder input,
+//	              including a callee narrowing what its caller trusts.
+//
 // Findings can be suppressed with an inline comment on the same line or
 // the line above:
 //
@@ -62,7 +76,8 @@ import (
 	"sync"
 )
 
-// Finding is one reported violation.
+// Finding is one reported violation. Interprocedural checks attach the
+// witness call chain (entry first, sink last).
 type Finding struct {
 	Check   string         `json:"check"`
 	Pos     token.Position `json:"-"`
@@ -70,6 +85,7 @@ type Finding struct {
 	Line    int            `json:"line"`
 	Col     int            `json:"col"`
 	Message string         `json:"message"`
+	Chain   []string       `json:"chain,omitempty"`
 }
 
 func (f Finding) String() string {
@@ -102,6 +118,10 @@ func AllChecks() []Check {
 		ctxflowCheck{},
 		allochotCheck{},
 		encdecpairCheck{},
+		limitreachCheck{},
+		boundconstCheck{},
+		purityCheck{},
+		wrapreachCheck{},
 	}
 }
 
@@ -140,6 +160,15 @@ type Module struct {
 
 	graphOnce sync.Once
 	graph     *callGraph
+
+	ipOnce sync.Once
+	ip     *ipResult
+
+	bcOnce sync.Once
+	bc     map[string]*bcSummary
+
+	purityOnce sync.Once
+	pur        *purityData
 }
 
 // FindModuleRoot ascends from dir to the nearest directory containing
@@ -259,6 +288,9 @@ func LoadSources(files map[string]string) (*Module, error) {
 
 // Run executes the checks over every package, returning unsuppressed
 // findings sorted by position, plus the count of suppressed findings.
+// Identical findings (same check, position and message — e.g. one a
+// module-wide pass attributes to a package that a per-function pass also
+// reported) are collapsed to one.
 func (m *Module) Run(checks []Check) (findings []Finding, suppressed int) {
 	for _, pkg := range m.Packages {
 		for _, c := range checks {
@@ -284,7 +316,18 @@ func (m *Module) Run(checks []Check) (findings []Finding, suppressed int) {
 		}
 		return a.Check < b.Check
 	})
-	return findings, suppressed
+	dedup := findings[:0]
+	for i, f := range findings {
+		if i > 0 {
+			p := findings[i-1]
+			if p.Check == f.Check && p.File == f.File && p.Line == f.Line &&
+				p.Col == f.Col && p.Message == f.Message {
+				continue
+			}
+		}
+		dedup = append(dedup, f)
+	}
+	return dedup, suppressed
 }
 
 // allowRe matches the suppression directive.

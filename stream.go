@@ -142,6 +142,28 @@ func CompressStream(r io.Reader, w io.Writer, dims []int, relBound float64, algo
 // tears down the reader and worker pool promptly (after at most the
 // chunks already in flight) and returns ctx's error.
 func CompressStreamCtx(ctx context.Context, r io.Reader, w io.Writer, dims []int, relBound float64, algo Algorithm, opts *StreamOptions) (*StreamStats, error) {
+	return compressStreamCtx(ctx, r, w, dims, relBound, algo, opts, 8)
+}
+
+// CompressStream32 is CompressStream for a raw little-endian float32
+// field: the reader widens each element to float64 (exact) and the rest
+// of the pipeline — worker pool, chunk payloads, container framing — is
+// the float64 path, so the container is decodable by DecompressStream
+// (float64 out) or DecompressStream32 (float32 out). Mirrors Compress32's
+// widening semantics: the point-wise relative bound applies to the
+// widened values, which equal the float32 inputs exactly.
+func CompressStream32(r io.Reader, w io.Writer, dims []int, relBound float64, algo Algorithm, opts *StreamOptions) (*StreamStats, error) {
+	return CompressStream32Ctx(context.Background(), r, w, dims, relBound, algo, opts)
+}
+
+// CompressStream32Ctx is CompressStream32 under a context.
+func CompressStream32Ctx(ctx context.Context, r io.Reader, w io.Writer, dims []int, relBound float64, algo Algorithm, opts *StreamOptions) (*StreamStats, error) {
+	return compressStreamCtx(ctx, r, w, dims, relBound, algo, opts, 4)
+}
+
+// compressStreamCtx is the shared pipeline; elemSize selects the raw
+// input element width (8 = float64, 4 = float32 widened on read).
+func compressStreamCtx(ctx context.Context, r io.Reader, w io.Writer, dims []int, relBound float64, algo Algorithm, opts *StreamOptions, elemSize int) (*StreamStats, error) {
 	ctx = orDefault(ctx)
 	if err := grid.Validate(dims, -1); err != nil {
 		return nil, err
@@ -210,7 +232,7 @@ func CompressStreamCtx(ctx context.Context, r io.Reader, w io.Writer, dims []int
 	go func() {
 		defer close(order)
 		defer close(jobs)
-		raw := make([]byte, chunkElems*8)
+		raw := make([]byte, chunkElems*elemSize)
 		for seq, row := 0, 0; row < rows; seq++ {
 			select {
 			case <-stop:
@@ -241,14 +263,20 @@ func CompressStreamCtx(ctx context.Context, r io.Reader, w io.Writer, dims []int
 				}
 			}
 			t0 := time.Now()
-			want := n * rowStride * 8
+			want := n * rowStride * elemSize
 			if _, err := io.ReadFull(r, raw[:want]); err != nil {
 				readErr = fmt.Errorf("repro: short stream input at row %d/%d: %w", row, rows, err)
 				return
 			}
 			bytesIn += int64(want)
-			for i := 0; i < n*rowStride; i++ {
-				data[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+			if elemSize == 8 {
+				for i := 0; i < n*rowStride; i++ {
+					data[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+				}
+			} else {
+				for i := 0; i < n*rowStride; i++ {
+					data[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:])))
+				}
 			}
 			readWall += time.Since(t0)
 			//lint:allow allochot per-chunk descriptor; live descriptors are bounded by the in-flight cap
@@ -364,7 +392,29 @@ func DecompressStream(r io.Reader, w io.Writer) (*StreamStats, error) {
 // worker pool, and returns with no goroutines left behind. limits (nil
 // = unlimited) is enforced against the container header and every
 // chunk frame before the corresponding allocation.
-func DecompressStreamCtx(ctx context.Context, r io.Reader, w io.Writer, limits *DecodeLimits) (_ *StreamStats, err error) {
+func DecompressStreamCtx(ctx context.Context, r io.Reader, w io.Writer, limits *DecodeLimits) (*StreamStats, error) {
+	return decompressStreamCtx(ctx, r, w, limits, 8)
+}
+
+// DecompressStream32 is DecompressStream with float32 output: chunks are
+// decoded on the float64 worker path and each element is narrowed to a
+// raw little-endian float32 at the writer. The element width is the
+// caller's choice, exactly as with Decompress vs Decompress32 — narrowing
+// adds at most a 2⁻²⁴ relative rounding step on top of the stream's
+// point-wise bound.
+func DecompressStream32(r io.Reader, w io.Writer) (*StreamStats, error) {
+	return DecompressStream32Ctx(context.Background(), r, w, nil)
+}
+
+// DecompressStream32Ctx is DecompressStream32 under a context and decode
+// limits.
+func DecompressStream32Ctx(ctx context.Context, r io.Reader, w io.Writer, limits *DecodeLimits) (*StreamStats, error) {
+	return decompressStreamCtx(ctx, r, w, limits, 4)
+}
+
+// decompressStreamCtx is the shared decode pipeline; elemSize selects the
+// raw output element width (8 = float64, 4 = narrow to float32).
+func decompressStreamCtx(ctx context.Context, r io.Reader, w io.Writer, limits *DecodeLimits, elemSize int) (_ *StreamStats, err error) {
 	defer recoverDecode(&err)
 	ctx = orDefault(ctx)
 	sr, err := streamfmt.NewReaderLimits(r, limits.streamLimits())
@@ -511,14 +561,20 @@ func DecompressStreamCtx(ctx context.Context, r io.Reader, w io.Writer, limits *
 			return
 		}
 		t0 := time.Now()
-		need := len(jb.dec) * 8
+		need := len(jb.dec) * elemSize
 		if cap(out) < need {
 			//lint:allow allochot grows once to the largest chunk, then reused across all chunks
 			out = make([]byte, need)
 		}
 		out = out[:need]
-		for i, v := range jb.dec {
-			binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+		if elemSize == 8 {
+			for i, v := range jb.dec {
+				binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+			}
+		} else {
+			for i, v := range jb.dec {
+				binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(float32(v)))
+			}
 		}
 		_, err := w.Write(out)
 		stats.WriteWall += time.Since(t0)
