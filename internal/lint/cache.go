@@ -1,0 +1,556 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Incremental summary cache: the per-function summaries of the two
+// fixed-point layers (summary.go, check_boundconst.go) serialized next
+// to a content-hash manifest of every tracked source file, so a
+// module-wide pwrvet run can skip re-analysis of everything whose
+// sources did not change.
+//
+// Invalidation is per function, driven by the manifest diff: a function
+// is stale when its file changed, when it can reach a stale function
+// through the call graph (its summary folded the callee's), or when it
+// reads a struct-field fact some stale function may have written (field
+// facts flow writer→reader without a call edge, so caller-reachability
+// alone would miss them; growth of a fact during the warm fixpoint is
+// handled by the drivers' reader re-enqueueing, shrinkage by this
+// invalidation). Everything else is primed into Module.prime and reused
+// verbatim by the drivers.
+//
+// Positions are serialized as (slash-relative file, byte offset) and
+// rebound against the fresh FileSet on load; any site that no longer
+// resolves — file gone, offset out of range — silently drops that
+// function from the prime set, which costs a re-analysis, never
+// correctness. The internal/lint sources are themselves part of the
+// manifest, so changing the analyzer invalidates its own cache.
+
+// CacheSchema versions the cache file format; a mismatch discards the
+// cache wholesale.
+const CacheSchema = "pwrvet-cache-v1"
+
+// CacheStats counts cache reuse for -stats reporting.
+type CacheStats struct {
+	FilesTotal  int `json:"files_total"`
+	FilesReused int `json:"files_reused"`
+	FuncsTotal  int `json:"funcs_total"`
+	FuncsReused int `json:"funcs_reused"`
+}
+
+// primedState holds deserialized summaries the fixed-point drivers seed
+// themselves with instead of analyzing from scratch.
+type primedState struct {
+	ip map[string]*ipSummary
+	bc map[string]*bcSummary
+}
+
+// CacheFile is the on-disk cache: the manifest, the previous run's
+// outcome (for full-hit replay), and the per-function summaries.
+type CacheFile struct {
+	Schema string `json:"schema"`
+	// Checks names the check set the cached findings were produced with;
+	// replay is only valid for the same set.
+	Checks   []string `json:"checks"`
+	Packages int      `json:"packages"`
+	// Files maps slash-relative path -> sha256 hex of every tracked file.
+	Files map[string]string `json:"files"`
+	// Findings/Suppressed are the previous run's module-wide results,
+	// with Finding.File relative to the module root.
+	Findings   []Finding              `json:"findings"`
+	Suppressed int                    `json:"suppressed"`
+	Funcs      map[string]*cachedFunc `json:"funcs"`
+}
+
+// cachedFunc is one function's serialized summaries.
+type cachedFunc struct {
+	// File is the slash-relative path of the declaring file (the
+	// invalidation key).
+	File string    `json:"file"`
+	IP   *cachedIP `json:"ip,omitempty"`
+	BC   *cachedBC `json:"bc,omitempty"`
+}
+
+// jsonMask round-trips a uint64 mask as a decimal string: the class bits
+// (1<<62, 1<<63) exceed float64's integer precision, so a plain JSON
+// number would corrupt them.
+type jsonMask uint64
+
+func (m jsonMask) MarshalJSON() ([]byte, error) {
+	return json.Marshal(strconv.FormatUint(uint64(m), 10))
+}
+
+func (m *jsonMask) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return err
+	}
+	*m = jsonMask(v)
+	return nil
+}
+
+// cachedSite is one witness-chain hop as (function, file, byte offset).
+type cachedSite struct {
+	Fn   string `json:"fn"`
+	File string `json:"file"`
+	Off  int    `json:"off"`
+}
+
+// cachedEvent is one serialized ipEvent; Chain runs entry-hop first,
+// sink last.
+type cachedEvent struct {
+	Kind    int          `json:"kind"`
+	Mask    jsonMask     `json:"mask"`
+	Closure bool         `json:"closure,omitempty"`
+	Chain   []cachedSite `json:"chain"`
+}
+
+type cachedIP struct {
+	RetMask     jsonMask            `json:"ret_mask"`
+	RetSeed     bool                `json:"ret_seed,omitempty"`
+	Events      []cachedEvent       `json:"events,omitempty"`
+	FieldWrites map[string]jsonMask `json:"field_writes,omitempty"`
+	FieldReads  []string            `json:"field_reads,omitempty"`
+}
+
+type cachedBC struct {
+	RetMask jsonMask `json:"ret_mask"`
+	// SinkVia keys are decimal parameter indices (JSON objects cannot
+	// have int keys).
+	SinkVia     map[string][]cachedSite `json:"sink_via,omitempty"`
+	Events      [][]cachedSite          `json:"events,omitempty"`
+	FieldWrites map[string]jsonMask     `json:"field_writes,omitempty"`
+	FieldSites  map[string][]cachedSite `json:"field_sites,omitempty"`
+	FieldReads  []string                `json:"field_reads,omitempty"`
+}
+
+// HashTree hashes every file LoadModule would read under root: go.mod
+// plus all .go files, honoring the same directory and file-name skip
+// rules (dot/underscore prefixes, testdata, vendor).
+func HashTree(root string) (map[string]string, error) {
+	files := map[string]string{}
+	hash := func(path, rel string) error {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		h := sha256.Sum256(b)
+		files[rel] = hex.EncodeToString(h[:])
+		return nil
+	}
+	if err := hash(filepath.Join(root, "go.mod"), "go.mod"); err != nil {
+		return nil, err
+	}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		return hash(path, filepath.ToSlash(rel))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return files, nil
+}
+
+// DiffFiles returns the sorted symmetric difference of two manifests:
+// files added, removed, or whose hash changed.
+func DiffFiles(cached, current map[string]string) []string {
+	var out []string
+	for f, h := range current {
+		if cached[f] != h {
+			out = append(out, f)
+		}
+	}
+	for f := range cached {
+		if _, ok := current[f]; !ok {
+			out = append(out, f)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LoadCacheFile reads and schema-checks a cache file.
+func LoadCacheFile(path string) (*CacheFile, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var c CacheFile
+	if err := json.Unmarshal(b, &c); err != nil {
+		return nil, fmt.Errorf("cache %s: %w", path, err)
+	}
+	if c.Schema != CacheSchema {
+		return nil, fmt.Errorf("cache %s: schema %q, want %q", path, c.Schema, CacheSchema)
+	}
+	return &c, nil
+}
+
+// WriteCacheFile writes the cache with stable formatting (sorted keys,
+// tab indentation) so the committed artifact diffs cleanly.
+func WriteCacheFile(path string, c *CacheFile) error {
+	b, err := json.MarshalIndent(c, "", "\t")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// relFile converts an absolute FileSet filename to the cache's
+// slash-relative form ("" when outside the module root).
+func (m *Module) relFile(name string) string {
+	rel, err := filepath.Rel(m.Root, name)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return ""
+	}
+	return filepath.ToSlash(rel)
+}
+
+// BuildCache serializes the module's analysis state after a run: the
+// manifest, the run's findings (paths relativized), and both layers'
+// per-function summaries.
+func (m *Module) BuildCache(files map[string]string, checkNames []string, findings []Finding, suppressed int) *CacheFile {
+	c := &CacheFile{
+		Schema:     CacheSchema,
+		Checks:     append([]string(nil), checkNames...),
+		Packages:   len(m.Packages),
+		Files:      files,
+		Suppressed: suppressed,
+		Funcs:      map[string]*cachedFunc{},
+	}
+	for _, f := range findings {
+		f.ChainPos = nil
+		if rel := m.relFile(f.File); rel != "" {
+			f.File = rel
+		}
+		c.Findings = append(c.Findings, f)
+	}
+	if c.Findings == nil {
+		c.Findings = []Finding{}
+	}
+
+	r := m.interproc()
+	bc := m.boundconst()
+	for id, u := range r.units {
+		rel := m.relFile(m.Fset.Position(u.decl.Pos()).Filename)
+		if rel == "" {
+			continue
+		}
+		cf := &cachedFunc{File: rel}
+		if sum := r.sums[id]; sum != nil {
+			cf.IP = m.encodeIP(sum)
+		}
+		if sum := bc[id]; sum != nil {
+			cf.BC = m.encodeBC(sum)
+		}
+		c.Funcs[id] = cf
+	}
+	return c
+}
+
+func (m *Module) encodeSite(s *ipSite) (cachedSite, bool) {
+	p := m.Fset.Position(s.pos)
+	rel := m.relFile(p.Filename)
+	if rel == "" {
+		return cachedSite{}, false
+	}
+	return cachedSite{Fn: s.fn, File: rel, Off: p.Offset}, true
+}
+
+func (m *Module) encodeChain(s *ipSite) []cachedSite {
+	var out []cachedSite
+	for ; s != nil; s = s.next {
+		cs, ok := m.encodeSite(s)
+		if !ok {
+			return nil
+		}
+		out = append(out, cs)
+	}
+	return out
+}
+
+func encodeMasks(src map[string]uint64) map[string]jsonMask {
+	if len(src) == 0 {
+		return nil
+	}
+	out := make(map[string]jsonMask, len(src))
+	for k, v := range src {
+		out[k] = jsonMask(v)
+	}
+	return out
+}
+
+func encodeReads(src map[string]bool) []string {
+	if len(src) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(src))
+	for k := range src {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (m *Module) encodeIP(sum *ipSummary) *cachedIP {
+	ci := &cachedIP{
+		RetMask:     jsonMask(sum.retMask),
+		RetSeed:     sum.retSeed,
+		FieldWrites: encodeMasks(sum.fieldWrites),
+		FieldReads:  encodeReads(sum.fieldReads),
+	}
+	for _, e := range sum.events {
+		chain := m.encodeChain(e.site)
+		if chain == nil {
+			continue
+		}
+		ci.Events = append(ci.Events, cachedEvent{
+			Kind: int(e.kind), Mask: jsonMask(e.mask), Closure: e.closure, Chain: chain,
+		})
+	}
+	return ci
+}
+
+func (m *Module) encodeBC(sum *bcSummary) *cachedBC {
+	cb := &cachedBC{
+		RetMask:     jsonMask(sum.retMask),
+		FieldWrites: encodeMasks(sum.fieldWrites),
+		FieldReads:  encodeReads(sum.fieldReads),
+	}
+	for i, s := range sum.sinkVia {
+		if chain := m.encodeChain(s); chain != nil {
+			if cb.SinkVia == nil {
+				cb.SinkVia = map[string][]cachedSite{}
+			}
+			cb.SinkVia[strconv.Itoa(i)] = chain
+		}
+	}
+	for _, s := range sum.events {
+		if chain := m.encodeChain(s); chain != nil {
+			cb.Events = append(cb.Events, chain)
+		}
+	}
+	for fid, s := range sum.fieldSites {
+		if chain := m.encodeChain(s); chain != nil {
+			if cb.FieldSites == nil {
+				cb.FieldSites = map[string][]cachedSite{}
+			}
+			cb.FieldSites[fid] = chain
+		}
+	}
+	return cb
+}
+
+// ApplyCache primes the module's fixed-point drivers with every cached
+// function summary that is still valid given the changed files. It must
+// run before the first check does (the drivers consult Module.prime once,
+// inside their sync.Once builders).
+func (m *Module) ApplyCache(c *CacheFile, changed []string) {
+	changedSet := map[string]bool{}
+	for _, f := range changed {
+		changedSet[f] = true
+	}
+	var stale []string
+	ids := make([]string, 0, len(c.Funcs))
+	for id := range c.Funcs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if changedSet[c.Funcs[id].File] {
+			stale = append(stale, id)
+		}
+	}
+	// Transitive callers of stale functions folded those summaries.
+	invalid := m.Graph().reaches(stale)
+	// Field facts cross writer→reader without a call edge: a reader of
+	// any field a stale-or-caller-invalid function wrote must also be
+	// re-analyzed (its events may rest on a store that no longer exists).
+	wrote := map[string]bool{}
+	for _, id := range ids {
+		if !invalid[id] {
+			continue
+		}
+		cf := c.Funcs[id]
+		if cf.IP != nil {
+			for fid := range cf.IP.FieldWrites {
+				wrote[fid] = true
+			}
+		}
+		if cf.BC != nil {
+			for fid := range cf.BC.FieldWrites {
+				wrote[fid] = true
+			}
+		}
+	}
+	readsInvalid := func(reads []string) bool {
+		for _, fid := range reads {
+			if wrote[fid] {
+				return true
+			}
+		}
+		return false
+	}
+
+	fileOf := map[string]*token.File{}
+	m.Fset.Iterate(func(f *token.File) bool {
+		fileOf[f.Name()] = f
+		return true
+	})
+	pr := &primedState{ip: map[string]*ipSummary{}, bc: map[string]*bcSummary{}}
+	for _, id := range ids {
+		cf := c.Funcs[id]
+		if invalid[id] {
+			continue
+		}
+		if (cf.IP != nil && readsInvalid(cf.IP.FieldReads)) ||
+			(cf.BC != nil && readsInvalid(cf.BC.FieldReads)) {
+			continue
+		}
+		if cf.IP != nil {
+			if sum, ok := m.decodeIP(cf.IP, fileOf); ok {
+				pr.ip[id] = sum
+			}
+		}
+		if cf.BC != nil {
+			if sum, ok := m.decodeBC(cf.BC, fileOf); ok {
+				pr.bc[id] = sum
+			}
+		}
+	}
+	m.prime = pr
+}
+
+func (m *Module) decodeSite(cs cachedSite, fileOf map[string]*token.File) (*ipSite, bool) {
+	f := fileOf[filepath.Join(m.Root, filepath.FromSlash(cs.File))]
+	if f == nil || cs.Off < 0 || cs.Off > f.Size() {
+		return nil, false
+	}
+	return &ipSite{fn: cs.Fn, pos: f.Pos(cs.Off)}, true
+}
+
+func (m *Module) decodeChain(chain []cachedSite, fileOf map[string]*token.File) (*ipSite, bool) {
+	var head, tail *ipSite
+	for _, cs := range chain {
+		s, ok := m.decodeSite(cs, fileOf)
+		if !ok {
+			return nil, false
+		}
+		if head == nil {
+			head = s
+		} else {
+			tail.next = s
+		}
+		tail = s
+	}
+	return head, head != nil
+}
+
+func decodeMasks(src map[string]jsonMask) map[string]uint64 {
+	out := make(map[string]uint64, len(src))
+	for k, v := range src {
+		out[k] = uint64(v)
+	}
+	return out
+}
+
+func decodeReads(src []string) map[string]bool {
+	out := make(map[string]bool, len(src))
+	for _, k := range src {
+		out[k] = true
+	}
+	return out
+}
+
+func (m *Module) decodeIP(ci *cachedIP, fileOf map[string]*token.File) (*ipSummary, bool) {
+	sum := &ipSummary{
+		retMask:     uint64(ci.RetMask),
+		retSeed:     ci.RetSeed,
+		allocVia:    map[int]*ipSite{},
+		narrowVia:   map[int]*ipSite{},
+		loopVia:     map[int]*ipSite{},
+		fieldWrites: decodeMasks(ci.FieldWrites),
+		fieldReads:  decodeReads(ci.FieldReads),
+	}
+	for _, e := range ci.Events {
+		if e.Kind < int(ipAlloc) || e.Kind > int(ipLoop) {
+			return nil, false
+		}
+		site, ok := m.decodeChain(e.Chain, fileOf)
+		if !ok {
+			return nil, false
+		}
+		sum.events = append(sum.events, ipEvent{
+			kind: ipKind(e.Kind), mask: uint64(e.Mask), closure: e.Closure, site: site,
+		})
+	}
+	finishIPSummary(sum)
+	return sum, true
+}
+
+func (m *Module) decodeBC(cb *cachedBC, fileOf map[string]*token.File) (*bcSummary, bool) {
+	sum := &bcSummary{
+		retMask:     uint64(cb.RetMask),
+		sinkVia:     map[int]*ipSite{},
+		fieldWrites: decodeMasks(cb.FieldWrites),
+		fieldSites:  map[string]*ipSite{},
+		fieldReads:  decodeReads(cb.FieldReads),
+	}
+	for k, chain := range cb.SinkVia {
+		i, err := strconv.Atoi(k)
+		if err != nil || i < 0 || i >= ipMaxParams {
+			return nil, false
+		}
+		site, ok := m.decodeChain(chain, fileOf)
+		if !ok {
+			return nil, false
+		}
+		sum.sinkVia[i] = site
+	}
+	for _, chain := range cb.Events {
+		site, ok := m.decodeChain(chain, fileOf)
+		if !ok {
+			return nil, false
+		}
+		sum.events = append(sum.events, site)
+	}
+	for fid, chain := range cb.FieldSites {
+		site, ok := m.decodeChain(chain, fileOf)
+		if !ok {
+			return nil, false
+		}
+		sum.fieldSites[fid] = site
+	}
+	return sum, true
+}

@@ -1,0 +1,241 @@
+package lint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Cache round-trip tests over a real on-disk module (HashTree and
+// LoadModule share the same walk, so fixtures must live on disk).
+
+const cacheFixtureA = `package cachefix
+
+func Decompress(buf []byte) []float64 {
+	n := int(buf[0])
+	return grow(n)
+}
+
+func grow(n int) []float64 {
+	return make([]float64, n)
+}
+`
+
+const cacheFixtureB = `package cachefix
+
+func DecodeAll(buf []byte) []byte {
+	m := int(buf[1])
+	return out(m)
+}
+
+func out(m int) []byte {
+	return make([]byte, m)
+}
+`
+
+func writeCacheFixture(t *testing.T, root, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(root, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sameFindings(t *testing.T, got, want []Finding, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d findings, want %d\ngot:  %v\nwant: %v", label, len(got), len(want), got, want)
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.Check != w.Check || g.File != w.File || g.Line != w.Line ||
+			g.Col != w.Col || g.Message != w.Message {
+			t.Errorf("%s: finding %d differs\ngot:  %v\nwant: %v", label, i, g, w)
+		}
+	}
+}
+
+func TestCacheRoundTripAndWarmRun(t *testing.T) {
+	root := t.TempDir()
+	writeCacheFixture(t, root, "go.mod", "module cachefix\n\ngo 1.22\n")
+	writeCacheFixture(t, root, "a.go", cacheFixtureA)
+
+	checks := AllChecks()
+	names := make([]string, 0, len(checks))
+	for _, c := range checks {
+		names = append(names, c.Name())
+	}
+
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	cold, coldSup := mod.Run(checks)
+	if len(cold) == 0 {
+		t.Fatal("fixture produced no findings; the equality checks below would be vacuous")
+	}
+
+	files, err := HashTree(root)
+	if err != nil {
+		t.Fatalf("HashTree: %v", err)
+	}
+	path := filepath.Join(root, "cache.json")
+	if err := WriteCacheFile(path, mod.BuildCache(files, names, cold, coldSup)); err != nil {
+		t.Fatalf("WriteCacheFile: %v", err)
+	}
+	cache, err := LoadCacheFile(path)
+	if err != nil {
+		t.Fatalf("LoadCacheFile: %v", err)
+	}
+	if d := DiffFiles(cache.Files, files); len(d) != 0 {
+		t.Fatalf("manifest did not round-trip, diff %v", d)
+	}
+	if len(cache.Findings) != len(cold) {
+		t.Fatalf("cache replay state has %d findings, want %d", len(cache.Findings), len(cold))
+	}
+	for i, f := range cache.Findings {
+		if filepath.IsAbs(f.File) {
+			t.Errorf("cached finding %d has absolute path %q, want module-relative", i, f.File)
+		}
+		if f.Message != cold[i].Message {
+			t.Errorf("cached finding %d message %q, want %q", i, f.Message, cold[i].Message)
+		}
+	}
+
+	// Warm run, nothing changed: every summary primes, results identical.
+	mod2, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule(2): %v", err)
+	}
+	mod2.ApplyCache(cache, nil)
+	warm, warmSup := mod2.Run(checks)
+	sameFindings(t, warm, cold, "warm-unchanged")
+	if warmSup != coldSup {
+		t.Errorf("warm suppressed = %d, want %d", warmSup, coldSup)
+	}
+	if mod2.Stats.FuncsReused == 0 || mod2.Stats.FuncsReused != mod2.Stats.FuncsTotal {
+		t.Errorf("unchanged warm run reused %d/%d summaries, want full reuse",
+			mod2.Stats.FuncsReused, mod2.Stats.FuncsTotal)
+	}
+
+	// Add a file: the old summaries stay valid, the new entry's finding
+	// appears, and the warm result equals a cold run over the new tree.
+	writeCacheFixture(t, root, "b.go", cacheFixtureB)
+	files3, err := HashTree(root)
+	if err != nil {
+		t.Fatalf("HashTree(3): %v", err)
+	}
+	changed := DiffFiles(cache.Files, files3)
+	if len(changed) != 1 || changed[0] != "b.go" {
+		t.Fatalf("diff after adding b.go = %v, want [b.go]", changed)
+	}
+	mod3, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule(3): %v", err)
+	}
+	mod3.ApplyCache(cache, changed)
+	warm3, warm3Sup := mod3.Run(checks)
+	if mod3.Stats.FuncsReused == 0 {
+		t.Error("warm run after adding a file reused no summaries")
+	}
+	mod4, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule(4): %v", err)
+	}
+	cold3, cold3Sup := mod4.Run(checks)
+	sameFindings(t, warm3, cold3, "warm-vs-cold after add")
+	if warm3Sup != cold3Sup {
+		t.Errorf("warm suppressed = %d, want %d", warm3Sup, cold3Sup)
+	}
+	if len(cold3) <= len(cold) {
+		t.Errorf("adding b.go did not add findings (%d -> %d); warm path untested for new code",
+			len(cold), len(cold3))
+	}
+
+	// Modify a.go so the finding disappears (guard added): stale summaries
+	// must not resurrect it.
+	writeCacheFixture(t, root, "a.go", `package cachefix
+
+func Decompress(buf []byte) []float64 {
+	n := int(buf[0])
+	if err := checkElements(n); err != nil {
+		return nil
+	}
+	return grow(n)
+}
+
+func checkElements(n int) error { return nil }
+
+func grow(n int) []float64 {
+	return make([]float64, n)
+}
+`)
+	files5, err := HashTree(root)
+	if err != nil {
+		t.Fatalf("HashTree(5): %v", err)
+	}
+	mod5, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule(5): %v", err)
+	}
+	mod5.ApplyCache(cache, DiffFiles(cache.Files, files5))
+	warm5, _ := mod5.Run(checks)
+	mod6, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule(6): %v", err)
+	}
+	cold5, _ := mod6.Run(checks)
+	sameFindings(t, warm5, cold5, "warm-vs-cold after guard fix")
+	for _, f := range warm5 {
+		if f.Check == "limitreach" && filepath.Base(f.File) == "a.go" {
+			t.Errorf("stale cached finding survived the guard fix: %v", f)
+		}
+	}
+}
+
+func TestCacheSchemaMismatchRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"pwrvet-cache-v0"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCacheFile(path); err == nil {
+		t.Error("LoadCacheFile accepted a wrong schema, want error")
+	}
+}
+
+func TestJSONMaskRoundTripsHighBits(t *testing.T) {
+	// 1<<63 | 1<<62 | 1 exceeds float64 integer precision; a plain JSON
+	// number would corrupt it.
+	for _, v := range []uint64{0, 1, 1<<62 | 1, 1<<63 | 1<<62 | 1, ^uint64(0)} {
+		b, err := json.Marshal(jsonMask(v))
+		if err != nil {
+			t.Fatalf("marshal %d: %v", v, err)
+		}
+		var back jsonMask
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if uint64(back) != v {
+			t.Errorf("mask %d round-tripped to %d via %s", v, back, b)
+		}
+	}
+}
+
+func TestHashTreeSkipsUntrackedDirs(t *testing.T) {
+	root := t.TempDir()
+	writeCacheFixture(t, root, "go.mod", "module cachefix\n")
+	writeCacheFixture(t, root, "a.go", "package cachefix\n")
+	for _, d := range []string{"testdata", "vendor", ".git", "_scratch"} {
+		if err := os.MkdirAll(filepath.Join(root, d), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		writeCacheFixture(t, root, filepath.Join(d, "x.go"), "package x\n")
+	}
+	files, err := HashTree(root)
+	if err != nil {
+		t.Fatalf("HashTree: %v", err)
+	}
+	if len(files) != 2 {
+		t.Errorf("manifest = %v, want only go.mod and a.go", files)
+	}
+}

@@ -28,9 +28,15 @@ import (
 // on another joins to both bits and is not reported (the ablation knob
 // DisableRoundoffGuard deliberately creates such joins).
 //
-// Struct fields are untracked here as everywhere in the engine, so a
-// bound stashed in a struct (core.Transform.AbsBound) leaves the lattice;
-// the core transform's own tightening is covered by its unit tests.
+// Struct fields are tracked field-sensitively (fields.go): a bound
+// stored into a named type's field (core.Transformed.AbsBound) keeps its
+// class, the store's site becomes the head of the witness chain, and a
+// read anywhere in the module joins the global fact back in. Compound
+// assignments (b -= margin) deliberately do NOT tighten the field or
+// variable: the evaluator cannot tell the Lemma-2 margin from any other
+// subtrahend there, and the DisableRoundoffGuard ablation makes the raw
+// store real — the audited //lint:allow at the store site is the signed
+// waiver for that path.
 type boundconstCheck struct{}
 
 func (boundconstCheck) Name() string { return "boundconst" }
@@ -61,11 +67,18 @@ var bcParamRe = regexp.MustCompile(`(?i)bound|tol|eps|acc`)
 // bcSummary is the bound-provenance abstract of one function: retMask
 // carries the class bits and untightened parameter bits of the return
 // value, sinkVia maps a parameter index to a witness chain showing the
-// parameter reaching a bound sink untightened.
+// parameter reaching a bound sink untightened. fieldWrites carries the
+// class and parameter bits stored into each struct field, fieldSites the
+// first store site per field (the head of field-origin witness chains),
+// and fieldReads which module-global field facts this analysis consulted
+// (for fixpoint re-enqueueing, not part of the observable summary).
 type bcSummary struct {
-	retMask uint64
-	sinkVia map[int]*ipSite
-	events  []*ipSite // raw-bound-reaches-sink witnesses, sink last
+	retMask     uint64
+	sinkVia     map[int]*ipSite
+	events      []*ipSite // raw-bound-reaches-sink witnesses, sink last
+	fieldWrites map[string]uint64
+	fieldSites  map[string]*ipSite
+	fieldReads  map[string]bool
 }
 
 func bcEqual(a, b *bcSummary) bool {
@@ -80,7 +93,7 @@ func bcEqual(a, b *bcSummary) bool {
 			return false
 		}
 	}
-	return true
+	return masksEqual(a.fieldWrites, b.fieldWrites)
 }
 
 // boundconst builds (once) and returns the module's bound-provenance
@@ -111,25 +124,79 @@ func buildBoundconst(m *Module) map[string]*bcSummary {
 		sort.Strings(cs)
 	}
 
+	// fields is the module-global bound-class table: the class bits
+	// stored into each struct field anywhere, with the first store's
+	// witness site. Unlike the taint layer, class bits globalize
+	// directly — a raw bound in a field is raw no matter who wrote it.
+	fields := newFieldFacts()
 	sums := map[string]*bcSummary{}
-	queue := bottomUpOrder(g, r.units)
+	var queue []string
 	inQueue := map[string]bool{}
-	for _, id := range queue {
-		inQueue[id] = true
+	enqueue := func(id string) {
+		if !inQueue[id] && r.units[id] != nil {
+			inQueue[id] = true
+			queue = append(queue, id)
+		}
 	}
+	enqueueReaders := func(fid string) {
+		ids := make([]string, 0, len(sums))
+		for id := range sums {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			if s := sums[id]; s != nil && s.fieldReads[fid] {
+				enqueue(id)
+			}
+		}
+	}
+	globalize := func(id string, sum *bcSummary) {
+		fids := make([]string, 0, len(sum.fieldWrites))
+		for fid := range sum.fieldWrites {
+			fids = append(fids, fid)
+		}
+		sort.Strings(fids)
+		for _, fid := range fids {
+			gl := sum.fieldWrites[fid] & (bcRawBit | bcTightBit)
+			if gl != 0 && fields.add(fid, gl, sum.fieldSites[fid]) {
+				enqueueReaders(fid)
+			}
+		}
+	}
+
+	if pr := m.prime; pr != nil {
+		primed := make([]string, 0, len(pr.bc))
+		for id := range pr.bc {
+			primed = append(primed, id)
+		}
+		sort.Strings(primed)
+		for _, id := range primed {
+			if r.units[id] == nil {
+				continue
+			}
+			sums[id] = pr.bc[id]
+			m.Stats.FuncsReused++
+			globalize(id, sums[id])
+		}
+	}
+	m.Stats.FuncsTotal += len(r.units)
+	for _, id := range bottomUpOrder(g, r.units) {
+		if sums[id] == nil {
+			enqueue(id)
+		}
+	}
+
 	for len(queue) > 0 {
 		id := queue[0]
 		queue = queue[1:]
 		inQueue[id] = false
-		ns := bcAnalyze(r.units[id], sums)
+		ns := bcAnalyze(r.units[id], sums, fields)
 		changed := !bcEqual(sums[id], ns)
 		sums[id] = ns
+		globalize(id, ns)
 		if changed {
 			for _, c := range callers[id] {
-				if !inQueue[c] {
-					inQueue[c] = true
-					queue = append(queue, c)
-				}
+				enqueue(c)
 			}
 		}
 	}
@@ -172,7 +239,7 @@ func (boundconstCheck) Run(pkg *Package) []Finding {
 		f := pkg.Module.newFinding("boundconst", sink,
 			"raw log2(1+b) bound reaches a quantizer sink on the path %s without the Lemma-2 round-off tightening; subtract the max|log2 x|·ε₀ margin (core.Forward's roundoff guard) first",
 			h.chainPath(pkg.Module))
-		f.Chain = h.chainStrings(pkg.Module)
+		h.decorate(&f, pkg.Module)
 		out = append(out, f)
 	}
 	return out
@@ -181,42 +248,67 @@ func (boundconstCheck) Run(pkg *Package) []Finding {
 // --- per-function analysis ----------------------------------------------
 
 type bcEval struct {
-	u    *funcUnit
-	info *types.Info
-	sums map[string]*bcSummary
-	sum  *bcSummary
-	seen map[token.Pos]bool
+	u      *funcUnit
+	info   *types.Info
+	sums   map[string]*bcSummary
+	fields *fieldFacts
+	sum    *bcSummary
+	seen   map[token.Pos]bool
+	// noFields disables field reads in maskOf, so checkSinks can tell a
+	// field-borne raw bound (whose witness chain starts at the store)
+	// from one computed locally.
+	noFields bool
 }
 
-func bcAnalyze(u *funcUnit, sums map[string]*bcSummary) *bcSummary {
+func bcAnalyze(u *funcUnit, sums map[string]*bcSummary, fields *fieldFacts) *bcSummary {
 	ev := &bcEval{
-		u:    u,
-		info: u.pkg.Info,
-		sums: sums,
-		sum:  &bcSummary{sinkVia: map[int]*ipSite{}},
-		seen: map[token.Pos]bool{},
+		u:      u,
+		info:   u.pkg.Info,
+		sums:   sums,
+		fields: fields,
+		sum: &bcSummary{
+			sinkVia:     map[int]*ipSite{},
+			fieldWrites: map[string]uint64{},
+			fieldSites:  map[string]*ipSite{},
+			fieldReads:  map[string]bool{},
+		},
 	}
-	boundary := maskState{}
-	for i, p := range u.params {
-		if p != nil && paramBit(i) != 0 && isFloat(p.Type()) {
-			boundary[p] = paramBit(i)
+	// Field writes discovered late in a pass feed field reads earlier in
+	// the same function (flow-insensitively), so iterate the whole
+	// propagate+report pipeline until the local field table stops
+	// growing. Everything except fieldWrites/fieldSites/fieldReads is
+	// recomputed from scratch each round; the final round's view wins.
+	for iter := 0; iter < 8; iter++ {
+		before := cloneMasks(ev.sum.fieldWrites)
+		ev.sum.retMask = 0
+		ev.sum.events = nil
+		ev.sum.sinkVia = map[int]*ipSite{}
+		ev.seen = map[token.Pos]bool{}
+		boundary := maskState{}
+		for i, p := range u.params {
+			if p != nil && paramBit(i) != 0 && isFloat(p.Type()) {
+				boundary[p] = paramBit(i)
+			}
 		}
-	}
-	g := u.cfgOf()
-	in := g.maskFlow(boundary, func(b *cfgBlock, s maskState) maskState {
-		for _, n := range b.nodes {
-			ev.step(s, n, false)
+		g := u.cfgOf()
+		in := g.maskFlow(boundary, func(b *cfgBlock, s maskState) maskState {
+			for _, n := range b.nodes {
+				ev.step(s, n, false)
+			}
+			return s
+		})
+		for _, b := range g.reversePostorder() {
+			s, ok := in[b]
+			if !ok {
+				continue
+			}
+			s = s.clone()
+			for _, n := range b.nodes {
+				ev.step(s, n, true)
+			}
 		}
-		return s
-	})
-	for _, b := range g.reversePostorder() {
-		s, ok := in[b]
-		if !ok {
-			continue
-		}
-		s = s.clone()
-		for _, n := range b.nodes {
-			ev.step(s, n, true)
+		if masksEqual(before, ev.sum.fieldWrites) {
+			break
 		}
 	}
 	return ev.sum
@@ -225,9 +317,12 @@ func bcAnalyze(u *funcUnit, sums map[string]*bcSummary) *bcSummary {
 func (ev *bcEval) step(s maskState, n ast.Node, report bool) {
 	if report {
 		ev.checkSinks(s, n)
+	} else {
+		ev.callFieldEffects(s, n)
 	}
 	switch n := n.(type) {
 	case *ast.AssignStmt:
+		fieldStores(ev.info, s, n, ev.maskOf, ev.recordFieldWrite)
 		maskAssign(ev.info, s, n, ev.maskOf)
 	case *ast.DeclStmt:
 		maskDeclare(ev.info, s, n, ev.maskOf)
@@ -238,6 +333,63 @@ func (ev *bcEval) step(s maskState, n ast.Node, report bool) {
 	}
 	// Guard conditions do not sanitize here: comparing a bound leaves it
 	// just as raw as before.
+}
+
+// recordFieldWrite folds one field store into the local table, keeping
+// the first store site as the witness-chain head for field-origin
+// findings (and for the //lint:allow seed-site suppression rule).
+func (ev *bcEval) recordFieldWrite(fid string, m uint64, pos token.Pos) {
+	if m == 0 {
+		return
+	}
+	ev.sum.fieldWrites[fid] |= m
+	if ev.sum.fieldSites[fid] == nil {
+		ev.sum.fieldSites[fid] = &ipSite{fn: ev.u.id, pos: pos}
+	}
+}
+
+// callFieldEffects translates a summarized callee's field writes into
+// this caller's table: callee parameter bits become the argument masks
+// the caller passed (receiver first), class bits carry over unchanged,
+// and the witness chain gains the call site ahead of the callee's store.
+func (ev *bcEval) callFieldEffects(s maskState, n ast.Node) {
+	inspectEvaluated(n, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok || isConversion(ev.info, call) || builtinName(ev.info, call) != "" {
+			return true
+		}
+		fn := staticCallee(ev.info, call)
+		if fn == nil {
+			return true
+		}
+		cs := ev.sums[funcID(fn)]
+		if cs == nil || len(cs.fieldWrites) == 0 {
+			return true
+		}
+		am := callArgMasks(ev.info, s, call, fn, ev.maskOf)
+		fids := make([]string, 0, len(cs.fieldWrites))
+		for fid := range cs.fieldWrites {
+			fids = append(fids, fid)
+		}
+		sort.Strings(fids)
+		for _, fid := range fids {
+			fm := cs.fieldWrites[fid]
+			t := fm &^ ipParamMask
+			for j, a := range am {
+				if a != 0 && fm&paramBit(j) != 0 {
+					t |= a
+				}
+			}
+			if t == 0 {
+				continue
+			}
+			ev.sum.fieldWrites[fid] |= t
+			if ev.sum.fieldSites[fid] == nil {
+				ev.sum.fieldSites[fid] = &ipSite{fn: ev.u.id, pos: call.Pos(), next: cs.fieldSites[fid]}
+			}
+		}
+		return true
+	})
 }
 
 func (ev *bcEval) collectReturn(s maskState, n *ast.ReturnStmt) {
@@ -295,10 +447,60 @@ func (ev *bcEval) maskOf(s maskState, e ast.Expr) uint64 {
 		}
 	case *ast.IndexExpr:
 		return ev.maskOf(s, e.X)
+	case *ast.StarExpr:
+		return ev.maskOf(s, e.X)
+	case *ast.SelectorExpr:
+		m := ev.maskOf(s, e.X) & (bcRawBit | bcTightBit)
+		if fid := fieldIDOf(ev.info, e); fid != "" && !ev.noFields {
+			ev.sum.fieldReads[fid] = true
+			m |= (ev.sum.fieldWrites[fid] | ev.fields.masks[fid]) & (bcRawBit | bcTightBit)
+		}
+		return m
+	case *ast.CompositeLit:
+		compositeFieldStores(ev.info, s, e, ev.maskOf, ev.recordFieldWrite)
+		return 0
 	case *ast.CallExpr:
 		return ev.callMask(s, e)
 	}
 	return 0
+}
+
+// maskOfNoFields evaluates e with field reads disabled, to attribute a
+// raw classification to either local computation or a field flow.
+func (ev *bcEval) maskOfNoFields(s maskState, e ast.Expr) uint64 {
+	ev.noFields = true
+	m := ev.maskOf(s, e)
+	ev.noFields = false
+	return m
+}
+
+// fieldRawSite finds the store-site witness chain for the raw-not-tight
+// field fact that classified e, scanning its selector reads.
+func (ev *bcEval) fieldRawSite(e ast.Expr) *ipSite {
+	var found *ipSite
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fid := fieldIDOf(ev.info, sel)
+		if fid == "" {
+			return true
+		}
+		fm := ev.sum.fieldWrites[fid] | ev.fields.masks[fid]
+		if fm&bcRawBit != 0 && fm&bcTightBit == 0 {
+			if fs := ev.sum.fieldSites[fid]; fs != nil {
+				found = fs
+			} else {
+				found = ev.fields.sites[fid]
+			}
+		}
+		return true
+	})
+	return found
 }
 
 func (ev *bcEval) callMask(s maskState, call *ast.CallExpr) uint64 {
@@ -369,7 +571,15 @@ func (ev *bcEval) checkSinks(s maskState, n ast.Node) {
 				continue
 			}
 			if am&bcRawBit != 0 && am&bcTightBit == 0 {
-				ev.event(site)
+				full := site
+				if ev.maskOfNoFields(s, a)&bcRawBit == 0 {
+					// The raw class came from a field read: the witness
+					// chain starts at the store that made the field raw.
+					if fs := ev.fieldRawSite(a); fs != nil {
+						full = prependChain(fs, site)
+					}
+				}
+				ev.event(full)
 			}
 			for pi := range ev.u.params {
 				if am&paramBit(pi) != 0 && ev.sum.sinkVia[pi] == nil {

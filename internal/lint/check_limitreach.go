@@ -32,7 +32,7 @@ func (limitreachCheck) Run(pkg *Package) []Finding {
 		f := pkg.Module.newFinding("limitreach", h.sink,
 			"allocation size derives from decoder input with no DecodeLimits or range guard on the path %s; check it against DecodeLimits or the remaining payload before allocating",
 			h.chainPath(pkg.Module))
-		f.Chain = h.chainStrings(pkg.Module)
+		h.decorate(&f, pkg.Module)
 		out = append(out, f)
 	}
 	return out

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"regexp"
 	"sort"
@@ -19,8 +20,10 @@ import (
 //
 // Worker roots are collected syntactically (go statements and func-typed
 // arguments to pool-like callees), then expanded over the module call
-// graph; the closure bodies themselves are the pool plumbing and are not
-// checked — the named functions they call are.
+// graph. Closure bodies are checked directly: a func literal handed to a
+// pool runner (or launched by a go statement) is itself worker code, so
+// its package-level writes are findings in their own right — attributed
+// to the enclosing function, with the pool callee named as the root.
 type purityCheck struct{}
 
 func (purityCheck) Name() string { return "purity" }
@@ -32,10 +35,20 @@ func (purityCheck) Doc() string {
 // worker pool.
 var purityPoolRe = regexp.MustCompile(`(?i)pool|parallel|worker`)
 
+// purityClosureHit is one package-level write inside a worker closure.
+type purityClosureHit struct {
+	pos       token.Pos
+	enclosing string // funcID of the function the literal appears in
+	root      string // pool callee base name or "go statement"
+	varName   string
+}
+
 // purityData is the module-wide analysis, built once.
 type purityData struct {
 	// workerOf maps each worker-reachable function to a witness root.
 	workerOf map[string]string
+	// closure holds the direct findings from worker func literals.
+	closure []purityClosureHit
 }
 
 func (m *Module) purity() *purityData {
@@ -45,6 +58,7 @@ func (m *Module) purity() *purityData {
 
 func buildPurity(m *Module) *purityData {
 	g := m.Graph()
+	pd := &purityData{}
 	rootSet := map[string]bool{}
 	addCalleeRoots := func(pkg *Package, n ast.Node) {
 		ast.Inspect(n, func(x ast.Node) bool {
@@ -58,9 +72,16 @@ func buildPurity(m *Module) *purityData {
 			return true
 		})
 	}
-	addFuncValue := func(pkg *Package, e ast.Expr) {
+	addFuncValue := func(pkg *Package, enclosing, root string, e ast.Expr) {
 		switch e := ast.Unparen(e).(type) {
 		case *ast.FuncLit:
+			// The literal itself is worker code: its package-level
+			// writes are findings, and its callees are worker roots.
+			for _, w := range packageLevelWrites(pkg.Info, e.Body) {
+				pd.closure = append(pd.closure, purityClosureHit{
+					pos: w.pos, enclosing: enclosing, root: root, varName: w.name,
+				})
+			}
 			addCalleeRoots(pkg, e.Body)
 		case *ast.Ident:
 			if fn, ok := pkg.Info.Uses[e].(*types.Func); ok {
@@ -72,26 +93,42 @@ func buildPurity(m *Module) *purityData {
 			}
 		}
 	}
+	scan := func(pkg *Package, enclosing string, body ast.Node) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				addFuncValue(pkg, enclosing, "go statement", n.Call.Fun)
+			case *ast.CallExpr:
+				if purityPoolRe.MatchString(calleeBaseName(n)) {
+					for _, a := range n.Args {
+						if isFuncValue(pkg.Info, a) {
+							addFuncValue(pkg, enclosing, calleeBaseName(n), a)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
 	for _, pkg := range m.Packages {
 		for _, file := range pkg.Files {
 			if pkg.IsTestFile(file) {
 				continue
 			}
-			ast.Inspect(file, func(n ast.Node) bool {
-				switch n := n.(type) {
-				case *ast.GoStmt:
-					addFuncValue(pkg, n.Call.Fun)
-				case *ast.CallExpr:
-					if purityPoolRe.MatchString(calleeBaseName(n)) {
-						for _, a := range n.Args {
-							if isFuncValue(pkg.Info, a) {
-								addFuncValue(pkg, a)
-							}
-						}
+			for _, d := range file.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					if fd.Body == nil {
+						continue
 					}
+					enclosing := "package " + pkg.Pkg.Name()
+					if def, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+						enclosing = m.shortID(funcID(def))
+					}
+					scan(pkg, enclosing, fd.Body)
+				} else {
+					scan(pkg, "package "+pkg.Pkg.Name()+" init", d)
 				}
-				return true
-			})
+			}
 		}
 	}
 
@@ -120,7 +157,38 @@ func buildPurity(m *Module) *purityData {
 			}
 		}
 	}
-	return &purityData{workerOf: workerOf}
+	pd.workerOf = workerOf
+	return pd
+}
+
+// pkgWrite is one package-level variable write found in a node.
+type pkgWrite struct {
+	pos  token.Pos
+	name string
+}
+
+// packageLevelWrites collects the package-level variable writes
+// (assignments and ++/--) anywhere under n, nested literals included.
+func packageLevelWrites(info *types.Info, n ast.Node) []pkgWrite {
+	var out []pkgWrite
+	ast.Inspect(n, func(x ast.Node) bool {
+		var lhs []ast.Expr
+		switch x := x.(type) {
+		case *ast.AssignStmt:
+			lhs = x.Lhs
+		case *ast.IncDecStmt:
+			lhs = []ast.Expr{x.X}
+		default:
+			return true
+		}
+		for _, l := range lhs {
+			if v := rootWrittenVar(info, l); v != nil && isPackageLevel(v) {
+				out = append(out, pkgWrite{pos: l.Pos(), name: v.Name()})
+			}
+		}
+		return true
+	})
+	return out
 }
 
 // isFuncValue reports whether expression e has function type (and is not
@@ -137,6 +205,14 @@ func isFuncValue(info *types.Info, e ast.Expr) bool {
 func (purityCheck) Run(pkg *Package) []Finding {
 	pd := pkg.Module.purity()
 	var out []Finding
+	for _, h := range pd.closure {
+		if !pkg.ownsPos(h.pos) {
+			continue
+		}
+		out = append(out, pkg.Module.newFinding("purity", h.pos,
+			"func literal in %s runs on a worker pool (%s) but writes package-level %s; shared-state writes make output depend on chunk scheduling order",
+			h.enclosing, h.root, h.varName))
+	}
 	forEachFuncDecl(pkg, func(f *ast.File, d *ast.FuncDecl) {
 		if pkg.IsTestFile(f) {
 			return
@@ -149,27 +225,11 @@ func (purityCheck) Run(pkg *Package) []Finding {
 		if !isWorker {
 			return
 		}
-		ast.Inspect(d.Body, func(n ast.Node) bool {
-			var lhs []ast.Expr
-			switch n := n.(type) {
-			case *ast.AssignStmt:
-				lhs = n.Lhs
-			case *ast.IncDecStmt:
-				lhs = []ast.Expr{n.X}
-			default:
-				return true
-			}
-			for _, l := range lhs {
-				v := rootWrittenVar(pkg.Info, l)
-				if v == nil || !isPackageLevel(v) {
-					continue
-				}
-				out = append(out, pkg.Module.newFinding("purity", l.Pos(),
-					"%s runs on a worker pool (via %s) but writes package-level %s; shared-state writes make output depend on chunk scheduling order",
-					pkg.Module.shortID(funcID(def)), pkg.Module.shortID(root), v.Name()))
-			}
-			return true
-		})
+		for _, w := range packageLevelWrites(pkg.Info, d.Body) {
+			out = append(out, pkg.Module.newFinding("purity", w.pos,
+				"%s runs on a worker pool (via %s) but writes package-level %s; shared-state writes make output depend on chunk scheduling order",
+				pkg.Module.shortID(funcID(def)), pkg.Module.shortID(root), w.name))
+		}
 	})
 	return out
 }

@@ -41,7 +41,7 @@ func (wrapreachCheck) Run(pkg *Package) []Finding {
 		f := pkg.Module.newFinding("wrapreach", h.sink,
 			"narrowing conversion of unvalidated decoder input on the path %s; a length above the target width wraps (possibly negative) and defeats later bounds checks — guard the wide value first",
 			h.chainPath(pkg.Module))
-		f.Chain = h.chainStrings(pkg.Module)
+		h.decorate(&f, pkg.Module)
 		out = append(out, f)
 	}
 	return out

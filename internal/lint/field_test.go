@@ -1,0 +1,320 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// Field-sensitivity and closure-analysis fixtures for the summary layer
+// (summary.go / fields.go) and its consumers.
+
+// --- boundconst through struct fields ------------------------------------
+
+// The acceptance shape: a raw log2(1+b) bound stored into a struct field
+// in one function reaches a quantizer sink through a field read in
+// another. The witness chain must include the store site.
+func TestBoundconstFieldStoreToSink(t *testing.T) {
+	findings, _ := runCheck(t, "boundconst", map[string]string{
+		"a.go": `package fixture
+
+type tr struct {
+	AbsBound float64
+}
+
+func log2(x float64) float64 { return x }
+
+func Forward(b float64) *tr {
+	t := &tr{}
+	t.AbsBound = log2(1 + b)
+	return t
+}
+
+func Run(b float64) {
+	t := Forward(b)
+	Quantize(nil, t.AbsBound)
+}
+
+func Quantize(data []float64, bound float64) {}
+`,
+	})
+	wantOne(t, findings, 17, "raw log2(1+b) bound reaches a quantizer sink")
+	if len(findings[0].Chain) < 2 {
+		t.Errorf("chain has %d hops, want at least 2 (store site + sink): %v",
+			len(findings[0].Chain), findings[0].Chain)
+	}
+}
+
+// A //lint:allow at the seed site — the field store, not the sink —
+// suppresses the finding (the chain-site suppression rule).
+func TestBoundconstAllowAtStoreSite(t *testing.T) {
+	findings, suppressed := runCheck(t, "boundconst", map[string]string{
+		"a.go": `package fixture
+
+type tr struct {
+	AbsBound float64
+}
+
+func log2(x float64) float64 { return x }
+
+func Forward(b float64) *tr {
+	t := &tr{}
+	//lint:allow boundconst audited: tightening happens at the sink package
+	t.AbsBound = log2(1 + b)
+	return t
+}
+
+func Run(b float64) {
+	t := Forward(b)
+	Quantize(nil, t.AbsBound)
+}
+
+func Quantize(data []float64, bound float64) {}
+`,
+	})
+	wantClean(t, findings, suppressed, 1)
+}
+
+// A store through a setter method: the callee's receiver-field write
+// translates to the caller's argument mask.
+func TestBoundconstFieldStoreViaReceiverMethod(t *testing.T) {
+	findings, _ := runCheck(t, "boundconst", map[string]string{
+		"a.go": `package fixture
+
+type tr struct {
+	AbsBound float64
+}
+
+func (t *tr) SetBound(b float64) { t.AbsBound = b }
+
+func log2(x float64) float64 { return x }
+
+func Apply(b float64) {
+	t := &tr{}
+	t.SetBound(log2(1 + b))
+	Quantize(nil, t.AbsBound)
+}
+
+func Quantize(data []float64, bound float64) {}
+`,
+	})
+	wantOne(t, findings, 14, "raw log2(1+b) bound")
+}
+
+// A store via composite literal: tr{AbsBound: log2(1+b)}.
+func TestBoundconstFieldStoreViaCompositeLit(t *testing.T) {
+	findings, _ := runCheck(t, "boundconst", map[string]string{
+		"a.go": `package fixture
+
+type tr struct {
+	AbsBound float64
+}
+
+func log2(x float64) float64 { return x }
+
+func Build(b float64) {
+	t := tr{AbsBound: log2(1 + b)}
+	Quantize(nil, t.AbsBound)
+}
+
+func Quantize(data []float64, bound float64) {}
+`,
+	})
+	wantOne(t, findings, 11, "raw log2(1+b) bound")
+}
+
+// The tightened value stored into a field stays clean: subtraction before
+// the store classifies the field TIGHT, not RAW.
+func TestBoundconstTightenedFieldClean(t *testing.T) {
+	findings, suppressed := runCheck(t, "boundconst", map[string]string{
+		"a.go": `package fixture
+
+type tr struct {
+	AbsBound float64
+}
+
+func log2(x float64) float64 { return x }
+
+func Forward(b, margin float64) *tr {
+	t := &tr{}
+	t.AbsBound = log2(1+b) - margin
+	return t
+}
+
+func Run(b float64) {
+	t := Forward(b, 1e-9)
+	Quantize(nil, t.AbsBound)
+}
+
+func Quantize(data []float64, bound float64) {}
+`,
+	})
+	wantClean(t, findings, suppressed, 0)
+}
+
+// --- limitreach through struct fields ------------------------------------
+
+// A length parsed into a header field in the entry taints an allocation
+// sized by a read of that field in a callee.
+func TestLimitreachFieldCarriedLength(t *testing.T) {
+	findings, _ := runCheck(t, "limitreach", map[string]string{
+		"a.go": `package fixture
+
+type header struct {
+	N int
+}
+
+func Decode(buf []byte) []byte {
+	h := &header{}
+	h.N = int(buf[0])
+	return alloc(h)
+}
+
+func alloc(h *header) []byte {
+	return make([]byte, h.N)
+}
+`,
+	})
+	wantOne(t, findings, 14, "allocation size derives from decoder input")
+}
+
+// A //lint:allow at an intermediate chain hop (the entry's call site)
+// suppresses an interprocedural finding reported at the sink.
+func TestLimitreachAllowAtChainHop(t *testing.T) {
+	findings, suppressed := runCheck(t, "limitreach", map[string]string{
+		"a.go": `package fixture
+
+func DecompressStream(buf []byte) []float64 {
+	n := int(buf[0])
+	//lint:allow limitreach audited: n is bounded by the framing layer
+	return readBody(buf, n)
+}
+
+func readBody(buf []byte, n int) []float64 {
+	return grow(n)
+}
+
+func grow(n int) []float64 {
+	return make([]float64, n)
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 1)
+}
+
+// --- closures -------------------------------------------------------------
+
+// A func literal handed to pool-style plumbing is analyzed inline: the
+// captured tainted length sizing a make inside the literal is the
+// enclosing entry's event.
+func TestLimitreachClosureCapturedLength(t *testing.T) {
+	findings, _ := runCheck(t, "limitreach", map[string]string{
+		"a.go": `package fixture
+
+func runPool(f func()) { f() }
+
+func Decompress(buf []byte) []byte {
+	n := int(buf[0])
+	var out []byte
+	runPool(func() {
+		out = make([]byte, n)
+	})
+	return out
+}
+`,
+	})
+	wantOne(t, findings, 9, "allocation size derives from decoder input")
+}
+
+// Field taint read through a captured struct pointer inside a worker
+// literal: the field store in the entry reaches the closure's make.
+func TestLimitreachClosureCapturedFieldTaint(t *testing.T) {
+	findings, _ := runCheck(t, "limitreach", map[string]string{
+		"a.go": `package fixture
+
+type header struct {
+	N int
+}
+
+func runPool(f func()) { f() }
+
+func Decode(buf []byte) []byte {
+	h := &header{}
+	h.N = int(buf[0])
+	var out []byte
+	runPool(func() {
+		out = make([]byte, h.N)
+	})
+	return out
+}
+`,
+	})
+	wantOne(t, findings, 14, "allocation size derives from decoder input")
+}
+
+// A guard inside the literal sanitizes the captured variable for the
+// literal's own body.
+func TestLimitreachClosureGuardedClean(t *testing.T) {
+	findings, suppressed := runCheck(t, "limitreach", map[string]string{
+		"a.go": `package fixture
+
+func runPool(f func()) { f() }
+
+func Decompress(buf []byte) []byte {
+	n := int(buf[0])
+	var out []byte
+	runPool(func() {
+		if n > 1024 {
+			return
+		}
+		out = make([]byte, n)
+	})
+	return out
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 0)
+}
+
+// --- purity closures ------------------------------------------------------
+
+// A pool-run literal writing package-level state is reported directly,
+// naming the enclosing function and the pool callee.
+func TestPurityClosureWritesPackageState(t *testing.T) {
+	findings, _ := runCheck(t, "purity", map[string]string{
+		"a.go": `package fixture
+
+var counter int
+
+func runPool(fns ...func()) {}
+
+func Process() {
+	runPool(func() {
+		counter++
+	})
+}
+`,
+	})
+	wantOne(t, findings, 9, "func literal in fixture.Process runs on a worker pool (runPool)")
+	if !strings.Contains(findings[0].Message, "counter") {
+		t.Errorf("message %q does not name the written variable", findings[0].Message)
+	}
+}
+
+// A literal that only writes captured locals stays clean.
+func TestPurityClosureLocalWritesClean(t *testing.T) {
+	findings, suppressed := runCheck(t, "purity", map[string]string{
+		"a.go": `package fixture
+
+func runPool(fns ...func()) {}
+
+func Process(out []float64) {
+	sum := 0.0
+	runPool(func() {
+		sum += 1
+		out[0] = sum
+	})
+}
+`,
+	})
+	wantClean(t, findings, suppressed, 0)
+}

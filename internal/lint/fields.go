@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Field sensitivity support shared by the taint (summary.go) and
+// bound-provenance (check_boundconst.go) layers.
+//
+// Struct fields are tracked by a module-stable string key
+// ("pkgpath.Type.Field") rather than by types.Object: each lint unit is
+// type-checked separately, so the same field has one object identity in
+// its package's own unit and another in the dependency instance other
+// units import. String keys are identical across both.
+//
+// Within one function the evaluators accumulate flow-insensitive
+// per-field masks (a store anywhere in the body reaches a read anywhere
+// in the body — fields live in heap objects the engine does not
+// disambiguate); the fixed-point drivers reduce each function's field
+// writes to a module-global fieldFacts table that every field read
+// consults, so a store in one function is visible to reads in every
+// other.
+
+// fieldKey builds the stable key for field name of struct type t
+// (pointers are dereferenced). Fields of unnamed struct types return ""
+// and stay untracked.
+func fieldKey(t types.Type, name string) string {
+	for {
+		t = types.Unalias(t)
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name() + "." + name
+	}
+	return obj.Pkg().Path() + "." + obj.Name() + "." + name
+}
+
+// fieldIDOf returns the key of the struct field a selector expression
+// reads or writes, or "" when sel is not a field selection. A field
+// promoted through embedding is keyed by the outermost named type — one
+// key per access path, which is sound for a may-analysis.
+func fieldIDOf(info *types.Info, sel *ast.SelectorExpr) string {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return ""
+	}
+	return fieldKey(s.Recv(), s.Obj().Name())
+}
+
+// lhsFieldSel unwraps an assignment target down to the struct-field
+// selector whose storage the write lands in (x.f, x.f[i], (*p).f, ...),
+// or nil when the target is not a field.
+func lhsFieldSel(l ast.Expr) *ast.SelectorExpr {
+	for {
+		switch e := ast.Unparen(l).(type) {
+		case *ast.SelectorExpr:
+			return e
+		case *ast.IndexExpr:
+			l = e.X
+		case *ast.SliceExpr:
+			l = e.X
+		case *ast.StarExpr:
+			l = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// fieldStores feeds the masks an assignment stores into struct fields to
+// record. Field slots are flow-insensitive, so every store is a weak
+// (OR) update; compound assignments join their right-hand side like
+// plain stores and keep whatever class the field already carried.
+func fieldStores(info *types.Info, s maskState, n *ast.AssignStmt, maskOf func(maskState, ast.Expr) uint64, record func(fid string, m uint64, pos token.Pos)) {
+	rhsMask := func(i int) uint64 {
+		if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+			return maskOf(s, n.Rhs[0])
+		}
+		if i < len(n.Rhs) {
+			return maskOf(s, n.Rhs[i])
+		}
+		return 0
+	}
+	for i, l := range n.Lhs {
+		sel := lhsFieldSel(l)
+		if sel == nil {
+			continue
+		}
+		fid := fieldIDOf(info, sel)
+		if fid == "" {
+			continue
+		}
+		if m := rhsMask(i); m != 0 {
+			record(fid, m, l.Pos())
+		}
+	}
+}
+
+// compositeFieldStores records the masks a struct composite literal
+// stores into its fields (T{F: v} and positional T{v} forms).
+func compositeFieldStores(info *types.Info, s maskState, lit *ast.CompositeLit, maskOf func(maskState, ast.Expr) uint64, record func(fid string, m uint64, pos token.Pos)) {
+	t := typeOf(info, lit)
+	if t == nil {
+		return
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i, elt := range lit.Elts {
+		var name string
+		var val ast.Expr
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			id, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			name, val = id.Name, kv.Value
+		} else {
+			if i >= st.NumFields() {
+				break
+			}
+			name, val = st.Field(i).Name(), elt
+		}
+		fid := fieldKey(t, name)
+		if fid == "" {
+			continue
+		}
+		if m := maskOf(s, val); m != 0 {
+			record(fid, m, elt.Pos())
+		}
+	}
+}
+
+// fieldFacts is a module-global field table built by a fixed-point
+// driver: for each field key, the joined fact mask stored into it
+// anywhere in the module (the seed bit for the taint layer, class bits
+// for the bound-provenance layer), plus the first witness store site.
+type fieldFacts struct {
+	masks map[string]uint64
+	sites map[string]*ipSite
+}
+
+func newFieldFacts() *fieldFacts {
+	return &fieldFacts{masks: map[string]uint64{}, sites: map[string]*ipSite{}}
+}
+
+// add joins mask m into fid's fact and reports whether the fact grew.
+func (ft *fieldFacts) add(fid string, m uint64, site *ipSite) bool {
+	old := ft.masks[fid]
+	if old|m == old {
+		return false
+	}
+	ft.masks[fid] = old | m
+	if ft.sites[fid] == nil && site != nil {
+		ft.sites[fid] = site
+	}
+	return true
+}
+
+// prependChain returns a copy of chain pre with its sink hop linked to
+// next (used to graft a field store's witness onto a sink's chain).
+func prependChain(pre, next *ipSite) *ipSite {
+	if pre == nil {
+		return next
+	}
+	head := &ipSite{fn: pre.fn, pos: pre.pos}
+	tail := head
+	for p := pre.next; p != nil; p = p.next {
+		tail.next = &ipSite{fn: p.fn, pos: p.pos}
+		tail = tail.next
+	}
+	tail.next = next
+	return head
+}
+
+// cloneMasks / masksEqual support the per-function stabilization loop
+// over the flow-insensitive field slots.
+func cloneMasks(m map[string]uint64) map[string]uint64 {
+	c := make(map[string]uint64, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+func masksEqual(a, b map[string]uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

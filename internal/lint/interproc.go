@@ -44,6 +44,10 @@ type ipResult struct {
 	entries map[string]uint64
 	// reachable marks every function reachable from some entry.
 	reachable map[string]bool
+	// fields is the module-global field table: a field key maps to
+	// ipSeedBit when some entry-reachable function stores decode-derived
+	// (or entry-parameter) data into it.
+	fields *fieldFacts
 }
 
 // interproc builds (once) and returns the module's interprocedural
@@ -56,6 +60,31 @@ func (m *Module) interproc() *ipResult {
 func buildInterproc(m *Module) *ipResult {
 	units := ipUnits(m)
 	g := m.Graph()
+
+	// Entries and entry-reachability are derived from the declarations
+	// and the call graph alone, so they are computed before the fixpoint:
+	// the field-fact globalization below needs to know, per writer,
+	// whether a stored mask is attacker-equivalent.
+	r := &ipResult{units: units, entries: map[string]uint64{}, fields: newFieldFacts()}
+	for id, u := range units {
+		name := u.decl.Name.Name
+		if !ipEntryRe.MatchString(name) || !ast.IsExported(name) {
+			continue
+		}
+		var mask uint64
+		for i, p := range u.params {
+			if p != nil && untrustedParamType(p.Type()) {
+				mask |= paramBit(i)
+			}
+		}
+		r.entries[id] = mask
+	}
+	entryIDs := make([]string, 0, len(r.entries))
+	for id := range r.entries {
+		entryIDs = append(entryIDs, id)
+	}
+	sort.Strings(entryIDs)
+	r.reachable = g.reachableFrom(entryIDs)
 
 	// Reverse edges restricted to summarized functions, deduplicated.
 	callers := map[string][]string{}
@@ -76,48 +105,94 @@ func buildInterproc(m *Module) *ipResult {
 	}
 
 	sums := map[string]*ipSummary{}
-	queue := bottomUpOrder(g, units)
+	var queue []string
 	inQueue := map[string]bool{}
-	for _, id := range queue {
-		inQueue[id] = true
+	enqueue := func(id string) {
+		if !inQueue[id] && units[id] != nil {
+			inQueue[id] = true
+			queue = append(queue, id)
+		}
 	}
-	for len(queue) > 0 {
-		id := queue[0]
-		queue = queue[1:]
-		inQueue[id] = false
-		ns := ipAnalyze(units[id], sums)
-		changed := !ipEqual(sums[id], ns)
-		sums[id] = ns
-		if changed {
-			for _, c := range callers[id] {
-				if !inQueue[c] {
-					inQueue[c] = true
-					queue = append(queue, c)
-				}
+	// enqueueReaders re-queues every summarized function whose analysis
+	// consulted fid's fact, now that the fact has grown. Functions not
+	// yet analyzed will read the grown fact on their first pass.
+	enqueueReaders := func(fid string) {
+		ids := make([]string, 0, len(sums))
+		for id := range sums {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			if s := sums[id]; s != nil && s.fieldReads[fid] {
+				enqueue(id)
+			}
+		}
+	}
+	// globalize reduces one function's field writes to module facts: a
+	// store is attacker-equivalent (seed) when it carries decode-read
+	// taint in an entry-reachable function, or one of the writer's own
+	// untrusted entry parameters.
+	globalize := func(id string, sum *ipSummary) {
+		emask := r.entries[id]
+		fids := make([]string, 0, len(sum.fieldWrites))
+		for fid := range sum.fieldWrites {
+			fids = append(fids, fid)
+		}
+		sort.Strings(fids)
+		for _, fid := range fids {
+			fm := sum.fieldWrites[fid]
+			var gl uint64
+			if fm&ipSeedBit != 0 && r.reachable[id] {
+				gl |= ipSeedBit
+			}
+			if fm&emask != 0 {
+				gl |= ipSeedBit
+			}
+			if gl != 0 && r.fields.add(fid, gl, nil) {
+				enqueueReaders(fid)
 			}
 		}
 	}
 
-	r := &ipResult{units: units, sums: sums, entries: map[string]uint64{}}
-	for id, u := range units {
-		name := u.decl.Name.Name
-		if !ipEntryRe.MatchString(name) || !ast.IsExported(name) {
-			continue
+	// Prime unchanged functions from the incremental cache, then seed
+	// the worklist with everything that still needs analysis.
+	if pr := m.prime; pr != nil {
+		primed := make([]string, 0, len(pr.ip))
+		for id := range pr.ip {
+			primed = append(primed, id)
 		}
-		var mask uint64
-		for i, p := range u.params {
-			if p != nil && untrustedParamType(p.Type()) {
-				mask |= paramBit(i)
+		sort.Strings(primed)
+		for _, id := range primed {
+			if units[id] == nil {
+				continue
+			}
+			sums[id] = pr.ip[id]
+			m.Stats.FuncsReused++
+			globalize(id, sums[id])
+		}
+	}
+	m.Stats.FuncsTotal += len(units)
+	for _, id := range bottomUpOrder(g, units) {
+		if sums[id] == nil {
+			enqueue(id)
+		}
+	}
+
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		inQueue[id] = false
+		ns := ipAnalyze(units[id], sums, r.fields)
+		changed := !ipEqual(sums[id], ns)
+		sums[id] = ns
+		globalize(id, ns)
+		if changed {
+			for _, c := range callers[id] {
+				enqueue(c)
 			}
 		}
-		r.entries[id] = mask
 	}
-	entryIDs := make([]string, 0, len(r.entries))
-	for id := range r.entries {
-		entryIDs = append(entryIDs, id)
-	}
-	sort.Strings(entryIDs)
-	r.reachable = g.reachableFrom(entryIDs)
+	r.sums = sums
 	return r
 }
 
@@ -177,7 +252,8 @@ type ipHit struct {
 // hits extracts the module's findings of one kind, deduplicated by sink
 // position (keeping the longest witness chain). When directSeed is false,
 // single-function seed-only events are dropped — those are intraprocedural
-// facts already owned by decodebound.
+// facts already owned by decodebound — except when the flow crossed a
+// struct field or lives inside a closure, which decodebound cannot see.
 func (r *ipResult) hits(kind ipKind, directSeed bool) []ipHit {
 	ids := make([]string, 0, len(r.units))
 	for id := range r.units {
@@ -211,7 +287,8 @@ func (r *ipResult) hits(kind ipKind, directSeed bool) []ipHit {
 				chain = append(chain, s)
 			}
 			seedOnly := e.mask&tEff&^ipSeedBit == 0
-			if seedOnly && len(chain) == 1 && !directSeed {
+			if seedOnly && len(chain) == 1 && !directSeed &&
+				!e.closure && e.mask&ipFieldBit == 0 {
 				continue
 			}
 			h := ipHit{sink: chain[len(chain)-1].pos, chain: chain, seed: seedOnly}
@@ -226,6 +303,17 @@ func (r *ipResult) hits(kind ipKind, directSeed bool) []ipHit {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].sink < out[j].sink })
 	return out
+}
+
+// decorate attaches the witness chain to a finding: the rendered hops
+// for display, and the hop positions so a //lint:allow directive at any
+// chain site (the seed store, an intermediate call, the sink) suppresses
+// the finding.
+func (h ipHit) decorate(f *Finding, m *Module) {
+	f.Chain = h.chainStrings(m)
+	for _, s := range h.chain {
+		f.ChainPos = append(f.ChainPos, m.Fset.Position(s.pos))
+	}
 }
 
 // chainStrings renders the witness chain for a Finding, one hop per

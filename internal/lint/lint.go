@@ -74,6 +74,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Finding is one reported violation. Interprocedural checks attach the
@@ -86,6 +87,12 @@ type Finding struct {
 	Col     int            `json:"col"`
 	Message string         `json:"message"`
 	Chain   []string       `json:"chain,omitempty"`
+	// ChainPos carries the witness chain's source positions (entry
+	// first, sink last) so a //lint:allow directive can live at any hop
+	// of an interprocedural finding — in particular at the seed site
+	// (the store or entry that makes the flow real) rather than only at
+	// the sink.
+	ChainPos []token.Position `json:"-"`
 }
 
 func (f Finding) String() string {
@@ -169,6 +176,12 @@ type Module struct {
 
 	purityOnce sync.Once
 	pur        *purityData
+
+	// prime holds summaries deserialized from an incremental cache
+	// (cache.go), consulted by the fixed-point drivers; Stats counts
+	// their reuse for -stats reporting.
+	prime *primedState
+	Stats CacheStats
 }
 
 // FindModuleRoot ascends from dir to the nearest directory containing
@@ -292,9 +305,28 @@ func LoadSources(files map[string]string) (*Module, error) {
 // module-wide pass attributes to a package that a per-function pass also
 // reported) are collapsed to one.
 func (m *Module) Run(checks []Check) (findings []Finding, suppressed int) {
+	findings, suppressed, _ = m.RunTimed(checks)
+	return findings, suppressed
+}
+
+// CheckTime is one check's wall-clock cost over the whole module. The
+// lazily built shared analyses (call graph, interprocedural and
+// bound-provenance fixpoints) are attributed to whichever check triggers
+// them first, in AllChecks order.
+type CheckTime struct {
+	Name string
+	Wall time.Duration
+}
+
+// RunTimed is Run with per-check wall-time accounting for -stats.
+func (m *Module) RunTimed(checks []Check) (findings []Finding, suppressed int, times []CheckTime) {
+	wall := make([]time.Duration, len(checks))
 	for _, pkg := range m.Packages {
-		for _, c := range checks {
-			for _, f := range c.Run(pkg) {
+		for ci, c := range checks {
+			start := time.Now()
+			fs := c.Run(pkg)
+			wall[ci] += time.Since(start)
+			for _, f := range fs {
 				if m.isAllowed(f) {
 					suppressed++
 					continue
@@ -302,6 +334,9 @@ func (m *Module) Run(checks []Check) (findings []Finding, suppressed int) {
 				findings = append(findings, f)
 			}
 		}
+	}
+	for i, c := range checks {
+		times = append(times, CheckTime{Name: c.Name(), Wall: wall[i]})
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
@@ -327,19 +362,36 @@ func (m *Module) Run(checks []Check) (findings []Finding, suppressed int) {
 		}
 		dedup = append(dedup, f)
 	}
-	return dedup, suppressed
+	return dedup, suppressed, times
 }
 
 // allowRe matches the suppression directive.
 var allowRe = regexp.MustCompile(`^//lint:allow\s+([a-z0-9_,]+)(\s|$)`)
 
-// isAllowed reports whether a //lint:allow directive on the finding's line
-// or the line directly above names the finding's check (or "all").
+// isAllowed reports whether a //lint:allow directive names the finding's
+// check (or "all") at the finding's own line — or at any hop of its
+// witness chain, so interprocedural findings can be suppressed where the
+// flow starts (the seed store or entry) instead of at every sink it
+// reaches.
 func (m *Module) isAllowed(f Finding) bool {
-	lines := m.allowed[f.File]
-	for _, line := range []int{f.Line, f.Line - 1} {
-		for _, name := range lines[line] {
-			if name == f.Check || name == "all" {
+	if m.allowedAt(f.Check, f.File, f.Line) {
+		return true
+	}
+	for _, p := range f.ChainPos {
+		if m.allowedAt(f.Check, p.Filename, p.Line) {
+			return true
+		}
+	}
+	return false
+}
+
+// allowedAt reports whether file:line (or the line directly above)
+// carries a //lint:allow directive naming check.
+func (m *Module) allowedAt(check, file string, line int) bool {
+	lines := m.allowed[file]
+	for _, l := range []int{line, line - 1} {
+		for _, name := range lines[l] {
+			if name == check || name == "all" {
 				return true
 			}
 		}

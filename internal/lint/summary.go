@@ -26,19 +26,37 @@ import (
 // call (checkElements, checkChunkBytes, Validate, ...), which is how
 // DecodeLimits enforcement is recognized across call boundaries.
 //
-// Shared limitations with the intraprocedural engine, by design: struct
-// fields and closures are untracked, and interface-method calls have no
-// body to summarize (nopanic's conservative interface expansion does not
-// apply here — a may-taint analysis expanding to every implementation
-// would drown real findings in impossible ones).
+// Struct fields are tracked field-sensitively (fields.go): stores into a
+// named type's field accumulate per-function fieldWrites, the driver
+// reduces them to a module-global fact table, and reads join the global
+// fact back in — so a length parsed into Header.N in one function taints
+// make(..., h.N) in another. Closure bodies are analyzed inline with the
+// enclosing function's state as the captured-variable boundary (a literal
+// handed to pool/stream plumbing executes with those variables), and
+// their sinks are recorded as the enclosing function's events. Remaining
+// opaque, by design: interface-method calls without a concrete target
+// have no body to summarize (nopanic's conservative interface expansion
+// does not apply here — a may-taint analysis expanding to every
+// implementation would drown real findings in impossible ones).
 
 // Mask layout: bits [0, ipMaxParams) are parameter bits, ipSeedBit marks
-// decode-input-derived values. Parameters beyond ipMaxParams get no bit
-// (they silently lose interprocedural tracking; no module function comes
-// close).
+// decode-input-derived values, ipFieldBit marks values that flowed
+// through a struct-field read (so the driver can tell field-mediated
+// facts from the purely local ones decodebound already owns). Parameters
+// beyond ipMaxParams get no bit (they silently lose interprocedural
+// tracking; no module function comes close).
 const ipMaxParams = 60
 
-const ipSeedBit = uint64(1) << 62
+const (
+	ipSeedBit  = uint64(1) << 62
+	ipFieldBit = uint64(1) << 61
+)
+
+// ipParamMask covers every parameter bit.
+const ipParamMask = uint64(1)<<ipMaxParams - 1
+
+// ipMaxClosureDepth bounds nested closure inlining.
+const ipMaxClosureDepth = 4
 
 type ipKind uint8
 
@@ -66,11 +84,13 @@ func (s *ipSite) sink() *ipSite {
 
 // ipEvent is one sink reached by tainted data inside a function: mask
 // says which taints can reach it (parameter bits and/or the seed bit),
-// site is the witness chain from this function down to the sink.
+// site is the witness chain from this function down to the sink, and
+// closure marks sinks found inside an inlined function literal.
 type ipEvent struct {
-	kind ipKind
-	mask uint64
-	site *ipSite
+	kind    ipKind
+	mask    uint64
+	site    *ipSite
+	closure bool
 }
 
 // ipSummary is the interprocedural abstract of one function.
@@ -88,6 +108,14 @@ type ipSummary struct {
 	loopVia   map[int]*ipSite
 	// events are all taint-reaches-sink facts observed in the body.
 	events []ipEvent
+	// fieldWrites joins, per module-stable field key (fields.go), the
+	// masks this function may store into that field — directly, through
+	// a composite literal, or through a callee (the callee's parameter
+	// bits translated to this function's argument masks).
+	fieldWrites map[string]uint64
+	// fieldReads records the fields whose fact this function's analysis
+	// consulted, so the driver can re-enqueue readers when a fact grows.
+	fieldReads map[string]bool
 }
 
 func (s *ipSummary) via(k ipKind) map[int]*ipSite {
@@ -104,12 +132,16 @@ func (s *ipSummary) via(k ipKind) map[int]*ipSite {
 // ipEqual reports whether two summaries agree on everything callers can
 // observe (the fixed-point termination test). Witness chains are
 // deliberately not compared: once a parameter's key is present any
-// recorded chain is a valid witness.
+// recorded chain is a valid witness. fieldReads is bookkeeping for the
+// driver, not caller-observable, and is not compared either.
 func ipEqual(a, b *ipSummary) bool {
 	if a == nil || b == nil {
 		return a == b
 	}
 	if a.retMask != b.retMask || a.retSeed != b.retSeed {
+		return false
+	}
+	if !masksEqual(a.fieldWrites, b.fieldWrites) {
 		return false
 	}
 	for _, k := range []ipKind{ipAlloc, ipNarrow, ipLoop} {
@@ -409,24 +441,30 @@ var ipGuardRe = regexp.MustCompile(`^[Cc]heck[A-Z0-9_]|^[Vv]alid(ate)?([A-Z0-9_]
 
 // ipEval computes one function's summary.
 type ipEval struct {
-	u     *funcUnit
-	info  *types.Info
-	sums  map[string]*ipSummary
-	sum   *ipSummary
-	evIdx map[uint64]int // (kind, sink pos) -> index into sum.events
+	u      *funcUnit
+	info   *types.Info
+	sums   map[string]*ipSummary
+	fields *fieldFacts
+	sum    *ipSummary
+	evIdx  map[uint64]int // (kind, sink pos) -> index into sum.events
+	depth  int            // closure nesting depth (0 = the declared body)
 }
 
 // ipAnalyze runs the mask-taint analysis over u's body using the current
-// callee summaries and returns a fresh summary.
-func ipAnalyze(u *funcUnit, sums map[string]*ipSummary) *ipSummary {
+// callee summaries and the module-global field facts, and returns a
+// fresh summary.
+func ipAnalyze(u *funcUnit, sums map[string]*ipSummary, fields *fieldFacts) *ipSummary {
 	ev := &ipEval{
-		u:    u,
-		info: u.pkg.Info,
-		sums: sums,
+		u:      u,
+		info:   u.pkg.Info,
+		sums:   sums,
+		fields: fields,
 		sum: &ipSummary{
-			allocVia:  map[int]*ipSite{},
-			narrowVia: map[int]*ipSite{},
-			loopVia:   map[int]*ipSite{},
+			allocVia:    map[int]*ipSite{},
+			narrowVia:   map[int]*ipSite{},
+			loopVia:     map[int]*ipSite{},
+			fieldWrites: map[string]uint64{},
+			fieldReads:  map[string]bool{},
 		},
 		evIdx: map[uint64]int{},
 	}
@@ -437,38 +475,60 @@ func ipAnalyze(u *funcUnit, sums map[string]*ipSummary) *ipSummary {
 		}
 	}
 	g := u.cfgOf()
-	in := g.maskFlow(boundary, func(b *cfgBlock, s maskState) maskState {
-		for _, n := range b.nodes {
-			ev.step(s, n, false)
+	// Field slots are flow-insensitive, so a read the pass visits early
+	// can depend on a store it has not reached yet: iterate the whole
+	// propagate+report pipeline until the function's field-write set
+	// stops growing. Masks only grow, so this terminates (the cap is a
+	// backstop). Events deduplicate by sink, so re-reporting only joins
+	// masks.
+	for iter := 0; iter < 8; iter++ {
+		before := cloneMasks(ev.sum.fieldWrites)
+		in := g.maskFlow(boundary, func(b *cfgBlock, s maskState) maskState {
+			for _, n := range b.nodes {
+				ev.step(s, n, false)
+			}
+			return s
+		})
+		for _, b := range g.reversePostorder() {
+			s, ok := in[b]
+			if !ok {
+				continue
+			}
+			s = s.clone()
+			for _, n := range b.nodes {
+				ev.step(s, n, true)
+			}
 		}
-		return s
-	})
-	for _, b := range g.reversePostorder() {
-		s, ok := in[b]
-		if !ok {
-			continue
-		}
-		s = s.clone()
-		for _, n := range b.nodes {
-			ev.step(s, n, true)
+		if masksEqual(before, ev.sum.fieldWrites) {
+			break
 		}
 	}
-	// Derive the per-parameter witness maps from the recorded events.
-	for _, e := range ev.sum.events {
-		via := ev.sum.via(e.kind)
-		for i := range u.params {
+	finishIPSummary(ev.sum)
+	return ev.sum
+}
+
+// finishIPSummary derives the per-parameter witness maps from the
+// recorded events (shared with cache deserialization). Event masks only
+// carry bits of parameters that exist, so iterating the full bit range
+// is equivalent to iterating the parameter list.
+func finishIPSummary(sum *ipSummary) {
+	for _, e := range sum.events {
+		via := sum.via(e.kind)
+		for i := 0; i < ipMaxParams; i++ {
 			if e.mask&paramBit(i) != 0 && via[i] == nil {
 				via[i] = e.site
 			}
 		}
 	}
-	return ev.sum
 }
 
 // step applies node n to state s; in the report pass it first records
 // sink events against the pre-state (mirroring decodebound's two-pass
-// structure).
+// structure) and then inlines any function literals the node evaluates.
 func (ev *ipEval) step(s maskState, n ast.Node, report bool) {
+	if !report {
+		ev.callFieldEffects(s, n)
+	}
 	switch n := n.(type) {
 	case guardCond:
 		if report {
@@ -484,12 +544,15 @@ func (ev *ipEval) step(s maskState, n ast.Node, report bool) {
 	case *ast.AssignStmt:
 		if report {
 			ev.checkSinks(s, n)
+			ev.closures(s, n)
 		}
 		ev.guardCalls(s, n)
+		fieldStores(ev.info, s, n, ev.maskOf, ev.recordFieldWrite)
 		maskAssign(ev.info, s, n, ev.maskOf)
 	case *ast.DeclStmt:
 		if report {
 			ev.checkSinks(s, n)
+			ev.closures(s, n)
 		}
 		ev.guardCalls(s, n)
 		maskDeclare(ev.info, s, n, ev.maskOf)
@@ -501,14 +564,149 @@ func (ev *ipEval) step(s maskState, n ast.Node, report bool) {
 	case *ast.ReturnStmt:
 		if report {
 			ev.checkSinks(s, n)
+			ev.closures(s, n)
 			ev.collectReturn(s, n)
 		}
 		ev.guardCalls(s, n)
 	default:
 		if report {
 			ev.checkSinks(s, n)
+			ev.closures(s, n)
 		}
 		ev.guardCalls(s, n)
+	}
+}
+
+// recordFieldWrite joins mask m into the summary's slot for field fid.
+// The field-read marker is stripped: it tags read origins, not stored
+// values.
+func (ev *ipEval) recordFieldWrite(fid string, m uint64, pos token.Pos) {
+	_ = pos // the taint layer does not keep store sites; boundconst does
+	if m &= ^ipFieldBit; m != 0 {
+		ev.sum.fieldWrites[fid] |= m
+	}
+}
+
+// callFieldEffects folds a summarized callee's field writes into the
+// caller: the callee's parameter bits translate through the call's
+// argument masks, so a setter that stores its argument into a struct
+// field taints that field with whatever each caller passes (method
+// receivers translate the same way, as parameter 0).
+func (ev *ipEval) callFieldEffects(s maskState, n ast.Node) {
+	inspectEvaluated(n, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok || isConversion(ev.info, call) || builtinName(ev.info, call) != "" {
+			return true
+		}
+		fn := staticCallee(ev.info, call)
+		if fn == nil {
+			return true
+		}
+		cs := ev.sums[funcID(fn)]
+		if cs == nil || len(cs.fieldWrites) == 0 {
+			return true
+		}
+		am := ev.argMasks(s, call, fn)
+		for fid, fm := range cs.fieldWrites {
+			t := fm &^ ipParamMask // seed and class bits pass through as-is
+			for j, a := range am {
+				if fm&paramBit(j) != 0 {
+					t |= a
+				}
+			}
+			ev.recordFieldWrite(fid, t, call.Pos())
+		}
+		return true
+	})
+}
+
+// closures analyzes the function literals node n evaluates, with the
+// current state as the captured-variable boundary: a literal handed to
+// pool/stream plumbing (or started by go/defer, or invoked in place)
+// executes with the enclosing function's variables, so its sinks are the
+// enclosing function's sinks. Parameters of immediately invoked literals
+// (including go/defer calls) bind to the call's argument masks; literals
+// passed as values get unbound parameters.
+func (ev *ipEval) closures(s maskState, n ast.Node) {
+	var visit func(x ast.Node) bool
+	visit = func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.CallExpr:
+			if lit, ok := ast.Unparen(x.Fun).(*ast.FuncLit); ok {
+				args := make([]uint64, len(x.Args))
+				for i, a := range x.Args {
+					args[i] = ev.maskOf(s, a)
+					ast.Inspect(a, visit)
+				}
+				ev.analyzeFuncLit(s, lit, args)
+				return false
+			}
+		case *ast.FuncLit:
+			ev.analyzeFuncLit(s, x, nil)
+			return false
+		}
+		return true
+	}
+	n = unwrapCond(n)
+	if r, ok := n.(*ast.RangeStmt); ok {
+		// Only the range operand is evaluated here; the body lives in
+		// successor blocks.
+		ast.Inspect(r.X, visit)
+		return
+	}
+	ast.Inspect(n, visit)
+}
+
+// analyzeFuncLit runs the full propagate+report pipeline over a function
+// literal's body. Captured variables keep their masks from the enclosing
+// state (object identities hold across the closure boundary within one
+// unit); the literal's own parameters bind to args when provided.
+func (ev *ipEval) analyzeFuncLit(s maskState, lit *ast.FuncLit, args []uint64) {
+	if ev.depth >= ipMaxClosureDepth || lit.Body == nil {
+		return
+	}
+	boundary := s.clone()
+	i := 0
+	if lit.Type.Params != nil {
+		for _, f := range lit.Type.Params.List {
+			if len(f.Names) == 0 {
+				i++
+				continue
+			}
+			for _, name := range f.Names {
+				if o := ev.info.Defs[name]; o != nil {
+					var m uint64
+					if i < len(args) {
+						m = args[i]
+					}
+					if m != 0 {
+						boundary[o] = m
+					} else {
+						delete(boundary, o)
+					}
+				}
+				i++
+			}
+		}
+	}
+	ev.depth++
+	defer func() { ev.depth-- }()
+	g := buildCFG(lit.Body)
+	in := g.maskFlow(boundary, func(b *cfgBlock, st maskState) maskState {
+		for _, nd := range b.nodes {
+			ev.step(st, nd, false)
+		}
+		return st
+	})
+	for _, b := range g.reversePostorder() {
+		st, ok := in[b]
+		if !ok {
+			continue
+		}
+		st = st.clone()
+		for _, nd := range b.nodes {
+			ev.step(st, nd, true)
+		}
 	}
 }
 
@@ -558,8 +756,13 @@ func (ev *ipEval) rangeBind(s maskState, n *ast.RangeStmt) {
 	}
 }
 
-// collectReturn folds a return statement into retMask/retSeed.
+// collectReturn folds a return statement into retMask/retSeed. Returns
+// inside an inlined closure are the literal's, not the enclosing
+// function's, and are skipped.
 func (ev *ipEval) collectReturn(s maskState, n *ast.ReturnStmt) {
+	if ev.depth > 0 {
+		return
+	}
 	var m uint64
 	if len(n.Results) == 0 {
 		for _, o := range ev.u.results {
@@ -570,7 +773,7 @@ func (ev *ipEval) collectReturn(s maskState, n *ast.ReturnStmt) {
 			m |= ev.maskOf(s, e)
 		}
 	}
-	ev.sum.retMask |= m &^ ipSeedBit
+	ev.sum.retMask |= m &^ (ipSeedBit | ipFieldBit)
 	if m&ipSeedBit != 0 {
 		ev.sum.retSeed = true
 	}
@@ -620,8 +823,25 @@ func (ev *ipEval) maskOf(s maskState, e ast.Expr) uint64 {
 		return ev.maskOf(s, e.X)
 	case *ast.TypeAssertExpr:
 		return ev.maskOf(s, e.X)
+	case *ast.SelectorExpr:
+		// Field read: the base value's own taint propagates, joined with
+		// everything stored into the field locally or module-wide. The
+		// marker bit tells the driver the flow crossed a field.
+		m := ev.maskOf(s, e.X)
+		if fid := fieldIDOf(ev.info, e); fid != "" {
+			ev.sum.fieldReads[fid] = true
+			if fm := ev.sum.fieldWrites[fid] | ev.fields.masks[fid]; fm != 0 {
+				m |= fm | ipFieldBit
+			}
+		}
+		return m
+	case *ast.CompositeLit:
+		// The literal's element masks land in the field slots; the
+		// struct value itself carries no size/index taint.
+		compositeFieldStores(ev.info, s, e, ev.maskOf, ev.recordFieldWrite)
+		return 0
 	}
-	// Struct fields, composite literals, closures: untracked.
+	// Anonymous-struct fields and func literals as values: untracked.
 	return 0
 }
 
@@ -725,10 +945,11 @@ func (ev *ipEval) event(kind ipKind, mask uint64, site *ipSite) {
 	key := uint64(site.sink().pos)<<2 | uint64(kind)
 	if i, ok := ev.evIdx[key]; ok {
 		ev.sum.events[i].mask |= mask
+		ev.sum.events[i].closure = ev.sum.events[i].closure || ev.depth > 0
 		return
 	}
 	ev.evIdx[key] = len(ev.sum.events)
-	ev.sum.events = append(ev.sum.events, ipEvent{kind: kind, mask: mask, site: site})
+	ev.sum.events = append(ev.sum.events, ipEvent{kind: kind, mask: mask, site: site, closure: ev.depth > 0})
 }
 
 // checkSinks walks the expressions node n evaluates and records the taint
