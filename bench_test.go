@@ -375,6 +375,54 @@ func BenchmarkDecompressStream(b *testing.B) {
 	}
 }
 
+// BenchmarkReadRows measures the seekable read path on a 10k-chunk
+// container: the 1% range must cost O(touched chunks) — compare its
+// per-op time and chunks/op against the full span, which decodes all
+// 10k. Run `benchtables -exp seek` for the bytes-fetched table.
+func BenchmarkReadRows(b *testing.B) {
+	const rows, stride = 10000, 4
+	data := make([]float64, rows*stride)
+	for i := range data {
+		data[i] = 40*math.Cos(float64(i)/7) + 90
+	}
+	raw := make([]byte, len(data)*8)
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(raw[i*8:], math.Float64bits(v))
+	}
+	var comp bytes.Buffer
+	if _, err := repro.CompressStream(bytes.NewReader(raw), &comp, []int{rows, stride},
+		1e-2, repro.SZT, &repro.StreamOptions{ChunkRows: 1}); err != nil {
+		b.Fatal(err)
+	}
+	stream := comp.Bytes()
+	for _, c := range []struct {
+		name         string
+		start, count uint64
+	}{
+		{"range1pct", rows * 2 / 5, rows / 100},
+		{"fullspan", 0, rows},
+	} {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			h, err := repro.OpenStream(bytes.NewReader(stream))
+			if err != nil {
+				b.Fatal(err)
+			}
+			dst := make([]float64, c.count*stride)
+			b.SetBytes(int64(len(dst)) * 8)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := h.ReadRows(dst, c.start, c.count); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(h.Stats().Chunks)/float64(b.N), "chunks/op")
+		})
+	}
+}
+
 // --- Allocation microbenchmarks (allochot remediation) -----------------
 //
 // Compare with `go test -bench='HuffmanBuild|BitWriter|ISABELA' -benchmem`

@@ -52,6 +52,7 @@ func main() {
 		outdir     = flag.String("outdir", "", "output directory (archive extraction)")
 		stream     = flag.Bool("stream", false, "bounded-memory streaming mode (float64 raw only)")
 		salvage    = flag.Bool("salvage", false, "with -d -stream: recover what survives of a damaged container, NaN-filling lost rows")
+		rowRange   = flag.String("range", "", "with -d -stream: decode only rows start:count (e.g. 4096:128) via the seekable index")
 		workers    = flag.Int("workers", 0, "streaming worker count (default GOMAXPROCS)")
 		chunkRows  = flag.Int("chunk-rows", 0, "rows of the slowest dimension per streamed chunk (default ~256Ki elements)")
 	)
@@ -62,6 +63,12 @@ func main() {
 	}
 	if *salvage && !(*stream && *decompress) {
 		fatalf("-salvage requires -d -stream")
+	}
+	if *rowRange != "" && !(*stream && *decompress) {
+		fatalf("-range requires -d -stream")
+	}
+	if *rowRange != "" && *salvage {
+		fatalf("-range cannot be combined with -salvage (a range read refuses damaged containers)")
 	}
 
 	if *archive {
@@ -94,9 +101,14 @@ func main() {
 			fatalf("-stream supports float64 raw data only")
 		}
 		if *decompress {
-			if *salvage {
+			switch {
+			case *salvage:
 				streamSalvageFile(*in, *out)
-			} else {
+			case *rowRange != "":
+				start, count, err := parseRange(*rowRange)
+				check(err)
+				streamReadRangeFile(*in, *out, start, count, *workers)
+			default:
 				streamDecompressFile(*in, *out)
 			}
 			return
@@ -247,6 +259,46 @@ func streamDecompressFile(in, out string) {
 		st.BytesIn, st.BytesOut, st.Chunks,
 		elapsed.Round(time.Millisecond),
 		float64(st.BytesOut)/1e6/elapsed.Seconds())
+}
+
+// parseRange parses the -range argument "start:count" (rows).
+func parseRange(s string) (start, count uint64, err error) {
+	lo, hi, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad -range %q: want start:count", s)
+	}
+	if start, err = strconv.ParseUint(strings.TrimSpace(lo), 10, 64); err != nil {
+		return 0, 0, fmt.Errorf("bad -range start %q: %v", lo, err)
+	}
+	if count, err = strconv.ParseUint(strings.TrimSpace(hi), 10, 64); err != nil {
+		return 0, 0, fmt.Errorf("bad -range count %q: %v", hi, err)
+	}
+	return start, count, nil
+}
+
+// streamReadRangeFile serves rows [start, start+count) of a sealed
+// stream container through the seekable index: only the touched chunks
+// are fetched and decoded, so the cost scales with the range, not the
+// container.
+func streamReadRangeFile(in, out string, start, count uint64, workers int) {
+	src, err := os.Open(in)
+	check(err)
+	defer src.Close() //lint:allow errdrop read-only input
+	h, err := repro.OpenStream(src, repro.WithWorkers(workers))
+	if err != nil {
+		fatalf("open stream: %v", err)
+	}
+	dst := make([]float64, count*uint64(h.RowStride()))
+	t0 := time.Now()
+	if err := h.ReadRows(dst, start, count); err != nil {
+		fatalf("read rows [%d,+%d): %v", start, count, err)
+	}
+	elapsed := time.Since(t0)
+	check(writeRaw(out, dst, false))
+	st := h.Stats()
+	fmt.Printf("read rows [%d,%d) of %d (dims=%v): %d chunks of %d, %d container bytes fetched, %d bytes out in %v\n",
+		start, start+count, h.Rows(), h.Dims(), st.Chunks, h.Chunks(), st.BytesIn, st.BytesOut,
+		elapsed.Round(time.Millisecond))
 }
 
 // streamSalvageFile recovers the intact chunks of a damaged stream

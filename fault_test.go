@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/faultio"
+	"repro/internal/streamfmt"
 	"repro/internal/testutil"
 )
 
@@ -118,6 +119,17 @@ func bufEntries() []decodeEntry {
 		{"DecompressStream", func(t *testing.T, desc string, buf []byte) error {
 			_, err := DecompressStream(bytes.NewReader(buf), io.Discard)
 			return err
+		}},
+		{"OpenStream", func(t *testing.T, desc string, buf []byte) error {
+			// Limits bound the allocations a mutated header or index could
+			// otherwise demand before the damage is detected.
+			h, err := OpenStream(bytes.NewReader(buf),
+				WithLimits(&DecodeLimits{MaxElements: 1 << 16, MaxChunkBytes: 1 << 20}))
+			if err != nil {
+				return err
+			}
+			dst := make([]float64, h.Rows()*uint64(h.RowStride()))
+			return h.ReadRows(dst, 0, h.Rows())
 		}},
 		{"OpenArchive", func(t *testing.T, desc string, buf []byte) error {
 			r, err := OpenArchive(buf)
@@ -357,6 +369,47 @@ func TestFaultSweepSalvage(t *testing.T) {
 		copy(mut, stream)
 		mut[pos] ^= 0x20
 		check("flip@"+itoa(pos), mut)
+	}
+}
+
+// TestFaultSeekUntouchedChunks proves fault isolation in the seekable
+// path: damage confined to one chunk's frame extent never disturbs a
+// range read that avoids that chunk, while any range read touching it
+// fails with a typed corruption error.
+func TestFaultSeekUntouchedChunks(t *testing.T) {
+	defer testutil.NoLeak(t)()
+	stream := faultCorpus(t)["stream"] // dims {8,5}, ChunkRows 2 → 4 chunks
+	clean := fromLE(rawLEOfDecoded(t, stream))
+	ix, err := streamfmt.OpenIndex(bytes.NewReader(stream), streamfmt.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Chunks() != 4 {
+		t.Fatalf("corpus stream has %d chunks, want 4", ix.Chunks())
+	}
+	lo, hi := ix.FrameExtent(2) // rows [4,6)
+	mut := make([]byte, len(stream))
+	for pos := lo; pos < hi; pos++ {
+		copy(mut, stream)
+		mut[pos] ^= 0x10
+		h, err := OpenStream(bytes.NewReader(mut))
+		if err != nil {
+			t.Fatalf("flip@%d: OpenStream rejected damage outside the index: %v", pos, err)
+		}
+		// Chunks 0 and 1 (rows [0,4)) avoid the damaged extent entirely.
+		dst := make([]float64, 4*5)
+		if err := h.ReadRows(dst, 0, 4); err != nil {
+			t.Fatalf("flip@%d: read of untouched chunks failed: %v", pos, err)
+		}
+		for i := range dst {
+			if math.Float64bits(dst[i]) != math.Float64bits(clean[i]) {
+				t.Fatalf("flip@%d: untouched range altered at element %d", pos, i)
+			}
+		}
+		// Any range that touches chunk 2 must hit the damage and fail typed.
+		if err := h.ReadRows(dst[:2*5], 4, 2); !errors.Is(err, ErrCorrupted) {
+			t.Fatalf("flip@%d: read of damaged chunk: err = %v, want ErrCorrupted", pos, err)
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"io"
 	"math"
@@ -240,6 +241,97 @@ func FuzzDecompressStream(f *testing.F) {
 		want := int64(grid.Size(hr.Header().Dims)) * 8
 		if cw.n != want || st.BytesOut != want {
 			t.Fatalf("decoded %d bytes (stats %d), header geometry implies %d", cw.n, st.BytesOut, want)
+		}
+	})
+}
+
+// FuzzOpenStream asserts the seekable open path never panics, never
+// allocates past its limits, and that any container it accepts either
+// serves its full row range or fails typed — and when the sequential
+// streaming decoder accepts the same bytes, the two outputs must agree.
+func FuzzOpenStream(f *testing.F) {
+	if stream := fuzzStreamContainer(3); stream != nil {
+		f.Add(stream)
+		f.Add(stream[:len(stream)-3]) // clipped index frame
+		crc := append([]byte(nil), stream...)
+		crc[len(crc)-2] ^= 0x40 // index CRC flip
+		f.Add(crc)
+		mid := append([]byte(nil), stream...)
+		mid[len(mid)/2] ^= 0x10 // mid-chunk damage: open succeeds, read fails
+		f.Add(mid)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{streamfmt.Magic, streamfmt.Version, byte(SZT), 1, 12, 3})
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		lim := &DecodeLimits{MaxElements: 1 << 16, MaxChunkBytes: 1 << 20}
+		h, err := OpenStream(bytes.NewReader(buf), WithLimits(lim))
+		if err != nil {
+			return
+		}
+		dst := make([]float64, h.Rows()*uint64(h.RowStride()))
+		rerr := h.ReadRows(dst, 0, h.Rows())
+		var full bytes.Buffer
+		_, ferr := DecompressStreamCtx(context.Background(), bytes.NewReader(buf), &full, lim)
+		if ferr != nil {
+			return // chunk-level damage; the sequential path rejected it too
+		}
+		if rerr != nil {
+			t.Fatalf("sequential decode succeeded but full-range ReadRows failed: %v", rerr)
+		}
+		fb := full.Bytes()
+		if len(fb) != len(dst)*8 {
+			t.Fatalf("ReadRows returned %d elements, sequential decode %d bytes", len(dst), len(fb))
+		}
+		for i := range dst {
+			if math.Float64bits(dst[i]) != binary.LittleEndian.Uint64(fb[i*8:]) {
+				t.Fatalf("element %d: ReadRows %x, sequential %x",
+					i, math.Float64bits(dst[i]), binary.LittleEndian.Uint64(fb[i*8:]))
+			}
+		}
+	})
+}
+
+// FuzzReadRows steers arbitrary row ranges (clamped into the container
+// geometry) at the seekable reader: any outcome must be a typed error or
+// a byte-identical match of the sequential decoder's slice.
+func FuzzReadRows(f *testing.F) {
+	if stream := fuzzStreamContainer(3); stream != nil { // 12×4 rows, 4 chunks
+		f.Add(stream, uint64(0), uint64(12))
+		f.Add(stream, uint64(2), uint64(4)) // straddles a chunk boundary
+		f.Add(stream, uint64(11), uint64(1))
+		f.Add(stream, uint64(5), uint64(0))
+		mid := append([]byte(nil), stream...)
+		mid[len(mid)/2] ^= 0x10 // damage near the middle chunks
+		f.Add(mid, uint64(0), uint64(3))
+		f.Add(mid, uint64(4), uint64(6))
+	}
+	f.Add([]byte{}, uint64(0), uint64(0))
+	f.Fuzz(func(t *testing.T, buf []byte, start, count uint64) {
+		lim := &DecodeLimits{MaxElements: 1 << 16, MaxChunkBytes: 1 << 20}
+		h, err := OpenStream(bytes.NewReader(buf), WithLimits(lim))
+		if err != nil {
+			return
+		}
+		rows := h.Rows()
+		start %= rows + 1 // start == rows is a legal empty tail read
+		count %= rows - start + 1
+		stride := uint64(h.RowStride())
+		dst := make([]float64, count*stride)
+		rerr := h.ReadRows(dst, start, count)
+		var full bytes.Buffer
+		if _, ferr := DecompressStreamCtx(context.Background(), bytes.NewReader(buf), &full, lim); ferr != nil {
+			return // damaged chunks; the range may or may not touch them
+		}
+		if rerr != nil {
+			t.Fatalf("sequential decode succeeded but ReadRows[%d,+%d) failed: %v", start, count, rerr)
+		}
+		fb := full.Bytes()
+		for i := range dst {
+			want := binary.LittleEndian.Uint64(fb[(start*stride+uint64(i))*8:])
+			if math.Float64bits(dst[i]) != want {
+				t.Fatalf("ReadRows[%d,+%d) element %d: %x, sequential decode has %x",
+					start, count, i, math.Float64bits(dst[i]), want)
+			}
 		}
 	})
 }

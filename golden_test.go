@@ -186,3 +186,46 @@ func TestGoldenDecode(t *testing.T) {
 		}
 	}
 }
+
+// TestGoldenSeekableRanges pins the seekable read path to the committed
+// stream fixture: every range shape served by ReadRows must bit-match
+// the corresponding slice of the manifest-verified full decode. Drift in
+// the index-frame layout or the range→chunk mapping fails here against
+// bytes written by the old code, not bytes written by the drifted code.
+func TestGoldenSeekableRanges(t *testing.T) {
+	buf, err := os.ReadFile(filepath.Join(goldenDir, "stream.bin"))
+	if err != nil {
+		t.Fatalf("fixture missing (run -update-golden to create): %v", err)
+	}
+	full, dims, err := repro.DecompressAny(buf)
+	if err != nil {
+		t.Fatalf("stream fixture no longer decodes: %v", err)
+	}
+	if got, want := decodedCRC(full), readManifest(t)["stream"]; got != want {
+		t.Fatalf("full decode CRC %08x, manifest says %08x", got, want)
+	}
+
+	h, err := repro.OpenStream(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("format drift: committed fixture no longer opens seekably: %v", err)
+	}
+	if int(h.Rows()) != dims[0] || h.Chunks() != 3 {
+		t.Fatalf("fixture geometry drifted: rows=%d chunks=%d, want %d/3", h.Rows(), h.Chunks(), dims[0])
+	}
+	stride := uint64(h.RowStride())
+	// The fixture is 8 rows chunked every 3: aligned, straddling, first,
+	// last, full, and empty ranges all exercise distinct chunk mappings.
+	for _, r := range [][2]uint64{{0, 3}, {3, 3}, {2, 4}, {0, 1}, {7, 1}, {0, 8}, {4, 0}} {
+		start, count := r[0], r[1]
+		dst := make([]float64, count*stride)
+		if err := h.ReadRows(dst, start, count); err != nil {
+			t.Fatalf("ReadRows[%d,+%d): %v", start, count, err)
+		}
+		for i := range dst {
+			if want := full[start*stride+uint64(i)]; math.Float64bits(dst[i]) != math.Float64bits(want) {
+				t.Fatalf("ReadRows[%d,+%d) element %d = %x, full decode has %x",
+					start, count, i, math.Float64bits(dst[i]), math.Float64bits(want))
+			}
+		}
+	}
+}

@@ -79,7 +79,7 @@ func ScanSalvage(buf []byte, lim Limits) (*ScanReport, error) {
 	for i := range rep.Frames {
 		rep.Frames[i].Seq = i
 	}
-	if lens, ok := findIndex(buf, rep.HeaderLen, hdr.Chunks()); ok {
+	if lens, _, ok := findIndex(buf, rep.HeaderLen, hdr.Chunks()); ok {
 		rep.IndexOK = true
 		scanWithIndex(buf, rep, lens, lim)
 		return rep, nil
@@ -92,24 +92,30 @@ func ScanSalvage(buf []byte, lim Limits) (*ScanReport, error) {
 // a tagIndex byte whose body parses to exactly `chunks` lengths, whose
 // CRC verifies, and whose frame ends exactly at the end of the buffer.
 // The CRC makes a false positive on payload bytes vanishingly unlikely.
-func findIndex(buf []byte, headerLen int64, chunks int) ([]uint64, bool) {
+// The returned start is the tag byte's offset in buf (the seekable path
+// checks it against the offsets the lengths imply; the salvage path does
+// not need it).
+func findIndex(buf []byte, headerLen int64, chunks int) ([]uint64, int64, bool) {
 	// The smallest index frame is tag + count varint + CRC.
 	for start := int64(len(buf)) - 6; start >= headerLen; start-- {
 		if buf[start] != tagIndex {
 			continue
 		}
 		if lens, ok := parseIndexAt(buf[start+1:], chunks); ok {
-			return lens, true
+			return lens, start, true
 		}
 	}
-	return nil, false
+	return nil, 0, false
 }
 
 // parseIndexAt parses an index body + CRC that must consume body exactly.
 func parseIndexAt(body []byte, chunks int) ([]uint64, bool) {
 	off := 0
 	count, k := binary.Uvarint(body)
-	if k <= 0 || count != uint64(chunks) {
+	// Each length is at least one varint byte, so a count the remaining
+	// body cannot possibly hold is rejected before the lengths slice is
+	// allocated (a header declaring 2^40 chunks must not cost 8 TiB here).
+	if k <= 0 || count != uint64(chunks) || count > uint64(len(body)) {
 		return nil, false
 	}
 	off += k

@@ -1,0 +1,203 @@
+package streamfmt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Seekable access: the sealing index frame at the container tail records
+// every chunk's payload length, so with an io.ReadSeeker the whole chunk
+// offset table can be reconstructed from the header plus the last few
+// hundred bytes — no chunk payload is ever touched. OpenIndex is the
+// trust boundary for that path: it accepts only a container whose index
+// frame verifies (CRC) AND whose implied frame offsets tile the byte
+// range between header and index exactly. Anything less — a missing,
+// truncated, or unverifiable index — is a typed ErrTruncated/ErrCorrupt,
+// never a silent fallback to a prefix scan (that permissive mode exists,
+// but only as the explicit salvage path in ScanSalvage).
+
+// StreamIndex is the parsed header plus the chunk→offset table derived
+// from a verified tail index frame.
+type StreamIndex struct {
+	// Hdr is the container header (shared Dims slice; do not mutate).
+	Hdr Header
+	// HeaderLen is the container offset where chunk frames begin.
+	HeaderLen int64
+	// Size is the total container length in bytes.
+	Size int64
+	// IndexOff is the offset of the index frame's tag byte; chunk frames
+	// occupy [HeaderLen, IndexOff) exactly.
+	IndexOff int64
+	// Lens holds each chunk's payload length, from the verified index.
+	Lens []uint64
+
+	// offsets[i] is chunk i's frame (tag byte) offset; offsets[Chunks()]
+	// is IndexOff, so extents are offsets[i] through offsets[i+1].
+	offsets []int64
+}
+
+// minFrameLen is the smallest possible chunk frame: tag, one-byte length
+// prefix, CRC, one payload byte.
+const minFrameLen = 7
+
+// minIndexLen is the smallest possible index frame: tag, count varint,
+// CRC (a zero-chunk container is invalid, but the bound stays safe).
+const minIndexLen = 6
+
+// OpenIndex parses the header and the tail index frame of the container
+// in rs — never the chunk payloads — and returns the offset table for
+// random chunk access. The limits are enforced before any input-derived
+// allocation: MaxElements against the header geometry, MaxChunkBytes
+// against every index-declared chunk length. rs is left positioned at an
+// unspecified offset; callers must seek before reading.
+func OpenIndex(rs io.ReadSeeker, lim Limits) (*StreamIndex, error) {
+	size, err := rs.Seek(0, io.SeekEnd)
+	if err != nil {
+		return nil, fmt.Errorf("streamfmt: seeking container end: %w", err)
+	}
+	if _, err := rs.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("streamfmt: seeking container start: %w", err)
+	}
+	hr, err := NewReaderLimits(rs, lim)
+	if err != nil {
+		return nil, err
+	}
+	ix := &StreamIndex{Hdr: hr.Header(), HeaderLen: hr.Consumed(), Size: size}
+	chunks := ix.Hdr.Chunks()
+	// Cheapest possible sanity bound, checked before the index window is
+	// even read: the declared chunk count must physically fit.
+	if size-ix.HeaderLen < int64(chunks)*minFrameLen+minIndexLen {
+		return nil, fmt.Errorf("%w: %d-byte container cannot hold %d chunk frames and an index",
+			ErrTruncated, size, chunks)
+	}
+	lens, idxOff, err := ix.findTailIndex(rs, chunks)
+	if err != nil {
+		return nil, err
+	}
+	ix.Lens, ix.IndexOff = lens, idxOff
+
+	// Rebuild the offset table and prove it tiles [HeaderLen, IndexOff)
+	// exactly; the index is not trusted until the arithmetic closes.
+	ix.offsets = make([]int64, chunks+1)
+	off := ix.HeaderLen
+	for i, l := range lens {
+		if l > lim.chunkCap() {
+			return nil, fmt.Errorf("%w: index declares chunk %d of %d bytes, limit %d",
+				ErrLimit, i, l, lim.chunkCap())
+		}
+		ix.offsets[i] = off
+		off += int64(1+uvarintLen(l)+4) + int64(l)
+		if off > idxOff {
+			return nil, fmt.Errorf("%w: index lengths overrun the index frame (chunk %d ends at %d, index at %d)",
+				ErrCorrupt, i, off, idxOff)
+		}
+	}
+	if off != idxOff {
+		return nil, fmt.Errorf("%w: chunk frames end at %d but the index frame begins at %d",
+			ErrCorrupt, off, idxOff)
+	}
+	ix.offsets[chunks] = idxOff
+	return ix, nil
+}
+
+// findTailIndex reads a bounded window off the container tail and
+// locates the sealing index frame in it: a tagIndex byte whose body
+// parses to exactly `chunks` lengths, whose CRC verifies, and whose
+// frame ends exactly at the end of the container.
+func (ix *StreamIndex) findTailIndex(rs io.ReadSeeker, chunks int) ([]uint64, int64, error) {
+	maxIndex := int64(1+binary.MaxVarintLen64+4) + int64(chunks)*binary.MaxVarintLen64
+	winStart := ix.Size - maxIndex
+	if winStart < ix.HeaderLen {
+		winStart = ix.HeaderLen
+	}
+	// The window is bounded by the post-header region of the real file,
+	// whatever the (input-derived, possibly hostile) chunk count says:
+	// an overflowed maxIndex must fail typed, not size an allocation.
+	winLen := ix.Size - winStart
+	if winLen < minIndexLen || winLen > ix.Size-ix.HeaderLen {
+		return nil, 0, fmt.Errorf("%w: %d-chunk index window of %d bytes is impossible in a %d-byte container",
+			ErrCorrupt, chunks, winLen, ix.Size)
+	}
+	if _, err := rs.Seek(winStart, io.SeekStart); err != nil {
+		return nil, 0, fmt.Errorf("streamfmt: seeking container tail: %w", err)
+	}
+	win := make([]byte, winLen)
+	if _, err := io.ReadFull(rs, win); err != nil {
+		return nil, 0, readErr(err, "index window")
+	}
+	if lens, start, ok := findIndex(win, 0, chunks); ok {
+		return lens, winStart + start, nil
+	}
+	return nil, 0, fmt.Errorf("%w: no verifiable index frame at the container tail (unsealed, truncated, or corrupt; salvage can attempt recovery)",
+		ErrCorrupt)
+}
+
+// Chunks returns the number of chunk frames in the container.
+func (ix *StreamIndex) Chunks() int { return len(ix.Lens) }
+
+// FrameExtent returns chunk i's frame byte range [off, end) — tag byte
+// through the end of the payload.
+func (ix *StreamIndex) FrameExtent(i int) (off, end int64) {
+	return ix.offsets[i], ix.offsets[i+1]
+}
+
+// ExtentBytes returns the total container bytes spanned by the chunk
+// frames [c0, c1) — the exact amount a range read must fetch.
+func (ix *StreamIndex) ExtentBytes(c0, c1 int) int64 {
+	return ix.offsets[c1] - ix.offsets[c0]
+}
+
+// FrameReader reads a contiguous run of chunk frames [c0, c1) whose
+// extents are known from the index, CRC-verifying each frame. r must be
+// positioned at chunk c0's frame offset; the reader consumes exactly
+// ExtentBytes(c0, c1) bytes from it on a clean pass.
+type FrameReader struct {
+	ix   *StreamIndex
+	br   *bufio.Reader
+	next int
+	end  int
+	read int64
+}
+
+// Frames returns a FrameReader over chunks [c0, c1) of r.
+func (ix *StreamIndex) Frames(r io.Reader, c0, c1 int) *FrameReader {
+	return &FrameReader{ix: ix, br: bufio.NewReader(r), next: c0, end: c1}
+}
+
+// Next returns the next chunk's CRC-verified payload and its field-order
+// sequence number, reusing scratch when it is large enough. The payload
+// aliases frame, which is the full frame buffer (scratch or a fresh
+// allocation) — callers recycle frame, not payload, so buffer capacity
+// is not lost to the frame header prefix. It returns io.EOF after chunk
+// end-1. Allocating up front from the index length is safe here, unlike
+// the forward path's grow-as-bytes-arrive discipline: OpenIndex has
+// already proven the bytes exist inside the container and capped every
+// length against the limits.
+func (fr *FrameReader) Next(scratch []byte) (payload, frame []byte, seq int, err error) {
+	if fr.next >= fr.end {
+		return nil, nil, fr.next, io.EOF
+	}
+	i := fr.next
+	off, end := fr.ix.FrameExtent(i)
+	n := int(end - off)
+	frame = scratch
+	if n > cap(frame) {
+		frame = make([]byte, n)
+	}
+	frame = frame[:n]
+	if _, err := io.ReadFull(fr.br, frame); err != nil {
+		return nil, nil, i, readErr(err, fmt.Sprintf("chunk %d frame", i))
+	}
+	fr.read += int64(n)
+	payload, reason := verifyFrame(frame, fr.ix.Lens[i])
+	if payload == nil {
+		return nil, nil, i, fmt.Errorf("%w: chunk %d: %s", ErrCorrupt, i, reason)
+	}
+	fr.next++
+	return payload, frame, i, nil
+}
+
+// BytesRead returns the container bytes consumed so far.
+func (fr *FrameReader) BytesRead() int64 { return fr.read }

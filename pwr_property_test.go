@@ -127,6 +127,115 @@ func TestPWRPropertyHarness(t *testing.T) {
 	}
 }
 
+// seekRanges enumerates the adversarial range shapes for a field of
+// `rows` rows chunked every `chunkRows`: chunk-aligned, chunk-straddling,
+// first row, last row, single row, full span, and empty.
+func seekRanges(rows, chunkRows uint64) [][2]uint64 {
+	ranges := [][2]uint64{
+		{0, chunkRows},        // first chunk, aligned
+		{0, 1},                // first row
+		{rows - 1, 1},         // last row
+		{rows / 2, 1},         // single mid row
+		{0, rows},             // full span
+		{0, 0}, {rows / 2, 0}, // empty
+	}
+	if chunkRows < rows {
+		ranges = append(ranges,
+			[2]uint64{chunkRows, chunkRows},     // interior chunk, aligned
+			[2]uint64{chunkRows - 1, 2},         // straddles the first boundary
+			[2]uint64{chunkRows / 2, chunkRows}) // unaligned straddle
+	}
+	for i, r := range ranges {
+		if r[0]+r[1] > rows {
+			ranges[i][1] = rows - r[0]
+		}
+	}
+	return ranges
+}
+
+// TestSeekReadRowsEquivalence is the random-access counterpart of the
+// property harness: for every RelativeAlgorithm × bound × adversarial
+// field, and for both output widths, ReadRows of every adversarial
+// range must be byte-identical to the corresponding slice of a full
+// DecompressStream / DecompressStream32 pass over the same container.
+func TestSeekReadRowsEquivalence(t *testing.T) {
+	fields := testutil.AdversarialFields(20180704)
+	for _, algo := range repro.RelativeAlgorithms() {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			for _, rel := range propertyBounds {
+				for i := range fields {
+					f := &fields[i]
+					name := fmt.Sprintf("%s@%g", f.Name, rel)
+					raw := make([]byte, len(f.Data)*8)
+					for j, v := range f.Data {
+						putLE(raw[j*8:], v)
+					}
+					chunkRows := (f.Dims[0] + 2) / 3 // ≥2 chunks, same as streamRoundTrip
+					if chunkRows < 1 {
+						chunkRows = 1
+					}
+					var comp bytes.Buffer
+					if _, err := repro.CompressStream(bytes.NewReader(raw), &comp, f.Dims, rel, algo,
+						&repro.StreamOptions{Workers: 2, ChunkRows: chunkRows}); err != nil {
+						if f.Extreme {
+							continue
+						}
+						t.Errorf("%s: stream compress: %v", name, err)
+						continue
+					}
+					stream := comp.Bytes()
+
+					var full bytes.Buffer
+					if _, err := repro.DecompressStream(bytes.NewReader(stream), &full); err != nil {
+						t.Fatalf("%s: full decode: %v", name, err)
+					}
+					var full32 bytes.Buffer
+					if _, err := repro.DecompressStream32(bytes.NewReader(stream), &full32); err != nil {
+						t.Fatalf("%s: full float32 decode: %v", name, err)
+					}
+
+					h, err := repro.OpenStream(bytes.NewReader(stream))
+					if err != nil {
+						t.Fatalf("%s: OpenStream: %v", name, err)
+					}
+					rows := h.Rows()
+					stride := uint64(h.RowStride())
+					for _, r := range seekRanges(rows, uint64(chunkRows)) {
+						start, count := r[0], r[1]
+						dst := make([]float64, count*stride)
+						if err := h.ReadRows(dst, start, count); err != nil {
+							t.Errorf("%s: ReadRows[%d,+%d): %v", name, start, count, err)
+							continue
+						}
+						fb := full.Bytes()
+						for j := range dst {
+							want := getLE(fb[(start*stride+uint64(j))*8:])
+							if math.Float64bits(dst[j]) != math.Float64bits(want) {
+								t.Fatalf("%s: ReadRows[%d,+%d) element %d = %x, full decode has %x",
+									name, start, count, j, math.Float64bits(dst[j]), math.Float64bits(want))
+							}
+						}
+						dst32 := make([]float32, count*stride)
+						if err := h.ReadRows32(dst32, start, count); err != nil {
+							t.Errorf("%s: ReadRows32[%d,+%d): %v", name, start, count, err)
+							continue
+						}
+						fb32 := full32.Bytes()
+						for j := range dst32 {
+							want := math.Float32frombits(binary.LittleEndian.Uint32(fb32[(start*stride+uint64(j))*4:]))
+							if math.Float32bits(dst32[j]) != math.Float32bits(want) {
+								t.Fatalf("%s: ReadRows32[%d,+%d) element %d = %x, full decode has %x",
+									name, start, count, j, math.Float32bits(dst32[j]), math.Float32bits(want))
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestPWRPropertyGeneratorDeterministic guards the harness itself: the
 // suite must be reproducible run to run, or failures would not be.
 func TestPWRPropertyGeneratorDeterministic(t *testing.T) {

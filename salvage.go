@@ -16,6 +16,11 @@ import (
 // resynchronize at the next intact frame. Rows covered by lost chunks
 // are filled with NaN so the output keeps the field's exact shape and
 // downstream analysis can mask the holes.
+//
+// Salvage is the one deliberately permissive reader. The seekable path
+// (OpenStream) takes the opposite stance: an index that is missing or
+// fails verification is a typed ErrTruncated/ErrCorrupted refusal, and
+// callers who want whatever survives are pointed here.
 
 // RowRange is a half-open range [Lo, Hi) of dims[0]-rows.
 type RowRange struct{ Lo, Hi int }

@@ -1,0 +1,360 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/streamfmt"
+)
+
+// Seekable random-access decode over the 0xC8 stream container. The
+// paper's transformation is point-wise and the container's chunks are
+// independent self-describing streams, so any contiguous run of
+// dims[0]-rows can be reconstructed from just the chunks that cover it.
+// OpenStream parses the header plus the sealing tail index frame —
+// never the chunk payloads — and the resulting StreamHandle maps row
+// ranges to chunk extents, seeks straight to the first touched frame,
+// and decodes only the touched chunks through a bounded worker pool.
+// A sub-volume read out of a huge post-hoc analysis dump therefore
+// costs O(touched chunks), not O(prefix).
+//
+// Trust model: the handle trusts the index only after streamfmt has
+// verified its CRC and proven that the lengths it declares tile the
+// byte range between header and index exactly; every fetched chunk is
+// still CRC-checked individually before decode. A container whose index
+// is missing or unverifiable fails OpenStream with a typed
+// ErrTruncated/ErrCorrupted — the permissive prefix-scanning mode is
+// only available as the explicit DecompressStreamSalvage path.
+
+// StreamOption configures OpenStream.
+type StreamOption func(*streamConfig)
+
+type streamConfig struct {
+	workers int
+	limits  *DecodeLimits
+	ctx     context.Context
+}
+
+// WithWorkers sets the decode worker-pool size for the handle's range
+// reads (default GOMAXPROCS, clamped to the touched chunk count).
+func WithWorkers(n int) StreamOption {
+	return func(c *streamConfig) { c.workers = n }
+}
+
+// WithLimits applies DecodeLimits to the handle: MaxElements against
+// the header geometry and MaxChunkBytes against every index-declared
+// chunk length, both enforced before any input-derived allocation —
+// exactly as on the forward DecompressStream path.
+func WithLimits(l *DecodeLimits) StreamOption {
+	return func(c *streamConfig) { c.limits = l }
+}
+
+// WithContext sets the handle's default context: ReadRows/ReadRows32
+// honor it for cancellation. ReadRowsCtx overrides it per call.
+func WithContext(ctx context.Context) StreamOption {
+	return func(c *streamConfig) { c.ctx = ctx }
+}
+
+// StreamHandle provides random row access to a stream container. Range
+// reads serialize on the handle (the underlying ReadSeeker has a single
+// position); open one handle per concurrent reader for parallel ranges.
+type StreamHandle struct {
+	mu    sync.Mutex
+	src   io.ReadSeeker
+	ix    *streamfmt.StreamIndex
+	cfg   streamConfig
+	stats StreamStats
+}
+
+// OpenStream opens a seekable view of the stream container in src,
+// parsing the header and the tail index frame only. The container's
+// chunk payloads are not read, let alone decoded, until a range read
+// touches them.
+func OpenStream(src io.ReadSeeker, opts ...StreamOption) (_ *StreamHandle, err error) {
+	defer recoverDecode(&err)
+	cfg := streamConfig{workers: runtime.GOMAXPROCS(0), ctx: context.Background()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.workers < 1 {
+		cfg.workers = runtime.GOMAXPROCS(0)
+	}
+	cfg.ctx = orDefault(cfg.ctx)
+	ix, err := streamfmt.OpenIndex(src, cfg.limits.streamLimits())
+	if err != nil {
+		return nil, err
+	}
+	return &StreamHandle{src: src, ix: ix, cfg: cfg}, nil
+}
+
+// Rows returns the extent of the chunked (slowest) dimension.
+func (h *StreamHandle) Rows() uint64 { return uint64(h.ix.Hdr.Rows()) }
+
+// RowStride returns the number of field elements in one dims[0]-row.
+func (h *StreamHandle) RowStride() int { return h.ix.Hdr.RowStride() }
+
+// Chunks returns the number of chunk frames in the container.
+func (h *StreamHandle) Chunks() int { return h.ix.Chunks() }
+
+// Dims returns a copy of the field dimensions (dims[0] slowest).
+func (h *StreamHandle) Dims() []int {
+	return append([]int(nil), h.ix.Hdr.Dims...)
+}
+
+// Algorithm returns the algorithm that compressed the chunks.
+func (h *StreamHandle) Algorithm() Algorithm { return Algorithm(h.ix.Hdr.Algo) }
+
+// Stats returns cumulative counters over the handle's range reads:
+// chunks decoded, container bytes fetched (BytesIn), field bytes
+// produced (BytesOut), per-stage wall time, and the buffer accounting
+// of the bounded pipeline. Open-time header/index bytes are not
+// counted — Stats measures what random access actually fetched.
+func (h *StreamHandle) Stats() StreamStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats
+}
+
+// ReadRows decodes rows [start, start+count) of the field into dst,
+// which must hold at least count×RowStride() elements. Only the chunks
+// covering the range are fetched and decoded; partial chunks at either
+// end are trimmed to the requested rows. The reconstruction is
+// byte-identical to the corresponding slice of a full DecompressStream
+// pass.
+func (h *StreamHandle) ReadRows(dst []float64, start, count uint64) error {
+	return h.ReadRowsCtx(h.cfg.ctx, dst, start, count)
+}
+
+// ReadRowsCtx is ReadRows under a context: cancellation stops the
+// fetch/decode pipeline after at most the chunks already in flight and
+// returns the context's error with no goroutines left behind.
+func (h *StreamHandle) ReadRowsCtx(ctx context.Context, dst []float64, start, count uint64) (err error) {
+	defer recoverDecode(&err)
+	need, err := h.rangeElems(uint64(len(dst)), start, count)
+	if err != nil || need == 0 {
+		return err
+	}
+	dst = dst[:need]
+	return h.readRows(ctx, start, count, 8*int64(need), func(elemOff int, vals []float64) {
+		copy(dst[elemOff:], vals)
+	})
+}
+
+// ReadRows32 is ReadRows with float32 output: chunks decode on the
+// float64 worker path and each element is narrowed at the copy into
+// dst, mirroring DecompressStream32's width contract (narrowing adds at
+// most a 2⁻²⁴ relative rounding step on top of the stream's bound).
+func (h *StreamHandle) ReadRows32(dst []float32, start, count uint64) error {
+	return h.ReadRows32Ctx(h.cfg.ctx, dst, start, count)
+}
+
+// ReadRows32Ctx is ReadRows32 under a context.
+func (h *StreamHandle) ReadRows32Ctx(ctx context.Context, dst []float32, start, count uint64) (err error) {
+	defer recoverDecode(&err)
+	need, err := h.rangeElems(uint64(len(dst)), start, count)
+	if err != nil || need == 0 {
+		return err
+	}
+	dst = dst[:need]
+	return h.readRows(ctx, start, count, 4*int64(need), func(elemOff int, vals []float64) {
+		for i, v := range vals {
+			dst[elemOff+i] = float32(v)
+		}
+	})
+}
+
+// rangeElems validates a row range against the field geometry and the
+// destination capacity, returning the element count it covers.
+func (h *StreamHandle) rangeElems(dstLen, start, count uint64) (uint64, error) {
+	rows := h.Rows()
+	if start > rows || count > rows-start {
+		return 0, fmt.Errorf("repro: row range [%d,+%d) outside the stream's %d rows", start, count, rows)
+	}
+	need := count * uint64(h.RowStride())
+	if dstLen < need {
+		return 0, fmt.Errorf("repro: destination holds %d elements, range needs %d", dstLen, need)
+	}
+	return need, nil
+}
+
+// seekJob carries one fetched chunk frame to the decode workers.
+type seekJob struct {
+	seq int
+	in  []byte // CRC-verified payload (aliases buf)
+	buf []byte // freelisted frame buffer
+}
+
+// readRows is the width-independent range-read pipeline: the calling
+// goroutine seeks once and fetches the touched frames sequentially
+// through an exact-extent LimitReader, a worker pool decodes them
+// concurrently, and each worker copies its trimmed rows through emit
+// into a disjoint region of the destination (so no ordering stage is
+// needed). emit receives the destination element offset and the decoded
+// values for [rowLo, rowHi) of the global range.
+func (h *StreamHandle) readRows(ctx context.Context, start, count uint64, outBytes int64, emit func(elemOff int, vals []float64)) error {
+	ctx = orDefault(ctx)
+	if err := ctx.Err(); err != nil {
+		return ctxCause(ctx)
+	}
+	hdr := &h.ix.Hdr
+	stride := uint64(hdr.RowStride())
+	chunkRows := uint64(hdr.ChunkRows)
+	c0 := int(start / chunkRows)
+	c1 := int((start+count-1)/chunkRows) + 1
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	off0, _ := h.ix.FrameExtent(c0)
+	extent := h.ix.ExtentBytes(c0, c1)
+	if _, err := h.src.Seek(off0, io.SeekStart); err != nil {
+		return fmt.Errorf("repro: seeking chunk %d at offset %d: %w", c0, off0, err)
+	}
+	fr := h.ix.Frames(io.LimitReader(h.src, extent), c0, c1)
+
+	workers := h.cfg.workers
+	if workers > c1-c0 {
+		workers = c1 - c0
+	}
+	maxInFlight := workers + 2
+
+	jobs := make(chan *seekJob)
+	free := make(chan []byte, maxInFlight)
+	stop := make(chan struct{})
+	var fl inflight
+	var codecNS atomic.Int64
+	var failOnce sync.Once
+	var firstErr error
+	fail := func(err error) {
+		failOnce.Do(func() {
+			firstErr = err
+			close(stop)
+		})
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for jb := range jobs {
+				h.decodeOne(jb, start, count, stride, chunkRows, stop, &codecNS, emit, fail)
+				select {
+				case free <- jb.buf:
+				default:
+				}
+				fl.leave()
+			}
+		}()
+	}
+
+	// Live frame buffers are bounded by the unbuffered jobs channel: at
+	// most `workers` chunks decoding plus one blocked in the send, so the
+	// freelist only recycles — the O(workers × chunk) invariant of the
+	// forward pipeline holds for range reads too.
+	var readWall time.Duration
+	allocated := 0
+	chunks := 0
+	func() {
+		defer close(jobs) // guaranteed even if a fetch step panics
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ctx.Done():
+				fail(ctxCause(ctx))
+				return
+			default:
+			}
+			var buf []byte
+			select {
+			case buf = <-free:
+			default:
+			}
+			t0 := time.Now()
+			payload, frame, seq, err := fr.Next(buf)
+			readWall += time.Since(t0)
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				fail(err)
+				return
+			}
+			if cap(frame) > cap(buf) {
+				allocated++ // the frame reader grew a fresh buffer
+			}
+			chunks++
+			//lint:allow allochot per-chunk descriptor; live descriptors are bounded by the in-flight cap
+			jb := &seekJob{seq: seq, in: payload, buf: frame}
+			fl.enter()
+			select {
+			case jobs <- jb:
+			case <-stop:
+				fl.leave()
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	h.stats.Chunks += chunks
+	h.stats.BytesIn += fr.BytesRead()
+	h.stats.ReadWall += readWall
+	h.stats.CodecWall += time.Duration(codecNS.Load())
+	h.stats.BuffersAllocated += allocated
+	if m := int(fl.max.Load()); m > h.stats.MaxInFlight {
+		h.stats.MaxInFlight = m
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	h.stats.BytesOut += outBytes
+	return nil
+}
+
+// decodeOne decompresses one fetched chunk, validates its shape against
+// the container geometry, trims it to the requested row range, and
+// emits the covered elements. Decode work is skipped (but the job still
+// drained) once the pipeline has failed.
+func (h *StreamHandle) decodeOne(jb *seekJob, start, count, stride, chunkRows uint64, stop chan struct{}, codecNS *atomic.Int64, emit func(elemOff int, vals []float64), fail func(error)) {
+	select {
+	case <-stop:
+		return
+	default:
+	}
+	hdr := &h.ix.Hdr
+	rows := hdr.ChunkRowCount(jb.seq)
+	t0 := time.Now()
+	dec, subDims, err := Decompress(jb.in)
+	codecNS.Add(time.Since(t0).Nanoseconds())
+	if err == nil {
+		if len(subDims) != len(hdr.Dims) || subDims[0] != rows || uint64(len(dec)) != uint64(rows)*stride {
+			err = fmt.Errorf("%w: chunk %d decoded to shape %v, want %d rows of stride %d",
+				ErrCorrupted, jb.seq, subDims, rows, stride)
+		}
+		for i := 1; err == nil && i < len(hdr.Dims); i++ {
+			if subDims[i] != hdr.Dims[i] {
+				err = fmt.Errorf("%w: chunk %d dims %v disagree with field %v", ErrCorrupted, jb.seq, subDims, hdr.Dims)
+			}
+		}
+	}
+	if err != nil {
+		fail(fmt.Errorf("chunk %d: %w", jb.seq, err))
+		return
+	}
+	chunkLo := uint64(jb.seq) * chunkRows
+	gLo, gHi := chunkLo, chunkLo+uint64(rows)
+	if start > gLo {
+		gLo = start
+	}
+	if end := start + count; end < gHi {
+		gHi = end
+	}
+	emit(int((gLo-start)*stride), dec[(gLo-chunkLo)*stride:(gHi-chunkLo)*stride])
+}

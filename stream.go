@@ -36,6 +36,11 @@ import (
 // operation a context cannot interrupt is a Read/Write already in
 // flight on the caller's reader or writer — teardown completes when
 // that call returns, the same contract as any blocking Go I/O.
+//
+// The containers this pipeline seals are also randomly addressable:
+// OpenStream (seek.go) rebuilds the chunk offset table from the tail
+// index frame and serves arbitrary row ranges at O(touched chunks)
+// cost through the same worker-pool machinery.
 
 // StreamOptions tunes CompressStream.
 type StreamOptions struct {
