@@ -59,7 +59,7 @@ step "go test"
 go test -timeout 10m ./...
 
 step "fault-injection sweep + goroutine accounting"
-go test -timeout 10m -run 'TestFault|TestDecodeLimits|TestSalvage|Ctx' -count=1 .
+go test -timeout 10m -run 'TestFault|TestDecodeLimits|TestSalvage|Parity|Verify|Ctx' -count=1 .
 
 step "go test -race"
 go test -race -timeout 20m ./...

@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "comma list: table2,table3,table4,fig1,fig2,fig3,fig4,fig5,fig6,ablation,seek or all")
+		expFlag = flag.String("exp", "all", "comma list: table2,table3,table4,fig1,fig2,fig3,fig4,fig5,fig6,ablation,seek,parity or all")
 		scale   = flag.String("scale", "bench", "dataset scale: test, bench, large")
 		seed    = flag.Int64("seed", 20180704, "workload seed")
 	)
@@ -142,6 +142,14 @@ func main() {
 	})
 	runExp("seek", func() error {
 		r, err := experiments.SeekAccess(cfg)
+		if err != nil {
+			return err
+		}
+		r.Print(os.Stdout)
+		return nil
+	})
+	runExp("parity", func() error {
+		r, err := experiments.ParityOverhead(cfg)
 		if err != nil {
 			return err
 		}

@@ -20,6 +20,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"flag"
 	"fmt"
@@ -30,9 +31,16 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/atomicio"
+	"repro/internal/faultio"
 	"repro/internal/floatbits"
 	"repro/internal/metrics"
 )
+
+// inputRetries is the bounded retry budget applied to streaming input
+// reads: transient I/O hiccups (flaky network mounts) are absorbed,
+// persistent failures propagate wrapped after this many extra attempts.
+const inputRetries = 3
 
 func main() {
 	var (
@@ -45,7 +53,7 @@ func main() {
 		in         = flag.String("in", "", "input file")
 		out        = flag.String("out", "", "output file")
 		f32        = flag.Bool("f32", false, "raw data is float32 instead of float64")
-		verify     = flag.Bool("verify", false, "after compressing, decompress and report error stats")
+		verify     = flag.Bool("verify", false, "after compressing, decompress and report error stats; with -stream, decode-verify every chunk before the container commits")
 		base       = flag.String("base", "2", "log base for sz_t/zfp_t: 2, e, 10")
 		archive    = flag.Bool("archive", false, "archive mode: bundle/extract a whole manifest of fields")
 		manifest   = flag.String("manifest", "", "MANIFEST.txt path (archive compression)")
@@ -55,6 +63,8 @@ func main() {
 		rowRange   = flag.String("range", "", "with -d -stream: decode only rows start:count (e.g. 4096:128) via the seekable index")
 		workers    = flag.Int("workers", 0, "streaming worker count (default GOMAXPROCS)")
 		chunkRows  = flag.Int("chunk-rows", 0, "rows of the slowest dimension per streamed chunk (default ~256Ki elements)")
+		parity     = flag.Int("parity", 0, "with -c -stream: emit one XOR parity frame per k data chunks so salvage can repair a lost chunk per group (~1/k size overhead; 0 = no parity)")
+		maxElems   = flag.Int64("max-elements", 1<<33, "with -d -stream: refuse containers declaring more than n field elements — a hostile header cannot demand unbounded output (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -69,6 +79,9 @@ func main() {
 	}
 	if *rowRange != "" && *salvage {
 		fatalf("-range cannot be combined with -salvage (a range read refuses damaged containers)")
+	}
+	if *parity != 0 && !(*stream && *compress) {
+		fatalf("-parity requires -c -stream")
 	}
 
 	if *archive {
@@ -101,15 +114,16 @@ func main() {
 			fatalf("-stream supports float64 raw data only")
 		}
 		if *decompress {
+			lim := decodeLimits(*maxElems)
 			switch {
 			case *salvage:
-				streamSalvageFile(*in, *out)
+				streamSalvageFile(*in, *out, lim)
 			case *rowRange != "":
 				start, count, err := parseRange(*rowRange)
 				check(err)
-				streamReadRangeFile(*in, *out, start, count, *workers)
+				streamReadRangeFile(*in, *out, start, count, *workers, lim)
 			default:
-				streamDecompressFile(*in, *out)
+				streamDecompressFile(*in, *out, lim)
 			}
 			return
 		}
@@ -124,6 +138,7 @@ func main() {
 		}
 		streamCompressFile(*in, *out, dims, *rel, algo, &repro.StreamOptions{
 			Workers: *workers, ChunkRows: *chunkRows, Options: opts,
+			ParityK: *parity, VerifyOnWrite: *verify,
 		})
 		return
 	}
@@ -169,7 +184,7 @@ func main() {
 	}
 	check(err)
 	elapsed := time.Since(t0)
-	check(os.WriteFile(*out, buf, 0o644))
+	check(atomicio.WriteFile(*out, buf, 0o644))
 
 	rawBytes := len(data) * 8
 	fmt.Printf("compressed with %v: %d -> %d bytes (CR %.2f, %.2f bits/pt) in %v (%.1f MB/s)\n",
@@ -208,21 +223,24 @@ func parseBase(s string) (*repro.Options, error) {
 }
 
 // streamCompressFile compresses in -> out through the bounded-memory
-// pipeline without ever loading the field.
+// pipeline without ever loading the field. The container is written to
+// a same-directory temporary and only renamed over out once sealed, so
+// a crash or I/O failure mid-stream never leaves a torn container.
 func streamCompressFile(in, out string, dims []int, rel float64, algo repro.Algorithm, opts *repro.StreamOptions) {
 	src, err := os.Open(in)
 	check(err)
 	defer src.Close() //lint:allow errdrop read-only input
-	dst, err := os.Create(out)
+	dst, err := atomicio.Create(out)
 	check(err)
+	defer dst.Abort()
 	t0 := time.Now()
-	st, err := repro.CompressStream(bufio.NewReaderSize(src, 1<<20), dst, dims, rel, algo, opts)
+	r := faultio.Retry(bufio.NewReaderSize(src, 1<<20), inputRetries)
+	st, err := repro.CompressStream(r, dst, dims, rel, algo, opts)
 	if err != nil {
-		dst.Close() //lint:allow errdrop already failing
-		os.Remove(out)
+		dst.Abort() // fatalf exits without running defers
 		fatalf("stream compress: %v", err)
 	}
-	check(dst.Close())
+	check(dst.Commit())
 	elapsed := time.Since(t0)
 	fmt.Printf("stream-compressed with %v: %d -> %d bytes (CR %.2f) in %v (%.1f MB/s)\n",
 		algo, st.BytesIn, st.BytesOut,
@@ -233,27 +251,42 @@ func streamCompressFile(in, out string, dims []int, rel float64, algo repro.Algo
 		st.Chunks, st.MaxInFlight, st.BuffersAllocated,
 		st.ReadWall.Round(time.Millisecond), st.CodecWall.Round(time.Millisecond),
 		st.WriteWall.Round(time.Millisecond))
+	if opts.ParityK > 0 {
+		fmt.Printf("parity: %d frames (1 per %d chunks)\n", st.ParityFrames, opts.ParityK)
+	}
+	if opts.VerifyOnWrite {
+		fmt.Printf("verify: %d chunks decode-verified before commit\n", st.VerifiedChunks)
+	}
 }
 
-// streamDecompressFile decodes a stream container in -> out.
-func streamDecompressFile(in, out string) {
+// streamDecompressFile decodes a stream container in -> out, committing
+// the raw output atomically.
+// decodeLimits builds the opt-in decode ceilings from -max-elements;
+// 0 opts out entirely (the library treats nil as unlimited).
+func decodeLimits(maxElems int64) *repro.DecodeLimits {
+	if maxElems <= 0 {
+		return nil
+	}
+	return &repro.DecodeLimits{MaxElements: maxElems}
+}
+
+func streamDecompressFile(in, out string, lim *repro.DecodeLimits) {
 	src, err := os.Open(in)
 	check(err)
 	defer src.Close() //lint:allow errdrop read-only input
-	dst, err := os.Create(out)
+	dst, err := atomicio.Create(out)
 	check(err)
 	w := bufio.NewWriterSize(dst, 1<<20)
 	t0 := time.Now()
-	st, err := repro.DecompressStream(src, w)
+	st, err := repro.DecompressStreamCtx(context.Background(), faultio.Retry(src, inputRetries), w, lim)
 	if err == nil {
 		err = w.Flush()
 	}
 	if err != nil {
-		dst.Close() //lint:allow errdrop already failing
-		os.Remove(out)
+		dst.Abort() // fatalf exits without running defers
 		fatalf("stream decompress: %v", err)
 	}
-	check(dst.Close())
+	check(dst.Commit())
 	elapsed := time.Since(t0)
 	fmt.Printf("stream-decompressed: %d -> %d bytes (%d chunks) in %v (%.1f MB/s)\n",
 		st.BytesIn, st.BytesOut, st.Chunks,
@@ -280,11 +313,11 @@ func parseRange(s string) (start, count uint64, err error) {
 // stream container through the seekable index: only the touched chunks
 // are fetched and decoded, so the cost scales with the range, not the
 // container.
-func streamReadRangeFile(in, out string, start, count uint64, workers int) {
+func streamReadRangeFile(in, out string, start, count uint64, workers int, lim *repro.DecodeLimits) {
 	src, err := os.Open(in)
 	check(err)
 	defer src.Close() //lint:allow errdrop read-only input
-	h, err := repro.OpenStream(src, repro.WithWorkers(workers))
+	h, err := repro.OpenStream(src, repro.WithWorkers(workers), repro.WithLimits(lim))
 	if err != nil {
 		fatalf("open stream: %v", err)
 	}
@@ -299,29 +332,38 @@ func streamReadRangeFile(in, out string, start, count uint64, workers int) {
 	fmt.Printf("read rows [%d,%d) of %d (dims=%v): %d chunks of %d, %d container bytes fetched, %d bytes out in %v\n",
 		start, start+count, h.Rows(), h.Dims(), st.Chunks, h.Chunks(), st.BytesIn, st.BytesOut,
 		elapsed.Round(time.Millisecond))
+	if st.RepairedChunks > 0 {
+		fmt.Printf("repaired %d damaged chunk(s) from parity during the read\n", st.RepairedChunks)
+	}
 }
 
 // streamSalvageFile recovers the intact chunks of a damaged stream
-// container and reports exactly what was lost.
-func streamSalvageFile(in, out string) {
+// container — repairing single losses from parity where the container
+// carries it — and reports exactly what was lost.
+func streamSalvageFile(in, out string, lim *repro.DecodeLimits) {
 	src, err := os.Open(in)
 	check(err)
 	defer src.Close() //lint:allow errdrop read-only input
-	dst, err := os.Create(out)
+	dst, err := atomicio.Create(out)
 	check(err)
 	w := bufio.NewWriterSize(dst, 1<<20)
-	rep, err := repro.DecompressStreamSalvage(src, w, nil)
+	rep, err := repro.DecompressStreamSalvage(faultio.Retry(src, inputRetries), w, lim)
 	if err == nil {
 		err = w.Flush()
 	}
 	if err != nil {
-		dst.Close() //lint:allow errdrop already failing
-		os.Remove(out)
+		dst.Abort() // fatalf exits without running defers
 		fatalf("salvage: %v", err)
 	}
-	check(dst.Close())
+	check(dst.Commit())
 	fmt.Printf("salvaged %d of %d chunks (dims=%v, %d -> %d bytes)\n",
 		rep.Recovered, rep.Chunks, rep.Dims, rep.BytesIn, rep.BytesOut)
+	if n := rep.Repaired(); n > 0 {
+		fmt.Printf("repaired %d damaged chunk(s) from parity: %v\n", n, rep.RepairedChunks)
+	}
+	if len(rep.DamagedParity) > 0 {
+		fmt.Printf("damaged parity frames (groups %v): repair degraded to skip\n", rep.DamagedParity)
+	}
 	if !rep.IndexOK {
 		fmt.Println("index frame damaged: recovery relied on forward scan")
 	}
@@ -416,7 +458,7 @@ func writeRaw(path string, data []float64, f32 bool) error {
 			binary.LittleEndian.PutUint64(raw[i*8:], math.Float64bits(v))
 		}
 	}
-	return os.WriteFile(path, raw, 0o644)
+	return atomicio.WriteFile(path, raw, 0o644)
 }
 
 func check(err error) {

@@ -45,6 +45,13 @@ var (
 	ErrUnsupportedFormat = codecerr.ErrUnsupportedFormat
 )
 
+// ErrVerifyFailed reports a chunk that failed verify-after-encode
+// (StreamOptions.VerifyOnWrite or ParallelOptions.Verify): the sealed
+// payload did not decode back to its source rows within the promised
+// guarantees. It indicates encoder or memory corruption at write time,
+// caught before the container was committed.
+var ErrVerifyFailed = fmt.Errorf("repro: verify-after-encode failed")
+
 // recoverDecode is the panic boundary at every exported decode entry
 // point: a residual codec panic on hostile input (anything the
 // pwrvet nopanic audit and the fuzz corpus have not pinned down yet)

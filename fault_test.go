@@ -51,6 +51,13 @@ func faultCorpus(t *testing.T) map[string][]byte {
 	}
 	corpus["stream"] = sb.Bytes()
 
+	var pb bytes.Buffer
+	if _, err := CompressStream(bytes.NewReader(rawLE(data)), &pb, dims, 1e-2, SZT,
+		&StreamOptions{Workers: 2, ChunkRows: 2, ParityK: 2}); err != nil {
+		t.Fatal(err)
+	}
+	corpus["stream_parity"] = pb.Bytes()
+
 	aw := NewArchiveWriter()
 	if err := aw.AddCompressed("f0", plain); err != nil {
 		t.Fatal(err)
@@ -369,6 +376,103 @@ func TestFaultSweepSalvage(t *testing.T) {
 		copy(mut, stream)
 		mut[pos] ^= 0x20
 		check("flip@"+itoa(pos), mut)
+	}
+}
+
+// TestFaultSweepParityRepair is the self-healing acceptance sweep: over
+// a parity container, any single damaged byte inside a chunk frame must
+// decode byte-identically through both the salvage path and the seekable
+// path (repair, not NaN fill); a damaged parity frame costs nothing; and
+// damage anywhere else still keeps the books consistent.
+func TestFaultSweepParityRepair(t *testing.T) {
+	defer testutil.NoLeak(t)()
+	stream := faultCorpus(t)["stream_parity"] // dims {8,5}, ChunkRows 2, K=2 → 4 chunks, 2 groups
+	clean := rawLEOfDecoded(t, stream)
+	scan, err := streamfmt.ScanSalvage(stream, streamfmt.Limits{})
+	if err != nil || !scan.IndexOK {
+		t.Fatalf("clean parity container: %v (IndexOK=%v)", err, scan.IndexOK)
+	}
+	region := func(pos int64, frames []streamfmt.FrameInfo) int {
+		for i := range frames {
+			if pos >= frames[i].Offset && pos < frames[i].End {
+				return i
+			}
+		}
+		return -1
+	}
+	mut := make([]byte, len(stream))
+	for pos := 0; pos < len(stream); pos++ {
+		copy(mut, stream)
+		mut[pos] ^= 0x20
+		inChunk := region(int64(pos), scan.Frames)
+		inParity := region(int64(pos), scan.Parity)
+
+		var out bytes.Buffer
+		rep, err := DecompressStreamSalvage(bytes.NewReader(mut), &out, nil)
+		if err != nil {
+			if !typedOK(err) {
+				t.Fatalf("flip@%d: untyped salvage error %v", pos, err)
+			}
+		} else {
+			if rep.Recovered+rep.Lost() != rep.Chunks {
+				t.Fatalf("flip@%d: books off: %d + %d != %d", pos, rep.Recovered, rep.Lost(), rep.Chunks)
+			}
+			if (inChunk >= 0 || inParity >= 0) && (rep.Lost() != 0 || !bytes.Equal(out.Bytes(), clean)) {
+				t.Fatalf("flip@%d (chunk %d, parity %d): lost=%v; single in-frame damage must repair byte-identically",
+					pos, inChunk, inParity, rep.LostChunks)
+			}
+		}
+
+		h, err := OpenStream(bytes.NewReader(mut),
+			WithLimits(&DecodeLimits{MaxElements: 1 << 16, MaxChunkBytes: 1 << 20}))
+		if err != nil {
+			if !typedOK(err) {
+				t.Fatalf("flip@%d: untyped OpenStream error %v", pos, err)
+			}
+			if inChunk >= 0 || inParity >= 0 {
+				t.Fatalf("flip@%d: OpenStream rejected damage outside header and index: %v", pos, err)
+			}
+			continue
+		}
+		dst := make([]float64, h.Rows()*uint64(h.RowStride()))
+		rerr := h.ReadRows(dst, 0, h.Rows())
+		if inChunk >= 0 || inParity >= 0 {
+			if rerr != nil {
+				t.Fatalf("flip@%d (chunk %d, parity %d): ReadRows did not repair: %v", pos, inChunk, inParity, rerr)
+			}
+			if !bytes.Equal(rawLE(dst), clean) {
+				t.Fatalf("flip@%d: repaired range read differs from clean decode", pos)
+			}
+			want := 0
+			if inChunk >= 0 {
+				want = 1
+			}
+			if st := h.Stats(); st.RepairedChunks != want {
+				t.Fatalf("flip@%d: stats.RepairedChunks = %d, want %d", pos, st.RepairedChunks, want)
+			}
+		} else if rerr != nil && !typedOK(rerr) {
+			t.Fatalf("flip@%d: untyped ReadRows error %v", pos, rerr)
+		}
+	}
+
+	// Truncation: salvage must stay book-consistent at every cut, and a
+	// cut mid-container loses whole groups gracefully (NaN fill), never
+	// fabricating repaired data.
+	for cut := 0; cut < len(stream); cut++ {
+		var out bytes.Buffer
+		rep, err := DecompressStreamSalvage(bytes.NewReader(stream[:cut]), &out, nil)
+		if err != nil {
+			if !typedOK(err) {
+				t.Fatalf("trunc@%d: untyped error %v", cut, err)
+			}
+			continue
+		}
+		if rep.Recovered+rep.Lost() != rep.Chunks {
+			t.Fatalf("trunc@%d: books off", cut)
+		}
+		if int64(out.Len()) != rep.BytesOut {
+			t.Fatalf("trunc@%d: wrote %d, report says %d", cut, out.Len(), rep.BytesOut)
+		}
 	}
 }
 

@@ -189,6 +189,11 @@ func FuzzHeaderMutation(f *testing.F) {
 
 // fuzzStreamContainer builds a small valid stream container for seeding.
 func fuzzStreamContainer(chunkRows int) []byte {
+	return fuzzStreamContainerParity(chunkRows, 0)
+}
+
+// fuzzStreamContainerParity is fuzzStreamContainer with a parity layer.
+func fuzzStreamContainerParity(chunkRows, parityK int) []byte {
 	data := make([]float64, 48)
 	for i := range data {
 		data[i] = math.Cos(float64(i)/5)*40 + 60
@@ -199,10 +204,34 @@ func fuzzStreamContainer(chunkRows int) []byte {
 	}
 	var buf bytes.Buffer
 	if _, err := CompressStream(bytes.NewReader(raw), &buf, []int{12, 4}, 1e-2, SZT,
-		&StreamOptions{ChunkRows: chunkRows}); err != nil {
+		&StreamOptions{ChunkRows: chunkRows, ParityK: parityK}); err != nil {
 		return nil
 	}
 	return buf.Bytes()
+}
+
+// parityFuzzSeeds returns the parity-container damage variants every
+// stream-consuming fuzz target is seeded with: clean, damaged data
+// chunk, damaged parity frame, damaged index, truncated.
+func parityFuzzSeeds() [][]byte {
+	stream := fuzzStreamContainerParity(2, 2) // 6 chunks, 3 parity groups
+	if stream == nil {
+		return nil
+	}
+	seeds := [][]byte{stream}
+	if rep, err := streamfmt.ScanSalvage(stream, streamfmt.Limits{}); err == nil && rep.IndexOK {
+		chunk := append([]byte(nil), stream...)
+		chunk[rep.Frames[2].End-1] ^= 0x20
+		seeds = append(seeds, chunk)
+		par := append([]byte(nil), stream...)
+		par[rep.Parity[0].End-1] ^= 0x20
+		seeds = append(seeds, par)
+		idx := append([]byte(nil), stream...)
+		idx[len(idx)-2] ^= 0x40
+		seeds = append(seeds, idx)
+	}
+	seeds = append(seeds, stream[:len(stream)*3/4])
+	return seeds
 }
 
 // FuzzDecompressStream asserts the streaming decoder never panics,
@@ -259,6 +288,9 @@ func FuzzOpenStream(f *testing.F) {
 		mid := append([]byte(nil), stream...)
 		mid[len(mid)/2] ^= 0x10 // mid-chunk damage: open succeeds, read fails
 		f.Add(mid)
+	}
+	for _, seed := range parityFuzzSeeds() {
+		f.Add(seed)
 	}
 	f.Add([]byte{})
 	f.Add([]byte{streamfmt.Magic, streamfmt.Version, byte(SZT), 1, 12, 3})
@@ -462,11 +494,18 @@ func FuzzStreamSalvage(f *testing.F) {
 		}
 		f.Add(stream[:len(stream)*2/3]) // truncated
 	}
+	for _, seed := range parityFuzzSeeds() {
+		f.Add(seed)
+	}
 	f.Add([]byte{})
 	f.Add([]byte{streamfmt.Magic, streamfmt.Version})
 	f.Fuzz(func(t *testing.T, buf []byte) {
 		var out bytes.Buffer
-		rep, err := DecompressStreamSalvage(bytes.NewReader(buf), &out, nil)
+		// Salvage honors opt-in DecodeLimits like every decoder; without
+		// them a hostile header claiming a huge geometry would make the
+		// harness itself buffer unbounded NaN fill.
+		lim := &DecodeLimits{MaxElements: 1 << 16, MaxChunkBytes: 1 << 20}
+		rep, err := DecompressStreamSalvage(bytes.NewReader(buf), &out, lim)
 		if err != nil {
 			return
 		}

@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
@@ -30,6 +31,7 @@ import (
 
 	"repro"
 	"repro/internal/datagen"
+	"repro/internal/streamfmt"
 )
 
 var updateGolden = flag.Bool("update-golden", false, "regenerate testdata/golden fixtures")
@@ -77,6 +79,16 @@ func goldenCases() []goldenCase {
 			}
 			_, err := repro.CompressStream(bytes.NewReader(raw), &buf, f.Dims, 1e-2, repro.SZT,
 				&repro.StreamOptions{ChunkRows: 3})
+			return buf.Bytes(), err
+		}},
+		goldenCase{"stream_parity", func(f datagen.Field) ([]byte, error) {
+			var buf bytes.Buffer
+			raw := make([]byte, len(f.Data)*8)
+			for i, v := range f.Data {
+				binary.LittleEndian.PutUint64(raw[i*8:], math.Float64bits(v))
+			}
+			_, err := repro.CompressStream(bytes.NewReader(raw), &buf, f.Dims, 1e-2, repro.SZT,
+				&repro.StreamOptions{ChunkRows: 3, ParityK: 2})
 			return buf.Bytes(), err
 		}},
 	)
@@ -215,6 +227,11 @@ func TestGoldenSeekableRanges(t *testing.T) {
 	stride := uint64(h.RowStride())
 	// The fixture is 8 rows chunked every 3: aligned, straddling, first,
 	// last, full, and empty ranges all exercise distinct chunk mappings.
+	goldenRangeSweep(t, h, full, stride)
+}
+
+func goldenRangeSweep(t *testing.T, h *repro.StreamHandle, full []float64, stride uint64) {
+	t.Helper()
 	for _, r := range [][2]uint64{{0, 3}, {3, 3}, {2, 4}, {0, 1}, {7, 1}, {0, 8}, {4, 0}} {
 		start, count := r[0], r[1]
 		dst := make([]float64, count*stride)
@@ -226,6 +243,64 @@ func TestGoldenSeekableRanges(t *testing.T) {
 				t.Fatalf("ReadRows[%d,+%d) element %d = %x, full decode has %x",
 					start, count, i, math.Float64bits(dst[i]), math.Float64bits(want))
 			}
+		}
+	}
+}
+
+// TestGoldenParityRepair pins the v2 parity layout to bytes written by
+// the committed code: the stream_parity fixture must decode to the
+// manifest CRC, serve the same range sweep as the parity-free fixture,
+// and — after losing any single data chunk — salvage back to the exact
+// recorded reconstruction. Drift in the parity-frame interleave, the
+// extended index grammar, or the XOR group math fails here against old
+// bytes.
+func TestGoldenParityRepair(t *testing.T) {
+	buf, err := os.ReadFile(filepath.Join(goldenDir, "stream_parity.bin"))
+	if err != nil {
+		t.Fatalf("fixture missing (run -update-golden to create): %v", err)
+	}
+	full, _, err := repro.DecompressAny(buf)
+	if err != nil {
+		t.Fatalf("parity fixture no longer decodes: %v", err)
+	}
+	wantCRC := readManifest(t)["stream_parity"]
+	if got := decodedCRC(full); got != wantCRC {
+		t.Fatalf("full decode CRC %08x, manifest says %08x", got, wantCRC)
+	}
+
+	h, err := repro.OpenStream(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("parity fixture no longer opens seekably: %v", err)
+	}
+	goldenRangeSweep(t, h, full, uint64(h.RowStride()))
+
+	var clean bytes.Buffer
+	if _, err := repro.DecompressStream(bytes.NewReader(buf), &clean); err != nil {
+		t.Fatalf("sequential decode: %v", err)
+	}
+	rep, err := repro.DecompressStreamSalvage(bytes.NewReader(buf), io.Discard, nil)
+	if err != nil || rep.Lost() != 0 {
+		t.Fatalf("clean salvage: err %v, lost %v", err, rep.LostChunks)
+	}
+	scan, err := streamfmt.ScanSalvage(buf, streamfmt.Limits{})
+	if err != nil || !scan.IndexOK || len(scan.Frames) != rep.Chunks {
+		t.Fatalf("fixture scan: err %v, index %v, %d frames for %d chunks",
+			err, scan.IndexOK, len(scan.Frames), rep.Chunks)
+	}
+	for c := 0; c < rep.Chunks; c++ {
+		damaged := append([]byte(nil), buf...)
+		damaged[(scan.Frames[c].Offset+scan.Frames[c].End)/2] ^= 0x20
+		var out bytes.Buffer
+		rep, err := repro.DecompressStreamSalvage(bytes.NewReader(damaged), &out, nil)
+		if err != nil {
+			t.Fatalf("chunk %d: salvage: %v", c, err)
+		}
+		if rep.Lost() != 0 || len(rep.RepairedChunks) != 1 || rep.RepairedChunks[0] != c {
+			t.Fatalf("chunk %d: lost %v repaired %v, want clean single repair",
+				c, rep.LostChunks, rep.RepairedChunks)
+		}
+		if !bytes.Equal(out.Bytes(), clean.Bytes()) {
+			t.Fatalf("chunk %d: repaired output diverges from committed reconstruction", c)
 		}
 	}
 }

@@ -1,0 +1,107 @@
+// Package atomicio provides atomic output-file commits: bytes are
+// written to a temporary file in the destination's directory and only
+// an explicit Commit — fsync, close, rename — publishes them under the
+// destination name. A writer interrupted at any point (crash, kill,
+// full disk, injected fault) leaves either the old destination or
+// nothing, never a torn file: exactly the property a container format
+// with a sealing tail index needs from the filesystem underneath it.
+package atomicio
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// File is an uncommitted output file. Write into it, then either
+// Commit (publish atomically) or Abort (remove the temporary). The
+// zero value is not usable; obtain one from Create.
+type File struct {
+	f    *os.File
+	dst  string
+	perm fs.FileMode
+	done bool
+}
+
+// Create opens a temporary file in dst's directory. The temporary is
+// invisible under dst until Commit renames it into place.
+func Create(dst string) (*File, error) {
+	dir, base := filepath.Split(dst)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, "."+base+".tmp-*")
+	if err != nil {
+		return nil, fmt.Errorf("atomicio: creating temporary for %s: %w", dst, err)
+	}
+	return &File{f: f, dst: dst, perm: 0o644}, nil
+}
+
+// Write implements io.Writer on the temporary file.
+func (a *File) Write(p []byte) (int, error) {
+	if a.done {
+		return 0, errors.New("atomicio: Write after Commit or Abort")
+	}
+	return a.f.Write(p)
+}
+
+// Commit publishes the written bytes under the destination name:
+// fsync so the rename cannot outrun the data, close, chmod to a
+// regular output mode, and an atomic rename. On any failure the
+// temporary is removed and the destination is untouched.
+func (a *File) Commit() error {
+	if a.done {
+		return errors.New("atomicio: double Commit")
+	}
+	a.done = true
+	tmp := a.f.Name()
+	if err := a.f.Sync(); err != nil {
+		_ = a.f.Close() // best-effort cleanup; the sync error is the answer
+		_ = os.Remove(tmp)
+		return fmt.Errorf("atomicio: syncing %s: %w", a.dst, err)
+	}
+	if err := a.f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("atomicio: closing %s: %w", a.dst, err)
+	}
+	// CreateTemp opens 0600; published output gets the usual file mode.
+	if err := os.Chmod(tmp, a.perm); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("atomicio: chmod %s: %w", a.dst, err)
+	}
+	if err := os.Rename(tmp, a.dst); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("atomicio: publishing %s: %w", a.dst, err)
+	}
+	return nil
+}
+
+// Abort discards the temporary file. It is safe to call after Commit
+// (a no-op), so callers can `defer f.Abort()` and Commit on success.
+func (a *File) Abort() {
+	if a.done {
+		return
+	}
+	a.done = true
+	tmp := a.f.Name()
+	_ = a.f.Close() // Abort is best-effort by contract
+	_ = os.Remove(tmp)
+}
+
+// WriteFile is the os.WriteFile shape with an atomic commit: dst
+// either keeps its previous content (or absence) or holds exactly
+// data, never a prefix.
+func WriteFile(dst string, data []byte, perm fs.FileMode) error {
+	f, err := Create(dst)
+	if err != nil {
+		return err
+	}
+	defer f.Abort()
+	f.perm = perm
+	if _, err := f.Write(data); err != nil {
+		return fmt.Errorf("atomicio: writing %s: %w", dst, err)
+	}
+	return f.Commit()
+}

@@ -1,0 +1,169 @@
+package atomicio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/faultio"
+)
+
+// leftovers returns every entry in dir except the named destination —
+// after Commit or Abort there must be none (no orphaned temporaries).
+func leftovers(t *testing.T, dir, dst string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var extra []string
+	for _, e := range entries {
+		if e.Name() != dst {
+			extra = append(extra, e.Name())
+		}
+	}
+	return extra
+}
+
+func TestCommitPublishes(t *testing.T) {
+	dir := t.TempDir()
+	dst := filepath.Join(dir, "out.bin")
+	f, err := Create(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Abort()
+	if _, err := os.Stat(dst); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("destination visible before Commit: %v", err)
+	}
+	if _, err := io.Copy(f, strings.NewReader("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(dst)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("published %q, err %v", got, err)
+	}
+	info, err := os.Stat(dst)
+	if err != nil || info.Mode().Perm() != 0o644 {
+		t.Fatalf("published mode %v, err %v; want 0644", info.Mode(), err)
+	}
+	if extra := leftovers(t, dir, "out.bin"); extra != nil {
+		t.Fatalf("orphaned temporaries after Commit: %v", extra)
+	}
+}
+
+func TestAbortLeavesNothing(t *testing.T) {
+	dir := t.TempDir()
+	dst := filepath.Join(dir, "out.bin")
+	f, err := Create(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	f.Abort()
+	f.Abort() // idempotent
+	if extra := leftovers(t, dir, "out.bin"); extra != nil {
+		t.Fatalf("Abort left files behind: %v", extra)
+	}
+	if _, err := os.Stat(dst); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("Abort published the destination: %v", err)
+	}
+}
+
+func TestWriteAfterDone(t *testing.T) {
+	dst := filepath.Join(t.TempDir(), "out.bin")
+	f, err := Create(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("late")); err == nil {
+		t.Fatal("Write after Commit succeeded")
+	}
+	if err := f.Commit(); err == nil {
+		t.Fatal("double Commit succeeded")
+	}
+	// Abort after Commit is the documented defer pattern: a no-op that
+	// must not disturb the published file.
+	f.Abort()
+	if _, err := os.Stat(dst); err != nil {
+		t.Fatalf("Abort after Commit removed the destination: %v", err)
+	}
+}
+
+func TestCommitKeepsPreviousOnAbort(t *testing.T) {
+	dir := t.TempDir()
+	dst := filepath.Join(dir, "out.bin")
+	if err := os.WriteFile(dst, []byte("previous"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Create(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("replacement that never lands")); err != nil {
+		t.Fatal(err)
+	}
+	f.Abort()
+	got, err := os.ReadFile(dst)
+	if err != nil || string(got) != "previous" {
+		t.Fatalf("previous content lost: %q, err %v", got, err)
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	dst := filepath.Join(dir, "out.bin")
+	data := bytes.Repeat([]byte{0xAB}, 4096)
+	if err := WriteFile(dst, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(dst)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("round trip failed: %d bytes, err %v", len(got), err)
+	}
+	info, _ := os.Stat(dst)
+	if info.Mode().Perm() != 0o600 {
+		t.Fatalf("mode %v, want 0600", info.Mode())
+	}
+	if extra := leftovers(t, dir, "out.bin"); extra != nil {
+		t.Fatalf("orphaned temporaries: %v", extra)
+	}
+}
+
+// TestInjectedCutNeverPublishes is the regression the package exists
+// for: a producer cut mid-stream by an injected write fault aborts,
+// and the destination directory shows no trace — not a torn file, not
+// a temporary.
+func TestInjectedCutNeverPublishes(t *testing.T) {
+	dir := t.TempDir()
+	dst := filepath.Join(dir, "out.bin")
+	f, err := Create(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Abort()
+	w := faultio.FailWriter(f, 100)
+	_, err = io.Copy(w, bytes.NewReader(bytes.Repeat([]byte{0x55}, 1024)))
+	if !errors.Is(err, faultio.ErrInjected) {
+		t.Fatalf("copy err = %v, want ErrInjected", err)
+	}
+	f.Abort()
+	if _, err := os.Stat(dst); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("cut producer published the destination: %v", err)
+	}
+	if extra := leftovers(t, dir, "out.bin"); extra != nil {
+		t.Fatalf("cut producer left temporaries: %v", extra)
+	}
+}

@@ -363,3 +363,38 @@ func TestAblations(t *testing.T) {
 		t.Fatal("print output incomplete")
 	}
 }
+
+func TestParityOverhead(t *testing.T) {
+	res, err := ParityOverhead(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 4 || res.Entries[0].K != 0 {
+		t.Fatalf("entries %+v", res.Entries)
+	}
+	base := res.Entries[0]
+	if base.ParityFrames != 0 {
+		t.Fatalf("K=0 emitted %d parity frames", base.ParityFrames)
+	}
+	for _, e := range res.Entries[1:] {
+		// One parity frame per (possibly partial) group of K chunks.
+		want := (res.Chunks + e.K - 1) / e.K
+		if e.ParityFrames != want {
+			t.Fatalf("K=%d: %d parity frames, want %d for %d chunks", e.K, e.ParityFrames, want, res.Chunks)
+		}
+		if e.Container <= base.Container {
+			t.Fatalf("K=%d container %d not larger than baseline %d", e.K, e.Container, base.Container)
+		}
+	}
+	// Larger groups amortize better: overhead must shrink with K.
+	for i := 2; i < len(res.Entries); i++ {
+		if res.Entries[i].Container >= res.Entries[i-1].Container {
+			t.Fatalf("overhead not shrinking with K: %+v", res.Entries)
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "size overhead") {
+		t.Fatal("print output incomplete")
+	}
+}

@@ -8,10 +8,16 @@
 // All injected failures return (or wrap) ErrInjected, so a test can
 // assert both that a decode failed and that the failure it saw is the
 // one it injected rather than an unrelated bug.
+//
+// The package also carries the one remedy that pairs with its faults:
+// Retry, a bounded-retry reader wrapper that absorbs transient failures
+// (see TransientFail) while guaranteeing persistent ones still
+// propagate wrapped.
 package faultio
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"time"
 )
@@ -149,6 +155,57 @@ func (s *stallReader) Read(p []byte) (int, error) {
 		time.Sleep(s.delay)
 	}
 	return s.failReader.Read(p)
+}
+
+// TransientFail returns a reader whose first n Read calls fail with a
+// wrapped ErrInjected before touching r, after which reads pass
+// through untouched — the shape of a flaky network mount that recovers
+// on retry. Pair with Retry to prove bounded-retry consumers survive
+// transient faults while persistent ones still propagate.
+func TransientFail(r io.Reader, n int) io.Reader {
+	return &transientReader{r: r, left: n}
+}
+
+type transientReader struct {
+	r    io.Reader
+	left int
+}
+
+func (t *transientReader) Read(p []byte) (int, error) {
+	if t.left > 0 {
+		t.left--
+		return 0, fmt.Errorf("faultio: transient failure (%d more): %w", t.left, ErrInjected)
+	}
+	return t.r.Read(p)
+}
+
+// Retry wraps r with a bounded per-call retry budget: a Read that
+// fails with a non-EOF error and zero progress is retried up to budget
+// more times before the last error propagates — wrapped, never
+// relabeled, so errors.Is against the original failure keeps working.
+// A Read that delivered bytes is returned as-is (the consumer already
+// made progress); io.EOF is never retried.
+func Retry(r io.Reader, budget int) io.Reader {
+	if budget < 0 {
+		budget = 0
+	}
+	return &retryReader{r: r, budget: budget}
+}
+
+type retryReader struct {
+	r      io.Reader
+	budget int
+}
+
+func (rr *retryReader) Read(p []byte) (int, error) {
+	n, err := rr.r.Read(p)
+	for attempt := 0; attempt < rr.budget && err != nil && err != io.EOF && n == 0; attempt++ {
+		n, err = rr.r.Read(p)
+	}
+	if err != nil && err != io.EOF && n == 0 && rr.budget > 0 {
+		return 0, fmt.Errorf("faultio: read failed after %d retries: %w", rr.budget, err)
+	}
+	return n, err
 }
 
 // FailWriter returns a writer that accepts the first n bytes and fails

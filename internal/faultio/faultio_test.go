@@ -118,6 +118,59 @@ func TestStallThenFail(t *testing.T) {
 	}
 }
 
+func TestTransientFailRecovers(t *testing.T) {
+	data := src(30)
+	r := TransientFail(bytes.NewReader(data), 2)
+	buf := make([]byte, 8)
+	for i := 0; i < 2; i++ {
+		n, err := r.Read(buf)
+		if n != 0 || !errors.Is(err, ErrInjected) {
+			t.Fatalf("flaky read %d: n=%d err=%v, want 0, ErrInjected", i, n, err)
+		}
+	}
+	got, err := io.ReadAll(r)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("after recovery got %d bytes, err %v; want all 30 clean", len(got), err)
+	}
+}
+
+func TestRetryMasksTransient(t *testing.T) {
+	data := src(50)
+	got, err := io.ReadAll(Retry(TransientFail(bytes.NewReader(data), 3), 3))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("retry over 3 transient faults: %d bytes, err %v", len(got), err)
+	}
+}
+
+func TestRetryExhaustedPropagatesWrapped(t *testing.T) {
+	// 5 transient failures against a budget of 2: the final error must
+	// still satisfy errors.Is(err, ErrInjected) through the retry wrap.
+	_, err := io.ReadAll(Retry(TransientFail(bytes.NewReader(src(10)), 5), 2))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want wrapped ErrInjected", err)
+	}
+	// Persistent mid-stream faults are not masked either.
+	_, err = io.ReadAll(Retry(FailAfter(bytes.NewReader(src(10)), 4), 3))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("persistent fault: err = %v, want wrapped ErrInjected", err)
+	}
+}
+
+func TestRetryPassesEOFAndProgress(t *testing.T) {
+	data := src(20)
+	r := Retry(ShortReads(bytes.NewReader(data), 3), 4)
+	got, err := io.ReadAll(r)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("progress reads: %d bytes, err %v", len(got), err)
+	}
+	// io.EOF must come back untouched or io.ReadAll would spin forever;
+	// prove it directly on a drained reader.
+	n, err := Retry(bytes.NewReader(nil), 3).Read(make([]byte, 4))
+	if n != 0 || err != io.EOF {
+		t.Fatalf("drained read: n=%d err=%v, want 0, io.EOF", n, err)
+	}
+}
+
 func TestFailWriter(t *testing.T) {
 	var sink bytes.Buffer
 	w := FailWriter(&sink, 10)

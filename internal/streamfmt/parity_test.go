@@ -1,0 +1,505 @@
+package streamfmt
+
+// Parity-layer unit tests: v2 framing round trip, frame-order
+// discipline, salvage repair, and the seekable path's parity-aware
+// offset table and chunk reconstruction.
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func parityHeader(k int) Header {
+	return Header{Algo: 3, Dims: []int{10, 4}, ChunkRows: 2, ParityK: k}
+}
+
+// parityPayloads returns 5 chunk payloads of deliberately unequal
+// lengths so parity zero-padding is exercised.
+func parityPayloads() [][]byte {
+	return [][]byte{
+		[]byte("chunk-zero"),
+		[]byte("c1"),
+		[]byte("chunk-two-is-much-longer-than-the-rest"),
+		[]byte("chunk-3"),
+		[]byte("z"),
+	}
+}
+
+func TestParityRoundTrip(t *testing.T) {
+	payloads := parityPayloads()
+	stream := buildStream(t, parityHeader(2), payloads)
+	if stream[1] != VersionParity {
+		t.Fatalf("version byte = 0x%02x, want 0x%02x", stream[1], VersionParity)
+	}
+
+	r, err := NewReader(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	h := r.Header()
+	if h.ParityK != 2 {
+		t.Fatalf("ParityK = %d, want 2", h.ParityK)
+	}
+	if got := h.Groups(); got != 3 {
+		t.Fatalf("Groups() = %d, want 3 (groups {0,1},{2,3},{4})", got)
+	}
+	if lo, hi := h.GroupRange(2); lo != 4 || hi != 5 {
+		t.Fatalf("GroupRange(2) = [%d,%d), want [4,5)", lo, hi)
+	}
+	var scratch []byte
+	for i, want := range payloads {
+		got, err := r.Next(scratch)
+		if err != nil {
+			t.Fatalf("Next(%d): %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("chunk %d: got %q want %q", i, got, want)
+		}
+		scratch = got
+	}
+	if _, err := r.Next(scratch); err != io.EOF {
+		t.Fatalf("after index: err = %v, want io.EOF", err)
+	}
+	if r.ParityRead() != 3 {
+		t.Fatalf("ParityRead = %d, want 3", r.ParityRead())
+	}
+	if r.Consumed() != int64(len(stream)) {
+		t.Fatalf("Consumed = %d, stream is %d bytes", r.Consumed(), len(stream))
+	}
+}
+
+// TestParityDisabledStaysV1 pins the compatibility guarantee: a
+// parity-free writer emits the version 0x01 layout with no parity
+// frames and no v2 index extension, byte-compatible with pre-parity
+// readers.
+func TestParityDisabledStaysV1(t *testing.T) {
+	payloads := parityPayloads()
+	h := parityHeader(0)
+	stream := buildStream(t, h, payloads)
+	if stream[1] != Version {
+		t.Fatalf("version byte = 0x%02x, want v1 0x%02x", stream[1], Version)
+	}
+	r, err := NewReader(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Header().ParityK != 0 {
+		t.Fatalf("ParityK = %d on a v1 container", r.Header().ParityK)
+	}
+	// A v1 container of the same payloads differs from the v2 container
+	// only by the parity layer; sanity-check that enabling parity
+	// actually grows the stream (frames + index extension).
+	v2 := buildStream(t, parityHeader(2), payloads)
+	if len(v2) <= len(stream) {
+		t.Fatalf("v2 container (%d bytes) not larger than v1 (%d bytes)", len(v2), len(stream))
+	}
+}
+
+// parityFrameRegions parses a built container and returns the [off,end)
+// extent of every chunk frame and parity frame, via the salvage scan
+// (which reports exact extents from the verified index).
+func parityFrameRegions(t *testing.T, stream []byte) (chunks, parity [][2]int64) {
+	t.Helper()
+	rep, err := ScanSalvage(stream, Limits{})
+	if err != nil {
+		t.Fatalf("ScanSalvage on clean container: %v", err)
+	}
+	if !rep.IndexOK {
+		t.Fatal("clean container's index did not verify")
+	}
+	for _, f := range rep.Frames {
+		chunks = append(chunks, [2]int64{f.Offset, f.End})
+	}
+	for _, p := range rep.Parity {
+		parity = append(parity, [2]int64{p.Offset, p.End})
+	}
+	return chunks, parity
+}
+
+// TestParityFrameOrdering rejects structurally misplaced parity frames:
+// a missing parity frame (chunk where parity is due), a parity frame in
+// a parity-free container, and an index arriving before the final
+// group's parity frame.
+func TestParityFrameOrdering(t *testing.T) {
+	payloads := parityPayloads()
+	stream := buildStream(t, parityHeader(1), payloads) // parity after every chunk
+	chunks, parity := parityFrameRegions(t, stream)
+
+	t.Run("chunk-where-parity-due", func(t *testing.T) {
+		// Remove the first parity frame: c0 is then followed by c1 while
+		// group 0's parity is still owed.
+		mut := append([]byte(nil), stream[:parity[0][0]]...)
+		mut = append(mut, stream[parity[0][1]:]...)
+		readAllExpectCorrupt(t, mut, "parity frame is due")
+	})
+	t.Run("parity-in-parity-free-container", func(t *testing.T) {
+		v1 := buildStream(t, parityHeader(0), payloads)
+		// Splice a well-formed parity frame (from the v2 container) in
+		// front of the v1 container's first chunk frame.
+		hdrLen := headerLen(t, v1)
+		mut := append([]byte(nil), v1[:hdrLen]...)
+		mut = append(mut, stream[parity[0][0]:parity[0][1]]...)
+		mut = append(mut, v1[hdrLen:]...)
+		readAllExpectCorrupt(t, mut, "parity-free")
+	})
+	t.Run("parity-before-any-chunk", func(t *testing.T) {
+		hdrLen := headerLen(t, stream)
+		mut := append([]byte(nil), stream[:hdrLen]...)
+		mut = append(mut, stream[parity[0][0]:parity[0][1]]...)
+		mut = append(mut, stream[hdrLen:]...)
+		readAllExpectCorrupt(t, mut, "without preceding")
+	})
+	t.Run("index-before-final-parity", func(t *testing.T) {
+		// Drop the last group's parity frame so the index follows the
+		// final chunk directly.
+		last := len(parity) - 1
+		mut := append([]byte(nil), stream[:parity[last][0]]...)
+		mut = append(mut, stream[parity[last][1]:]...)
+		readAllExpectCorrupt(t, mut, "before the final group")
+	})
+	_ = chunks
+}
+
+// headerLen returns the parsed header's length for a container.
+func headerLen(t *testing.T, stream []byte) int64 {
+	t.Helper()
+	r, err := NewReader(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Consumed()
+}
+
+// readAllExpectCorrupt drains a container and requires a typed
+// ErrCorrupt mentioning wantSub before any clean EOF.
+func readAllExpectCorrupt(t *testing.T, stream []byte, wantSub string) {
+	t.Helper()
+	r, err := NewReader(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatalf("header rejected: %v", err)
+	}
+	for {
+		_, err := r.Next(nil)
+		if err == io.EOF {
+			t.Fatal("malformed container reached verified EOF")
+		}
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("err = %v, want ErrCorrupt", err)
+			}
+			if wantSub != "" && !bytes.Contains([]byte(err.Error()), []byte(wantSub)) {
+				t.Fatalf("err = %q, want substring %q", err, wantSub)
+			}
+			return
+		}
+	}
+}
+
+// TestParityTamperAndTruncate runs the v1 integrity sweeps over a v2
+// container: no byte flip silently alters a payload, and no truncation
+// reaches a verified EOF.
+func TestParityTamperAndTruncate(t *testing.T) {
+	payloads := parityPayloads()
+	stream := buildStream(t, parityHeader(2), payloads)
+	for pos := 0; pos < len(stream); pos++ {
+		mut := append([]byte(nil), stream...)
+		mut[pos] ^= 0xFF
+		r, err := NewReader(bytes.NewReader(mut))
+		if err != nil {
+			continue
+		}
+		for i := 0; ; i++ {
+			p, err := r.Next(nil)
+			if err != nil {
+				break
+			}
+			if i >= len(payloads) || !bytes.Equal(p, payloads[i]) {
+				t.Fatalf("flip at %d: chunk %d silently altered", pos, i)
+			}
+		}
+	}
+	for cut := len(stream) - 1; cut >= 0; cut-- {
+		r, err := NewReader(bytes.NewReader(stream[:cut]))
+		if err != nil {
+			continue
+		}
+		for {
+			_, err := r.Next(nil)
+			if err == io.EOF {
+				t.Fatalf("truncation at %d/%d reached verified EOF", cut, len(stream))
+			}
+			if err != nil {
+				break
+			}
+		}
+	}
+}
+
+// TestParitySalvageRepair sweeps single-chunk damage across every chunk
+// of a parity container: the salvage scan must reconstruct the lost
+// payload byte-identically from parity and siblings.
+func TestParitySalvageRepair(t *testing.T) {
+	payloads := parityPayloads()
+	stream := buildStream(t, parityHeader(2), payloads)
+	chunks, _ := parityFrameRegions(t, stream)
+
+	for i, ext := range chunks {
+		mut := append([]byte(nil), stream...)
+		mut[ext[1]-1] ^= 0xA5 // last payload byte of chunk i
+		rep, err := ScanSalvage(mut, Limits{})
+		if err != nil {
+			t.Fatalf("chunk %d damaged: ScanSalvage: %v", i, err)
+		}
+		if !rep.IndexOK {
+			t.Fatalf("chunk %d damaged: index should still verify", i)
+		}
+		f := rep.Frames[i]
+		if f.Damaged || !f.Repaired {
+			t.Fatalf("chunk %d: Damaged=%v Repaired=%v (reason %q), want repaired", i, f.Damaged, f.Repaired, f.Reason)
+		}
+		if !bytes.Equal(f.Payload, payloads[i]) {
+			t.Fatalf("chunk %d: repaired payload %q != original %q", i, f.Payload, payloads[i])
+		}
+		for j, g := range rep.Frames {
+			if g.Damaged {
+				t.Fatalf("chunk %d damaged: chunk %d reported lost", i, j)
+			}
+		}
+	}
+}
+
+// TestParitySalvageMultiLoss damages two chunks of the same group: both
+// must stay lost (repair covers exactly one loss per group), and a
+// damaged chunk in a *different* group must still repair.
+func TestParitySalvageMultiLoss(t *testing.T) {
+	payloads := parityPayloads()
+	stream := buildStream(t, parityHeader(2), payloads)
+	chunks, _ := parityFrameRegions(t, stream)
+
+	mut := append([]byte(nil), stream...)
+	mut[chunks[0][1]-1] ^= 0xA5 // group 0, chunk 0
+	mut[chunks[1][1]-1] ^= 0xA5 // group 0, chunk 1
+	mut[chunks[4][1]-1] ^= 0xA5 // group 2, chunk 4 (singleton group)
+	rep, err := ScanSalvage(mut, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Frames[0].Damaged || !rep.Frames[1].Damaged {
+		t.Fatal("double loss in group 0 was repaired: XOR parity cannot cover two losses")
+	}
+	if rep.Frames[4].Damaged || !rep.Frames[4].Repaired {
+		t.Fatalf("chunk 4 (sole loss of its group) not repaired: %+v", rep.Frames[4])
+	}
+	if !bytes.Equal(rep.Frames[4].Payload, payloads[4]) {
+		t.Fatal("chunk 4 repaired payload differs")
+	}
+}
+
+// TestParitySalvageDamagedParity damages a parity frame together with a
+// chunk of its group: repair must degrade to skip (the chunk stays
+// lost) while other groups are unaffected; a damaged parity frame alone
+// must cost no data.
+func TestParitySalvageDamagedParity(t *testing.T) {
+	payloads := parityPayloads()
+	stream := buildStream(t, parityHeader(2), payloads)
+	chunks, parity := parityFrameRegions(t, stream)
+
+	t.Run("with-chunk-loss", func(t *testing.T) {
+		mut := append([]byte(nil), stream...)
+		mut[chunks[2][1]-1] ^= 0xA5 // group 1, chunk 2
+		mut[parity[1][1]-1] ^= 0xA5 // group 1's parity
+		rep, err := ScanSalvage(mut, Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Frames[2].Damaged {
+			t.Fatal("chunk 2 repaired without an intact parity frame")
+		}
+		if !rep.Parity[1].Damaged {
+			t.Fatal("damaged parity frame not reported")
+		}
+		for _, j := range []int{0, 1, 3, 4} {
+			if rep.Frames[j].Damaged {
+				t.Fatalf("chunk %d lost collaterally", j)
+			}
+		}
+	})
+	t.Run("parity-only", func(t *testing.T) {
+		mut := append([]byte(nil), stream...)
+		mut[parity[0][1]-1] ^= 0xA5
+		rep, err := ScanSalvage(mut, Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, f := range rep.Frames {
+			if f.Damaged {
+				t.Fatalf("chunk %d lost to a parity-frame flip", j)
+			}
+		}
+		if !rep.Parity[0].Damaged {
+			t.Fatal("damaged parity frame not reported")
+		}
+	})
+}
+
+// TestParitySalvageNoIndexNoRepair destroys the index of a parity
+// container with one damaged chunk: the forward scan must still recover
+// the other chunks but cannot repair (no trusted CRC to prove a
+// reconstruction against).
+func TestParitySalvageNoIndexNoRepair(t *testing.T) {
+	payloads := parityPayloads()
+	stream := buildStream(t, parityHeader(2), payloads)
+	chunks, _ := parityFrameRegions(t, stream)
+
+	mut := append([]byte(nil), stream...)
+	mut[chunks[1][1]-1] ^= 0xA5
+	mut[len(mut)-1] ^= 0xFF // index CRC
+	rep, err := ScanSalvage(mut, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.IndexOK {
+		t.Fatal("damaged index verified")
+	}
+	if !rep.Frames[1].Damaged || rep.Frames[1].Repaired {
+		t.Fatalf("forward scan repaired without an index: %+v", rep.Frames[1])
+	}
+	for _, j := range []int{0, 2, 3, 4} {
+		f := rep.Frames[j]
+		if f.Damaged || !bytes.Equal(f.Payload, payloads[j]) {
+			t.Fatalf("chunk %d not recovered by forward scan", j)
+		}
+	}
+}
+
+// TestOpenIndexParity proves the seekable path's offset table tiles a
+// parity container exactly and that FrameReader skips interior parity
+// frames while returning every chunk payload.
+func TestOpenIndexParity(t *testing.T) {
+	payloads := parityPayloads()
+	stream := buildStream(t, parityHeader(2), payloads)
+	chunks, parity := parityFrameRegions(t, stream)
+
+	ix, err := OpenIndex(bytes.NewReader(stream), Limits{})
+	if err != nil {
+		t.Fatalf("OpenIndex: %v", err)
+	}
+	if ix.ParityK() != 2 || len(ix.PLens) != 3 || len(ix.CRCs) != len(payloads) {
+		t.Fatalf("parity metadata: K=%d plens=%d crcs=%d", ix.ParityK(), len(ix.PLens), len(ix.CRCs))
+	}
+	for i := range payloads {
+		off, end := ix.FrameExtent(i)
+		if off != chunks[i][0] || end != chunks[i][1] {
+			t.Fatalf("FrameExtent(%d) = [%d,%d), scan says [%d,%d)", i, off, end, chunks[i][0], chunks[i][1])
+		}
+	}
+	for g := range parity {
+		off, end := ix.ParityExtent(g)
+		if off != parity[g][0] || end != parity[g][1] {
+			t.Fatalf("ParityExtent(%d) = [%d,%d), scan says [%d,%d)", g, off, end, parity[g][0], parity[g][1])
+		}
+	}
+
+	// Read all chunks through the FrameReader; the two interior parity
+	// frames (after chunks 1 and 3) must be skipped, the trailing one
+	// never fetched.
+	span := ix.ExtentBytes(0, len(payloads))
+	r := bytes.NewReader(stream[ix.offsets[0] : ix.offsets[0]+span])
+	fr := ix.Frames(r, 0, len(payloads))
+	var scratch []byte
+	for i, want := range payloads {
+		p, frame, seq, err := fr.Next(scratch)
+		if err != nil || seq != i || !bytes.Equal(p, want) {
+			t.Fatalf("Frames.Next(%d): seq=%d err=%v", i, seq, err)
+		}
+		scratch = frame
+	}
+	if _, _, _, err := fr.Next(scratch); err != io.EOF {
+		t.Fatalf("after last chunk: %v, want io.EOF", err)
+	}
+	if fr.ParitySkipped() != 2 {
+		t.Fatalf("ParitySkipped = %d, want 2", fr.ParitySkipped())
+	}
+	if fr.BytesRead() != span {
+		t.Fatalf("BytesRead = %d, extent says %d", fr.BytesRead(), span)
+	}
+}
+
+// TestRepairChunk damages each chunk in turn and repairs it through the
+// seekable path: FrameReader must surface a typed ErrFrameDamaged and
+// stay usable, and RepairChunk must reconstruct byte-identically.
+func TestRepairChunk(t *testing.T) {
+	payloads := parityPayloads()
+	stream := buildStream(t, parityHeader(2), payloads)
+	chunks, _ := parityFrameRegions(t, stream)
+
+	for i := range payloads {
+		mut := append([]byte(nil), stream...)
+		mut[chunks[i][1]-1] ^= 0xA5
+		rs := bytes.NewReader(mut)
+		ix, err := OpenIndex(rs, Limits{})
+		if err != nil {
+			t.Fatalf("chunk %d damaged: OpenIndex: %v", i, err)
+		}
+		if _, err := rs.Seek(ix.offsets[0], io.SeekStart); err != nil {
+			t.Fatal(err)
+		}
+		fr := ix.Frames(rs, 0, len(payloads))
+		var damaged []int
+		for {
+			p, _, seq, err := fr.Next(nil)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				if !errors.Is(err, ErrFrameDamaged) {
+					t.Fatalf("chunk %d damaged: Next: %v, want ErrFrameDamaged", i, err)
+				}
+				damaged = append(damaged, seq)
+				continue
+			}
+			if !bytes.Equal(p, payloads[seq]) {
+				t.Fatalf("chunk %d damaged: intact chunk %d altered", i, seq)
+			}
+		}
+		if len(damaged) != 1 || damaged[0] != i {
+			t.Fatalf("chunk %d damaged: reader flagged %v", i, damaged)
+		}
+		got, fetched, err := ix.RepairChunk(rs, i)
+		if err != nil {
+			t.Fatalf("RepairChunk(%d): %v", i, err)
+		}
+		if !bytes.Equal(got, payloads[i]) {
+			t.Fatalf("RepairChunk(%d): payload differs", i)
+		}
+		if fetched <= 0 {
+			t.Fatalf("RepairChunk(%d): fetched = %d", i, fetched)
+		}
+	}
+
+	// A second loss in the group defeats repair with a typed error.
+	mut := append([]byte(nil), stream...)
+	mut[chunks[0][1]-1] ^= 0xA5
+	mut[chunks[1][1]-1] ^= 0xA5
+	rs := bytes.NewReader(mut)
+	ix, err := OpenIndex(rs, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ix.RepairChunk(rs, 0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("double-loss repair: %v, want ErrCorrupt", err)
+	}
+
+	// K == 0 containers cannot repair anything.
+	v1 := buildStream(t, parityHeader(0), payloads)
+	rs1 := bytes.NewReader(v1)
+	ix1, err := OpenIndex(rs1, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ix1.RepairChunk(rs1, 0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("v1 repair: %v, want ErrCorrupt", err)
+	}
+}

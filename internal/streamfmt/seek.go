@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -18,6 +19,12 @@ import (
 // never a silent fallback to a prefix scan (that permissive mode exists,
 // but only as the explicit salvage path in ScanSalvage).
 
+// ErrFrameDamaged reports a single frame that failed verification on
+// the seekable read path; it wraps ErrCorrupt. Callers that know the
+// container carries parity can catch it per frame, keep fetching, and
+// attempt a RepairChunk instead of aborting the whole range read.
+var ErrFrameDamaged = fmt.Errorf("%w: damaged frame", ErrCorrupt)
+
 // StreamIndex is the parsed header plus the chunk→offset table derived
 // from a verified tail index frame.
 type StreamIndex struct {
@@ -27,15 +34,23 @@ type StreamIndex struct {
 	HeaderLen int64
 	// Size is the total container length in bytes.
 	Size int64
-	// IndexOff is the offset of the index frame's tag byte; chunk frames
-	// occupy [HeaderLen, IndexOff) exactly.
+	// IndexOff is the offset of the index frame's tag byte; chunk and
+	// parity frames occupy [HeaderLen, IndexOff) exactly.
 	IndexOff int64
 	// Lens holds each chunk's payload length, from the verified index.
 	Lens []uint64
+	// PLens holds each parity group's payload length (v2 only).
+	PLens []uint64
+	// CRCs holds each chunk payload's CRC from the index (v2 only).
+	CRCs []uint32
 
 	// offsets[i] is chunk i's frame (tag byte) offset; offsets[Chunks()]
-	// is IndexOff, so extents are offsets[i] through offsets[i+1].
+	// is IndexOff. Without parity, extents are offsets[i] through
+	// offsets[i+1]; with parity interleaved, a chunk's extent ends at
+	// offsets[i] + frameLen(Lens[i]) instead (use FrameExtent).
 	offsets []int64
+	// parityOffs[g] is parity group g's frame offset (v2 only).
+	parityOffs []int64
 }
 
 // minFrameLen is the smallest possible chunk frame: tag, one-byte length
@@ -72,26 +87,47 @@ func OpenIndex(rs io.ReadSeeker, lim Limits) (*StreamIndex, error) {
 		return nil, fmt.Errorf("%w: %d-byte container cannot hold %d chunk frames and an index",
 			ErrTruncated, size, chunks)
 	}
-	lens, idxOff, err := ix.findTailIndex(rs, chunks)
+	ib, idxOff, err := ix.findTailIndex(rs, chunks)
 	if err != nil {
 		return nil, err
 	}
-	ix.Lens, ix.IndexOff = lens, idxOff
+	ix.Lens, ix.PLens, ix.CRCs, ix.IndexOff = ib.lens, ib.plens, ib.crcs, idxOff
 
-	// Rebuild the offset table and prove it tiles [HeaderLen, IndexOff)
-	// exactly; the index is not trusted until the arithmetic closes.
+	// Rebuild the offset table — chunk frames interleaved with one
+	// parity frame per group on the v2 layout — and prove it tiles
+	// [HeaderLen, IndexOff) exactly; the index is not trusted until the
+	// arithmetic closes.
+	k := ix.Hdr.ParityK
 	ix.offsets = make([]int64, chunks+1)
+	if k > 0 {
+		ix.parityOffs = make([]int64, ix.Hdr.Groups())
+	}
 	off := ix.HeaderLen
-	for i, l := range lens {
+	g := 0
+	for i, l := range ib.lens {
 		if l > lim.chunkCap() {
 			return nil, fmt.Errorf("%w: index declares chunk %d of %d bytes, limit %d",
 				ErrLimit, i, l, lim.chunkCap())
 		}
 		ix.offsets[i] = off
-		off += int64(1+uvarintLen(l)+4) + int64(l)
+		off += frameLen(l)
 		if off > idxOff {
 			return nil, fmt.Errorf("%w: index lengths overrun the index frame (chunk %d ends at %d, index at %d)",
 				ErrCorrupt, i, off, idxOff)
+		}
+		if k > 0 && (i%k == k-1 || i == chunks-1) {
+			pl := ib.plens[g]
+			if pl > lim.chunkCap() {
+				return nil, fmt.Errorf("%w: index declares parity frame %d of %d bytes, limit %d",
+					ErrLimit, g, pl, lim.chunkCap())
+			}
+			ix.parityOffs[g] = off
+			off += frameLen(pl)
+			if off > idxOff {
+				return nil, fmt.Errorf("%w: index lengths overrun the index frame (parity %d ends at %d, index at %d)",
+					ErrCorrupt, g, off, idxOff)
+			}
+			g++
 		}
 	}
 	if off != idxOff {
@@ -104,10 +140,14 @@ func OpenIndex(rs io.ReadSeeker, lim Limits) (*StreamIndex, error) {
 
 // findTailIndex reads a bounded window off the container tail and
 // locates the sealing index frame in it: a tagIndex byte whose body
-// parses to exactly `chunks` lengths, whose CRC verifies, and whose
-// frame ends exactly at the end of the container.
-func (ix *StreamIndex) findTailIndex(rs io.ReadSeeker, chunks int) ([]uint64, int64, error) {
+// parses to exactly `chunks` lengths (plus parity lengths and chunk
+// CRCs on the v2 layout), whose CRC verifies, and whose frame ends
+// exactly at the end of the container.
+func (ix *StreamIndex) findTailIndex(rs io.ReadSeeker, chunks int) (*indexBody, int64, error) {
 	maxIndex := int64(1+binary.MaxVarintLen64+4) + int64(chunks)*binary.MaxVarintLen64
+	if ix.Hdr.ParityK > 0 {
+		maxIndex += int64(1+ix.Hdr.Groups())*binary.MaxVarintLen64 + 4*int64(chunks)
+	}
 	winStart := ix.Size - maxIndex
 	if winStart < ix.HeaderLen {
 		winStart = ix.HeaderLen
@@ -127,8 +167,8 @@ func (ix *StreamIndex) findTailIndex(rs io.ReadSeeker, chunks int) ([]uint64, in
 	if _, err := io.ReadFull(rs, win); err != nil {
 		return nil, 0, readErr(err, "index window")
 	}
-	if lens, start, ok := findIndex(win, 0, chunks); ok {
-		return lens, winStart + start, nil
+	if ib, start, ok := findIndex(win, 0, &ix.Hdr); ok {
+		return ib, winStart + start, nil
 	}
 	return nil, 0, fmt.Errorf("%w: no verifiable index frame at the container tail (unsealed, truncated, or corrupt; salvage can attempt recovery)",
 		ErrCorrupt)
@@ -137,33 +177,54 @@ func (ix *StreamIndex) findTailIndex(rs io.ReadSeeker, chunks int) ([]uint64, in
 // Chunks returns the number of chunk frames in the container.
 func (ix *StreamIndex) Chunks() int { return len(ix.Lens) }
 
+// ParityK returns the parity group size (zero without parity).
+func (ix *StreamIndex) ParityK() int { return ix.Hdr.ParityK }
+
 // FrameExtent returns chunk i's frame byte range [off, end) — tag byte
 // through the end of the payload.
 func (ix *StreamIndex) FrameExtent(i int) (off, end int64) {
-	return ix.offsets[i], ix.offsets[i+1]
+	off = ix.offsets[i]
+	//lint:allow wrapreach OpenIndex proved every Lens entry ≤ MaxFrameLen and tiling the file span, so frameLen cannot wrap
+	return off, off + frameLen(ix.Lens[i])
+}
+
+// ParityExtent returns parity group g's frame byte range [off, end).
+func (ix *StreamIndex) ParityExtent(g int) (off, end int64) {
+	off = ix.parityOffs[g]
+	return off, off + frameLen(ix.PLens[g])
 }
 
 // ExtentBytes returns the total container bytes spanned by the chunk
-// frames [c0, c1) — the exact amount a range read must fetch.
+// frames [c0, c1) — the exact amount a range read must fetch. With
+// parity interleaved the span includes interior parity frames (they sit
+// between the chunks) but never a parity frame trailing chunk c1-1.
 func (ix *StreamIndex) ExtentBytes(c0, c1 int) int64 {
-	return ix.offsets[c1] - ix.offsets[c0]
+	if c1 <= c0 {
+		return 0
+	}
+	_, end := ix.FrameExtent(c1 - 1)
+	return end - ix.offsets[c0]
 }
 
 // FrameReader reads a contiguous run of chunk frames [c0, c1) whose
-// extents are known from the index, CRC-verifying each frame. r must be
-// positioned at chunk c0's frame offset; the reader consumes exactly
-// ExtentBytes(c0, c1) bytes from it on a clean pass.
+// extents are known from the index, CRC-verifying each frame; parity
+// frames interleaved in the run are skipped (they are counted in
+// BytesRead but never verified — the chunk CRCs already cover the
+// data). r must be positioned at chunk c0's frame offset; the reader
+// consumes exactly ExtentBytes(c0, c1) bytes from it on a clean pass.
 type FrameReader struct {
-	ix   *StreamIndex
-	br   *bufio.Reader
-	next int
-	end  int
-	read int64
+	ix     *StreamIndex
+	br     *bufio.Reader
+	next   int
+	end    int
+	pos    int64
+	read   int64
+	parity int
 }
 
 // Frames returns a FrameReader over chunks [c0, c1) of r.
 func (ix *StreamIndex) Frames(r io.Reader, c0, c1 int) *FrameReader {
-	return &FrameReader{ix: ix, br: bufio.NewReader(r), next: c0, end: c1}
+	return &FrameReader{ix: ix, br: bufio.NewReader(r), next: c0, end: c1, pos: ix.offsets[c0]}
 }
 
 // Next returns the next chunk's CRC-verified payload and its field-order
@@ -175,12 +236,28 @@ func (ix *StreamIndex) Frames(r io.Reader, c0, c1 int) *FrameReader {
 // the forward path's grow-as-bytes-arrive discipline: OpenIndex has
 // already proven the bytes exist inside the container and capped every
 // length against the limits.
+//
+// A frame that fails verification yields an error wrapping
+// ErrFrameDamaged, and the reader stays usable: the damaged frame's
+// bytes are already consumed, so the next call moves on to the
+// following chunk. Callers with parity available can record the
+// sequence number and repair it after the pass.
 func (fr *FrameReader) Next(scratch []byte) (payload, frame []byte, seq int, err error) {
 	if fr.next >= fr.end {
 		return nil, nil, fr.next, io.EOF
 	}
 	i := fr.next
 	off, end := fr.ix.FrameExtent(i)
+	if skip := off - fr.pos; skip > 0 {
+		// Interior parity frame(s) sit between the previous chunk and
+		// this one; discard them unread.
+		if _, err := fr.br.Discard(int(skip)); err != nil {
+			return nil, nil, i, readErr(err, fmt.Sprintf("parity frame before chunk %d", i))
+		}
+		fr.pos = off
+		fr.read += skip
+		fr.parity++
+	}
 	n := int(end - off)
 	frame = scratch
 	if n > cap(frame) {
@@ -190,14 +267,79 @@ func (fr *FrameReader) Next(scratch []byte) (payload, frame []byte, seq int, err
 	if _, err := io.ReadFull(fr.br, frame); err != nil {
 		return nil, nil, i, readErr(err, fmt.Sprintf("chunk %d frame", i))
 	}
+	fr.pos = end
 	fr.read += int64(n)
+	fr.next++
 	payload, reason := verifyFrame(frame, fr.ix.Lens[i])
 	if payload == nil {
-		return nil, nil, i, fmt.Errorf("%w: chunk %d: %s", ErrCorrupt, i, reason)
+		return nil, nil, i, fmt.Errorf("%w: chunk %d: %s", ErrFrameDamaged, i, reason)
 	}
-	fr.next++
 	return payload, frame, i, nil
 }
 
 // BytesRead returns the container bytes consumed so far.
 func (fr *FrameReader) BytesRead() int64 { return fr.read }
+
+// ParitySkipped returns the number of interior parity frames discarded.
+func (fr *FrameReader) ParitySkipped() int { return fr.parity }
+
+// RepairChunk reconstructs chunk seq of a parity container from rs by
+// XOR-combining the group's parity frame with the surviving sibling
+// chunk frames, each fetched with its own seek and CRC-verified. The
+// result is truncated to the index length and proven against the chunk
+// CRC the sealed index recorded. It returns the payload and the
+// container bytes fetched; any second loss in the group (a damaged
+// sibling or parity frame) is a typed ErrCorrupt — repair covers
+// exactly one loss per group. rs is left at an unspecified offset.
+func (ix *StreamIndex) RepairChunk(rs io.ReadSeeker, seq int) (payload []byte, fetched int64, err error) {
+	k := ix.Hdr.ParityK
+	if k == 0 {
+		return nil, 0, fmt.Errorf("%w: chunk %d: no parity frames to repair from", ErrCorrupt, seq)
+	}
+	g := seq / k
+	pOff, pEnd := ix.ParityExtent(g)
+	acc, err := fetchVerified(rs, pOff, pEnd, tagParity, ix.PLens[g],
+		fmt.Sprintf("parity frame for group %d", g))
+	fetched = pEnd - pOff
+	if err != nil {
+		return nil, fetched, err
+	}
+	lo, hi := ix.Hdr.GroupRange(g)
+	for i := lo; i < hi; i++ {
+		if i == seq {
+			continue
+		}
+		off, end := ix.FrameExtent(i)
+		sib, err := fetchVerified(rs, off, end, tagChunk, ix.Lens[i],
+			fmt.Sprintf("sibling chunk %d needed to repair chunk %d", i, seq))
+		fetched += end - off
+		if err != nil {
+			return nil, fetched, err
+		}
+		xorInto(acc, sib)
+	}
+	rec := acc[:ix.Lens[seq]]
+	if crc32.ChecksumIEEE(rec) != ix.CRCs[seq] {
+		return nil, fetched, fmt.Errorf("%w: chunk %d: parity reconstruction failed its recorded CRC", ErrCorrupt, seq)
+	}
+	return rec, fetched, nil
+}
+
+// fetchVerified seeks to one frame, reads its full extent, and verifies
+// it, returning a payload that owns its backing array.
+func fetchVerified(rs io.ReadSeeker, off, end int64, tag byte, want uint64, what string) ([]byte, error) {
+	if _, err := rs.Seek(off, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("streamfmt: seeking %s: %w", what, err)
+	}
+	//lint:allow allochot repair path is cold: it runs once per damaged frame, never on clean reads
+	//lint:allow limitreach extents come from an OpenIndex whose lengths passed the caller's Limits and the tiling proof — the bytes exist inside the container
+	frame := make([]byte, end-off)
+	if _, err := io.ReadFull(rs, frame); err != nil {
+		return nil, readErr(err, what)
+	}
+	payload, reason := verifyTaggedFrame(frame, tag, want)
+	if payload == nil {
+		return nil, fmt.Errorf("%w: %s: %s", ErrCorrupt, what, reason)
+	}
+	return payload, nil
+}

@@ -11,6 +11,29 @@
 //	chunk  := tag(0x01) uvarint(len) crc32be(payload) payload
 //	index  := tag(0x02) uvarint(count) uvarint(len_i)... crc32be(index body)
 //
+// Version 0x02 adds an optional erasure-coding layer: the header gains
+// uvarint(parityK), every K consecutive chunks form a parity group, and
+// the group's chunk frames are followed by one parity frame whose
+// payload is the byte-wise XOR of the group's chunk payloads, each
+// zero-padded to the longest payload in the group (the final group may
+// hold fewer than K chunks). The sealed index records the parity frame
+// lengths and each chunk payload's CRC, so a reader that loses exactly
+// one chunk per group can reconstruct it byte-identically from the
+// parity frame and the surviving siblings, and verify the result:
+//
+//	stream_v2 := header group* index
+//	header    := magic(0xC8) version(0x02) algo(1B)
+//	             uvarint(rank) uvarint(dim)... uvarint(chunkRows) uvarint(parityK)
+//	group     := chunk{1..K} parity
+//	parity    := tag(0x03) uvarint(plen) crc32be(ppayload) ppayload
+//	index     := tag(0x02) uvarint(count) uvarint(len_i)...
+//	             uvarint(pcount) uvarint(plen_g)... crc32be(chunkcrc_i)...
+//	             crc32be(index body)
+//
+// Parity-free output (ParityK == 0) stays version 0x01 and bit-identical
+// to the pre-parity format, so readers that predate parity keep reading
+// everything a parity-free writer emits.
+//
 // Every multi-byte integer is an unsigned varint except the CRCs, which
 // are big-endian uint32 over the bytes they cover. The chunk payloads
 // are standard self-describing repro.Compress streams; the container
@@ -34,11 +57,18 @@ const (
 	// Magic is the container's first byte (0xC5 plain, 0xC6 parallel,
 	// 0xC7 archive, 0xC8 stream, 0xC9 archive v2).
 	Magic = 0xC8
-	// Version is the current container version byte.
+	// Version is the parity-free container version byte.
 	Version = 0x01
+	// VersionParity is the container version carrying XOR parity frames.
+	VersionParity = 0x02
 
-	tagChunk = 0x01
-	tagIndex = 0x02
+	tagChunk  = 0x01
+	tagIndex  = 0x02
+	tagParity = 0x03
+
+	// MaxParityK bounds the parity group size; beyond this a single
+	// parity frame protects so many chunks that repair is nominal.
+	MaxParityK = 1 << 20
 
 	// MaxFrameLen bounds a single chunk frame's payload so a hostile
 	// length prefix cannot demand an absurd allocation up front.
@@ -108,6 +138,10 @@ type Header struct {
 	Algo      byte
 	Dims      []int
 	ChunkRows int
+	// ParityK is the parity group size: every K consecutive chunks are
+	// followed by one XOR parity frame (the final group may be shorter).
+	// Zero means no parity layer (version 0x01 container).
+	ParityK int
 }
 
 // Rows returns the extent of the chunked dimension.
@@ -132,6 +166,24 @@ func (h *Header) ChunkRowCount(i int) int {
 	return n
 }
 
+// Groups returns the number of parity groups (zero without parity).
+func (h *Header) Groups() int {
+	if h.ParityK <= 0 {
+		return 0
+	}
+	return (h.Chunks() + h.ParityK - 1) / h.ParityK
+}
+
+// GroupRange returns the chunk range [lo, hi) covered by parity group g.
+func (h *Header) GroupRange(g int) (lo, hi int) {
+	lo = g * h.ParityK
+	hi = lo + h.ParityK
+	if n := h.Chunks(); hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
 func (h *Header) validate() error {
 	if err := grid.Validate(h.Dims, -1); err != nil {
 		return fmt.Errorf("%w: %v", ErrCorrupt, err)
@@ -142,35 +194,54 @@ func (h *Header) validate() error {
 	if h.ChunkRows < 1 || h.ChunkRows > h.Dims[0] {
 		return fmt.Errorf("%w: chunk rows %d out of [1,%d]", ErrCorrupt, h.ChunkRows, h.Dims[0])
 	}
+	if h.ParityK < 0 || h.ParityK > MaxParityK {
+		return fmt.Errorf("%w: parity group size %d out of [0,%d]", ErrCorrupt, h.ParityK, MaxParityK)
+	}
 	return nil
 }
 
 // Writer emits a stream container: header up front, one frame per
-// WriteChunk, and the index on Finish.
+// WriteChunk, and the index on Finish. With parity enabled it keeps one
+// running XOR accumulator — a single extra chunk-sized buffer, so the
+// pipeline's bounded-memory guarantee survives — and flushes it as a
+// parity frame after every K chunks and after the final partial group.
 type Writer struct {
 	w        io.Writer
 	lens     []uint64
+	plens    []uint64
+	crcs     []uint32
+	parity   []byte
+	parityK  int
+	groupN   int
 	scratch  []byte
 	expect   int
 	finished bool
 }
 
 // NewWriter validates the header, writes it to w, and returns a Writer
-// for the chunk frames.
+// for the chunk frames. ParityK == 0 emits the version 0x01 layout,
+// byte-identical to the pre-parity format.
 func NewWriter(w io.Writer, h Header) (*Writer, error) {
 	if err := h.validate(); err != nil {
 		return nil, err
 	}
-	buf := []byte{Magic, Version, h.Algo}
+	ver := byte(Version)
+	if h.ParityK > 0 {
+		ver = VersionParity
+	}
+	buf := []byte{Magic, ver, h.Algo}
 	buf = binary.AppendUvarint(buf, uint64(len(h.Dims)))
 	for _, d := range h.Dims {
 		buf = binary.AppendUvarint(buf, uint64(d))
 	}
 	buf = binary.AppendUvarint(buf, uint64(h.ChunkRows))
+	if h.ParityK > 0 {
+		buf = binary.AppendUvarint(buf, uint64(h.ParityK))
+	}
 	if _, err := w.Write(buf); err != nil {
 		return nil, err
 	}
-	return &Writer{w: w, expect: h.Chunks(), lens: make([]uint64, 0, h.Chunks())}, nil
+	return &Writer{w: w, expect: h.Chunks(), parityK: h.ParityK, lens: make([]uint64, 0, h.Chunks())}, nil
 }
 
 // WriteChunk emits one chunk frame. Chunks must be written in field
@@ -185,10 +256,11 @@ func (sw *Writer) WriteChunk(payload []byte) error {
 	if len(payload) == 0 || len(payload) > MaxFrameLen {
 		return fmt.Errorf("streamfmt: chunk payload length %d out of (0,%d]", len(payload), MaxFrameLen)
 	}
+	crc := crc32.ChecksumIEEE(payload)
 	sw.scratch = sw.scratch[:0]
 	sw.scratch = append(sw.scratch, tagChunk)
 	sw.scratch = binary.AppendUvarint(sw.scratch, uint64(len(payload)))
-	sw.scratch = binary.BigEndian.AppendUint32(sw.scratch, crc32.ChecksumIEEE(payload))
+	sw.scratch = binary.BigEndian.AppendUint32(sw.scratch, crc)
 	if _, err := sw.w.Write(sw.scratch); err != nil {
 		return err
 	}
@@ -196,11 +268,62 @@ func (sw *Writer) WriteChunk(payload []byte) error {
 		return err
 	}
 	sw.lens = append(sw.lens, uint64(len(payload)))
+	if sw.parityK > 0 {
+		sw.crcs = append(sw.crcs, crc)
+		sw.xorParity(payload)
+		sw.groupN++
+		if sw.groupN == sw.parityK {
+			return sw.writeParity()
+		}
+	}
+	return nil
+}
+
+// xorParity folds payload into the group accumulator, zero-extending the
+// accumulator when this payload is the longest seen in the group.
+func (sw *Writer) xorParity(payload []byte) {
+	if len(payload) > len(sw.parity) {
+		old := len(sw.parity)
+		if len(payload) > cap(sw.parity) {
+			grown := make([]byte, len(payload))
+			copy(grown, sw.parity)
+			sw.parity = grown
+		} else {
+			sw.parity = sw.parity[:len(payload)]
+			for i := old; i < len(sw.parity); i++ {
+				sw.parity[i] = 0
+			}
+		}
+	}
+	for i, b := range payload {
+		sw.parity[i] ^= b
+	}
+}
+
+// writeParity flushes the group accumulator as one parity frame and
+// resets it for the next group.
+func (sw *Writer) writeParity() error {
+	sw.scratch = sw.scratch[:0]
+	sw.scratch = append(sw.scratch, tagParity)
+	sw.scratch = binary.AppendUvarint(sw.scratch, uint64(len(sw.parity)))
+	sw.scratch = binary.BigEndian.AppendUint32(sw.scratch, crc32.ChecksumIEEE(sw.parity))
+	if _, err := sw.w.Write(sw.scratch); err != nil {
+		return err
+	}
+	if _, err := sw.w.Write(sw.parity); err != nil {
+		return err
+	}
+	sw.plens = append(sw.plens, uint64(len(sw.parity)))
+	sw.groupN = 0
+	sw.parity = sw.parity[:0]
 	return nil
 }
 
 // Written returns the number of chunk frames emitted so far.
 func (sw *Writer) Written() int { return len(sw.lens) }
+
+// ParityWritten returns the number of parity frames emitted so far.
+func (sw *Writer) ParityWritten() int { return len(sw.plens) }
 
 // Finish writes the index frame and seals the container. It fails if
 // the chunk count does not match the header.
@@ -211,10 +334,25 @@ func (sw *Writer) Finish() error {
 	if len(sw.lens) != sw.expect {
 		return fmt.Errorf("streamfmt: wrote %d chunks, header promised %d", len(sw.lens), sw.expect)
 	}
+	if sw.parityK > 0 && sw.groupN > 0 {
+		// Seal the final partial group so every chunk is parity-covered.
+		if err := sw.writeParity(); err != nil {
+			return err
+		}
+	}
 	sw.finished = true
 	body := binary.AppendUvarint(nil, uint64(len(sw.lens)))
 	for _, l := range sw.lens {
 		body = binary.AppendUvarint(body, l)
+	}
+	if sw.parityK > 0 {
+		body = binary.AppendUvarint(body, uint64(len(sw.plens)))
+		for _, l := range sw.plens {
+			body = binary.AppendUvarint(body, l)
+		}
+		for _, c := range sw.crcs {
+			body = binary.BigEndian.AppendUint32(body, c)
+		}
 	}
 	sw.scratch = sw.scratch[:0]
 	sw.scratch = append(sw.scratch, tagIndex)
@@ -232,6 +370,11 @@ type Reader struct {
 	hdr      Header
 	lim      Limits
 	lens     []uint64
+	plens    []uint64
+	crcs     []uint32
+	groupN   int
+	groupMax uint64
+	pbuf     []byte
 	consumed int64
 	done     bool
 }
@@ -257,7 +400,7 @@ func (sr *Reader) readHeader() error {
 		return readErr(err, "stream header")
 	}
 	sr.consumed += 3
-	if fixed[0] != Magic || fixed[1] != Version {
+	if fixed[0] != Magic || (fixed[1] != Version && fixed[1] != VersionParity) {
 		return fmt.Errorf("%w: magic/version % x is not a stream container", ErrUnsupported, fixed[:2])
 	}
 	rank, err := sr.uvarint()
@@ -285,7 +428,18 @@ func (sr *Reader) readHeader() error {
 	if cr == 0 || cr > uint64(dims[0]) {
 		return fmt.Errorf("%w: chunk rows %d", ErrCorrupt, cr)
 	}
-	sr.hdr = Header{Algo: fixed[2], Dims: dims, ChunkRows: int(cr)}
+	parityK := 0
+	if fixed[1] == VersionParity {
+		pk, err := sr.uvarint()
+		if err != nil {
+			return err
+		}
+		if pk == 0 || pk > MaxParityK {
+			return fmt.Errorf("%w: parity group size %d out of [1,%d]", ErrCorrupt, pk, MaxParityK)
+		}
+		parityK = int(pk)
+	}
+	sr.hdr = Header{Algo: fixed[2], Dims: dims, ChunkRows: int(cr), ParityK: parityK}
 	if err := sr.hdr.validate(); err != nil {
 		return err
 	}
@@ -306,37 +460,51 @@ func (sr *Reader) Consumed() int64 { return sr.consumed }
 // ChunksRead returns the number of chunk frames returned by Next.
 func (sr *Reader) ChunksRead() int { return len(sr.lens) }
 
+// ParityRead returns the number of parity frames verified so far.
+func (sr *Reader) ParityRead() int { return len(sr.plens) }
+
 // Next returns the payload of the next chunk frame, reusing scratch
-// when it is large enough. It returns io.EOF after the index frame has
-// been read and verified; any malformed frame, CRC mismatch, or
-// truncation yields an error wrapping ErrCorrupt.
+// when it is large enough. Parity frames are verified and consumed
+// transparently — the linear path has every chunk's own CRC, so parity
+// carries no extra information for it. It returns io.EOF after the
+// index frame has been read and verified; any malformed frame, CRC
+// mismatch, or truncation yields an error wrapping ErrCorrupt.
 func (sr *Reader) Next(scratch []byte) ([]byte, error) {
 	if sr.done {
 		return nil, io.EOF
 	}
-	tag, err := sr.br.ReadByte()
-	if err != nil {
-		return nil, readErr(err, fmt.Sprintf("frame tag (want %d more chunks + index)",
-			sr.hdr.Chunks()-len(sr.lens)))
-	}
-	sr.consumed++
-	switch tag {
-	case tagChunk:
-		return sr.readChunk(scratch)
-	case tagIndex:
-		if err := sr.readIndex(); err != nil {
-			return nil, err
+	for {
+		tag, err := sr.br.ReadByte()
+		if err != nil {
+			return nil, readErr(err, fmt.Sprintf("frame tag (want %d more chunks + index)",
+				sr.hdr.Chunks()-len(sr.lens)))
 		}
-		sr.done = true
-		return nil, io.EOF
-	default:
-		return nil, fmt.Errorf("%w: unknown frame tag 0x%02x", ErrCorrupt, tag)
+		sr.consumed++
+		switch tag {
+		case tagChunk:
+			return sr.readChunk(scratch)
+		case tagParity:
+			if err := sr.readParity(); err != nil {
+				return nil, err
+			}
+		case tagIndex:
+			if err := sr.readIndex(); err != nil {
+				return nil, err
+			}
+			sr.done = true
+			return nil, io.EOF
+		default:
+			return nil, fmt.Errorf("%w: unknown frame tag 0x%02x", ErrCorrupt, tag)
+		}
 	}
 }
 
 func (sr *Reader) readChunk(scratch []byte) ([]byte, error) {
 	if len(sr.lens) >= sr.hdr.Chunks() {
 		return nil, fmt.Errorf("%w: more chunk frames than the header's %d", ErrCorrupt, sr.hdr.Chunks())
+	}
+	if sr.hdr.ParityK > 0 && sr.groupN == sr.hdr.ParityK {
+		return nil, fmt.Errorf("%w: chunk frame where the group's parity frame is due", ErrCorrupt)
 	}
 	plen, err := sr.uvarint()
 	if err != nil {
@@ -362,7 +530,69 @@ func (sr *Reader) readChunk(scratch []byte) ([]byte, error) {
 		return nil, fmt.Errorf("%w: chunk %d checksum mismatch", ErrCorrupt, len(sr.lens))
 	}
 	sr.lens = append(sr.lens, plen)
+	if sr.hdr.ParityK > 0 {
+		sr.crcs = append(sr.crcs, want)
+		sr.groupN++
+		if plen > sr.groupMax {
+			sr.groupMax = plen
+		}
+	}
 	return payload, nil
+}
+
+// readParity verifies one parity frame in place. The payload is
+// streamed through the CRC in a small fixed buffer — the linear path
+// never uses parity content, so it is not materialized — but its length
+// still counts toward the chunk limit like any other frame.
+func (sr *Reader) readParity() error {
+	k := sr.hdr.ParityK
+	if k == 0 {
+		return fmt.Errorf("%w: parity frame in a parity-free container", ErrCorrupt)
+	}
+	if sr.groupN == 0 {
+		return fmt.Errorf("%w: parity frame without preceding group chunks", ErrCorrupt)
+	}
+	if sr.groupN < k && len(sr.lens) != sr.hdr.Chunks() {
+		return fmt.Errorf("%w: parity frame after %d of the group's %d chunks", ErrCorrupt, sr.groupN, k)
+	}
+	plen, err := sr.uvarint()
+	if err != nil {
+		return err
+	}
+	if plen > sr.lim.chunkCap() {
+		return fmt.Errorf("%w: parity frame of %d bytes, limit %d", ErrLimit, plen, sr.lim.chunkCap())
+	}
+	if plen != sr.groupMax {
+		return fmt.Errorf("%w: parity frame length %d, longest group chunk %d", ErrCorrupt, plen, sr.groupMax)
+	}
+	var crcb [4]byte
+	if _, err := io.ReadFull(sr.br, crcb[:]); err != nil {
+		return readErr(err, "parity CRC")
+	}
+	sr.consumed += 4
+	if sr.pbuf == nil {
+		sr.pbuf = make([]byte, 32<<10)
+	}
+	h := crc32.NewIEEE()
+	for left := plen; left > 0; {
+		grab := uint64(len(sr.pbuf))
+		if left < grab {
+			grab = left
+		}
+		m, err := io.ReadFull(sr.br, sr.pbuf[:grab])
+		sr.consumed += int64(m)
+		if err != nil {
+			return readErr(err, "parity payload")
+		}
+		_, _ = h.Write(sr.pbuf[:grab]) // hash.Hash.Write never errors
+		left -= grab
+	}
+	if h.Sum32() != binary.BigEndian.Uint32(crcb[:]) {
+		return fmt.Errorf("%w: parity frame %d checksum mismatch", ErrCorrupt, len(sr.plens))
+	}
+	sr.plens = append(sr.plens, plen)
+	sr.groupN, sr.groupMax = 0, 0
+	return nil
 }
 
 // readPayload reads n declared bytes without trusting n for the initial
@@ -398,6 +628,9 @@ func (sr *Reader) readPayload(scratch []byte, n uint64) ([]byte, error) {
 }
 
 func (sr *Reader) readIndex() error {
+	if sr.hdr.ParityK > 0 && sr.groupN != 0 {
+		return fmt.Errorf("%w: index frame before the final group's parity frame", ErrCorrupt)
+	}
 	count, err := sr.uvarint()
 	if err != nil {
 		return err
@@ -416,6 +649,39 @@ func (sr *Reader) readIndex() error {
 			return fmt.Errorf("%w: index length %d disagrees with chunk %d frame (%d)", ErrCorrupt, l, i, sr.lens[i])
 		}
 		body = binary.AppendUvarint(body, l)
+	}
+	if sr.hdr.ParityK > 0 {
+		pc, err := sr.uvarint()
+		if err != nil {
+			return err
+		}
+		if pc != uint64(len(sr.plens)) || pc != uint64(sr.hdr.Groups()) {
+			return fmt.Errorf("%w: index counts %d parity frames, read %d, header implies %d",
+				ErrCorrupt, pc, len(sr.plens), sr.hdr.Groups())
+		}
+		body = binary.AppendUvarint(body, pc)
+		for g := range sr.plens {
+			l, err := sr.uvarint()
+			if err != nil {
+				return err
+			}
+			if l != sr.plens[g] {
+				return fmt.Errorf("%w: index parity length %d disagrees with group %d frame (%d)",
+					ErrCorrupt, l, g, sr.plens[g])
+			}
+			body = binary.AppendUvarint(body, l)
+		}
+		var cb [4]byte
+		for i := range sr.crcs {
+			if _, err := io.ReadFull(sr.br, cb[:]); err != nil {
+				return readErr(err, "index chunk CRC")
+			}
+			sr.consumed += 4
+			if binary.BigEndian.Uint32(cb[:]) != sr.crcs[i] {
+				return fmt.Errorf("%w: index CRC for chunk %d disagrees with its frame", ErrCorrupt, i)
+			}
+			body = append(body, cb[:]...)
+		}
 	}
 	var crcb [4]byte
 	if _, err := io.ReadFull(sr.br, crcb[:]); err != nil {

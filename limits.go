@@ -26,7 +26,10 @@ type DecodeLimits struct {
 	// MaxElements caps the total number of field elements a container
 	// may declare (the decoded size is 8 bytes per element).
 	MaxElements int64
-	// MaxChunkBytes caps one compressed chunk frame or archive blob.
+	// MaxChunkBytes caps one compressed chunk frame or archive blob;
+	// parity frames in a self-healing stream container count against it
+	// like any other frame (a parity payload is exactly as long as its
+	// group's longest chunk payload).
 	MaxChunkBytes int64
 	// MaxFields caps the number of fields an archive directory may
 	// declare.

@@ -37,6 +37,11 @@ type ParallelOptions struct {
 	// Chunks is the number of slices along the slowest dimension
 	// (default: Workers, clamped to the dimension's extent).
 	Chunks int
+	// Verify decode-verifies each compressed chunk against its source
+	// slice before the container is assembled, exactly like
+	// StreamOptions.VerifyOnWrite; a mismatch fails with a typed
+	// ErrVerifyFailed.
+	Verify bool
 	// Options passes through per-chunk compressor options.
 	Options *Options
 	// Ctx, when non-nil, cancels the worker pool: compression stops
@@ -55,12 +60,14 @@ func CompressParallel(data []float64, dims []int, relBound float64, algo Algorit
 	ctx := context.Background()
 	workers := runtime.GOMAXPROCS(0)
 	chunks := 0
+	verify := false
 	var opts *Options
 	if popts != nil {
 		if popts.Workers > 0 {
 			workers = popts.Workers
 		}
 		chunks = popts.Chunks
+		verify = popts.Verify
 		opts = popts.Options
 		ctx = orDefault(popts.Ctx)
 	}
@@ -88,6 +95,9 @@ func CompressParallel(data []float64, dims []int, relBound float64, algo Algorit
 		sub := data[lo*rowStride : hi*rowStride]
 		subDims := append([]int{hi - lo}, dims[1:]...)
 		buf, err := Compress(sub, subDims, relBound, algo, opts)
+		if err == nil && verify {
+			err = verifyChunk(buf, sub, subDims, relBound, algo)
+		}
 		results[c] = result{buf, err}
 	})
 	if err := ctx.Err(); err != nil {

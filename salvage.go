@@ -33,8 +33,18 @@ type SalvageReport struct {
 	// Dims is the field geometry from the container header.
 	Dims []int
 	// Chunks and Recovered count the chunk frames the header promised
-	// and the ones that decoded cleanly.
+	// and the ones that decoded cleanly (repaired chunks included).
 	Chunks, Recovered int
+	// ParityK is the container's parity group size (zero: no parity).
+	ParityK int
+	// RepairedChunks lists the field-order indices of chunks that were
+	// damaged in the container but reconstructed byte-identically from
+	// their group's parity frame and siblings; they are counted in
+	// Recovered, not Lost.
+	RepairedChunks []int
+	// DamagedParity lists parity groups whose parity frame itself was
+	// damaged; chunks in those groups degrade to skip-and-report.
+	DamagedParity []int
 	// LostChunks lists the field-order indices of unrecoverable chunks.
 	LostChunks []int
 	// LostRows lists the dims[0]-row ranges filled with NaN, merged
@@ -57,6 +67,9 @@ type SalvageReport struct {
 
 // Lost reports the number of unrecoverable chunks.
 func (r *SalvageReport) Lost() int { return len(r.LostChunks) }
+
+// Repaired reports the number of chunks reconstructed from parity.
+func (r *SalvageReport) Repaired() int { return len(r.RepairedChunks) }
 
 // DecompressStreamSalvage reads a (possibly damaged) stream container
 // from r and writes the field to w as raw little-endian float64 bytes,
@@ -85,9 +98,15 @@ func DecompressStreamSalvage(r io.Reader, w io.Writer, limits *DecodeLimits) (_ 
 	rep := &SalvageReport{
 		Dims:      append([]int(nil), hdr.Dims...),
 		Chunks:    len(scan.Frames),
+		ParityK:   hdr.ParityK,
 		IndexOK:   scan.IndexOK,
 		Truncated: scan.Truncated,
 		BytesIn:   int64(len(buf)),
+	}
+	for g := range scan.Parity {
+		if scan.Parity[g].Damaged {
+			rep.DamagedParity = append(rep.DamagedParity, g)
+		}
 	}
 
 	var out []byte
@@ -128,6 +147,9 @@ func DecompressStreamSalvage(r io.Reader, w io.Writer, limits *DecodeLimits) (_ 
 		}
 		if dec != nil {
 			rep.Recovered++
+			if f.Repaired {
+				rep.RepairedChunks = append(rep.RepairedChunks, i)
+			}
 			if err := emit(dec); err != nil {
 				return rep, err
 			}
@@ -136,15 +158,31 @@ func DecompressStreamSalvage(r io.Reader, w io.Writer, limits *DecodeLimits) (_ 
 			rep.addLostRows(row, row+rows)
 			rep.addLostBytes(f.Offset, f.End, lastEnd, int64(len(buf)))
 			if nanRow == nil {
-				//lint:allow allochot nil-guarded: one NaN row allocated for the whole scan
-				nanRow = make([]float64, rowStride)
+				// The fill buffer is capped: a hostile header can claim an
+				// astronomical row stride, and salvage (the permissive
+				// reader) must stream the NaN fill rather than allocate a
+				// whole row of it up front.
+				const maxFillElems = 1 << 16
+				n := rowStride
+				if n > maxFillElems {
+					n = maxFillElems
+				}
+				//lint:allow allochot nil-guarded: one bounded NaN buffer allocated for the whole scan
+				nanRow = make([]float64, n)
 				for j := range nanRow {
 					nanRow[j] = math.NaN()
 				}
 			}
 			for j := 0; j < rows; j++ {
-				if err := emit(nanRow); err != nil {
-					return rep, err
+				for left := rowStride; left > 0; {
+					n := left
+					if n > len(nanRow) {
+						n = len(nanRow)
+					}
+					if err := emit(nanRow[:n]); err != nil {
+						return rep, err
+					}
+					left -= n
 				}
 			}
 		}

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -258,10 +259,14 @@ func (h *StreamHandle) readRows(ctx context.Context, start, count uint64, outByt
 	// freelist only recycles — the O(workers × chunk) invariant of the
 	// forward pipeline holds for range reads too.
 	var readWall time.Duration
+	var repairBytes int64
+	var damaged []int
 	allocated := 0
 	chunks := 0
+	repaired := 0
 	func() {
 		defer close(jobs) // guaranteed even if a fetch step panics
+	fetch:
 		for {
 			select {
 			case <-stop:
@@ -280,9 +285,17 @@ func (h *StreamHandle) readRows(ctx context.Context, start, count uint64, outByt
 			payload, frame, seq, err := fr.Next(buf)
 			readWall += time.Since(t0)
 			if err == io.EOF {
-				return
+				break fetch
 			}
 			if err != nil {
+				if errors.Is(err, streamfmt.ErrFrameDamaged) && h.ix.ParityK() > 0 {
+					// Single-frame damage in a parity container: the
+					// reader has already advanced past the bad frame, so
+					// keep fetching and repair after the sequential pass.
+					//lint:allow allochot repair bookkeeping only grows on damaged frames, never on clean reads
+					damaged = append(damaged, seq)
+					continue
+				}
 				fail(err)
 				return
 			}
@@ -300,14 +313,49 @@ func (h *StreamHandle) readRows(ctx context.Context, start, count uint64, outByt
 				return
 			}
 		}
+		// The sequential fetch is done, so the source position is free
+		// for repair seeks: reconstruct each damaged chunk from its
+		// group's parity frame and siblings, and feed it to the same
+		// decode pool.
+		for _, seq := range damaged {
+			select {
+			case <-stop:
+				return
+			case <-ctx.Done():
+				fail(ctxCause(ctx))
+				return
+			default:
+			}
+			t0 := time.Now()
+			payload, fetched, err := h.ix.RepairChunk(h.src, seq)
+			readWall += time.Since(t0)
+			repairBytes += fetched
+			if err != nil {
+				fail(fmt.Errorf("chunk %d: repair failed: %w", seq, err))
+				return
+			}
+			chunks++
+			repaired++
+			//lint:allow allochot per-repair descriptor on the cold path
+			jb := &seekJob{seq: seq, in: payload, buf: payload}
+			fl.enter()
+			select {
+			case jobs <- jb:
+			case <-stop:
+				fl.leave()
+				return
+			}
+		}
 	}()
 	wg.Wait()
 
 	h.stats.Chunks += chunks
-	h.stats.BytesIn += fr.BytesRead()
+	h.stats.BytesIn += fr.BytesRead() + repairBytes
 	h.stats.ReadWall += readWall
 	h.stats.CodecWall += time.Duration(codecNS.Load())
 	h.stats.BuffersAllocated += allocated
+	h.stats.ParityFrames += fr.ParitySkipped()
+	h.stats.RepairedChunks += repaired
 	if m := int(fl.max.Load()); m > h.stats.MaxInFlight {
 		h.stats.MaxInFlight = m
 	}

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/floatbits"
 	"repro/internal/grid"
 	"repro/internal/streamfmt"
 )
@@ -50,6 +51,21 @@ type StreamOptions struct {
 	// rows for ~256Ki elements, clamped to [1, dims[0]]). The last chunk
 	// is clipped at the field boundary.
 	ChunkRows int
+	// ParityK, when positive, emits one XOR parity frame per K data
+	// chunks (the final group may be shorter), making the container
+	// self-healing: salvage and the seekable read path reconstruct any
+	// single lost chunk per group byte-identically. Size overhead is
+	// roughly 1/K of the compressed payload; zero keeps today's
+	// parity-free format bit-identical.
+	ParityK int
+	// VerifyOnWrite decode-verifies every sealed chunk against its
+	// source rows — shape, NaN/Inf/zero preservation, and the
+	// point-wise relative bound where the algorithm guarantees it —
+	// before the index commits. A mismatch fails the stream with a
+	// typed ErrVerifyFailed, turning silent encoder or memory
+	// corruption into a write-time error at the cost of one extra
+	// decode per chunk.
+	VerifyOnWrite bool
 	// Options passes through per-chunk compressor options.
 	Options *Options
 }
@@ -75,6 +91,17 @@ type StreamStats struct {
 	// pipeline allocated; it is bounded by workers+2 regardless of field
 	// size (the bounded-memory guarantee the tests assert).
 	BuffersAllocated int
+	// ParityFrames counts parity frames handled inline: emitted on
+	// compress, verified on linear decompress, skipped during fetch on
+	// range reads (parity frames fetched again for a repair are counted
+	// in BytesIn, not here).
+	ParityFrames int
+	// RepairedChunks counts chunks reconstructed from parity on the
+	// seekable read path (the salvage path reports repairs in its
+	// SalvageReport instead).
+	RepairedChunks int
+	// VerifiedChunks counts chunks decode-verified by VerifyOnWrite.
+	VerifiedChunks int
 }
 
 // streamJob carries one chunk through the pipeline.
@@ -180,12 +207,19 @@ func compressStreamCtx(ctx context.Context, r io.Reader, w io.Writer, dims []int
 	rowStride := grid.Size(dims) / rows
 	workers := runtime.GOMAXPROCS(0)
 	chunkRows := 0
+	parityK := 0
+	verify := false
 	var copts *Options
 	if opts != nil {
 		if opts.Workers > 0 {
 			workers = opts.Workers
 		}
 		chunkRows = opts.ChunkRows
+		if opts.ParityK < 0 || opts.ParityK > streamfmt.MaxParityK {
+			return nil, fmt.Errorf("repro: parity group size %d out of [0,%d]", opts.ParityK, streamfmt.MaxParityK)
+		}
+		parityK = opts.ParityK
+		verify = opts.VerifyOnWrite
 		copts = opts.Options
 	}
 	if chunkRows <= 0 {
@@ -202,7 +236,7 @@ func compressStreamCtx(ctx context.Context, r io.Reader, w io.Writer, dims []int
 
 	cw := &countingWriter{w: w}
 	sw, err := streamfmt.NewWriter(cw,
-		streamfmt.Header{Algo: byte(algo), Dims: dims, ChunkRows: chunkRows})
+		streamfmt.Header{Algo: byte(algo), Dims: dims, ChunkRows: chunkRows, ParityK: parityK})
 	if err != nil {
 		return nil, err
 	}
@@ -214,6 +248,7 @@ func compressStreamCtx(ctx context.Context, r io.Reader, w io.Writer, dims []int
 	stop := make(chan struct{})
 	var fl inflight
 	var codecNS atomic.Int64
+	var verified atomic.Int64
 
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
@@ -224,6 +259,12 @@ func compressStreamCtx(ctx context.Context, r io.Reader, w io.Writer, dims []int
 				t0 := time.Now()
 				subDims := append([]int{jb.rows}, dims[1:]...)
 				jb.out, jb.err = Compress(jb.data[:jb.rows*rowStride], subDims, relBound, algo, copts)
+				if jb.err == nil && verify {
+					jb.err = verifyChunk(jb.out, jb.data[:jb.rows*rowStride], subDims, relBound, algo)
+					if jb.err == nil {
+						verified.Add(1)
+					}
+				}
 				codecNS.Add(time.Since(t0).Nanoseconds())
 				close(jb.done)
 			}
@@ -358,6 +399,8 @@ drain:
 	stats.BytesIn = bytesIn
 	stats.MaxInFlight = int(fl.max.Load())
 	stats.BuffersAllocated = allocated
+	stats.VerifiedChunks = int(verified.Load())
+	stats.ParityFrames = sw.ParityWritten()
 	stats.BytesOut = cw.n
 	if firstErr != nil {
 		return stats, firstErr
@@ -367,8 +410,61 @@ drain:
 		return stats, err
 	}
 	stats.WriteWall += time.Since(t0)
+	stats.ParityFrames = sw.ParityWritten()
 	stats.BytesOut = cw.n
 	return stats, nil
+}
+
+// verifyChunk decode-verifies one sealed chunk payload against the
+// source rows it encodes, asserting exactly what the algorithm
+// guarantees (Table IV): NaN and ±Inf always survive, exact zeros are
+// preserved by the zero-preserving algorithms, and every finite normal
+// nonzero original is within the point-wise relative bound unless the
+// algorithm (ZFP_P) documents no hard guarantee. Subnormal originals
+// are skipped — below 2^-1022 the float64 quantum makes tight relative
+// bounds unsatisfiable in principle.
+func verifyChunk(payload []byte, src []float64, subDims []int, relBound float64, algo Algorithm) error {
+	dec, dims, err := Decompress(payload)
+	if err != nil {
+		return fmt.Errorf("%w: sealed chunk does not decode: %v", ErrVerifyFailed, err)
+	}
+	if len(dims) != len(subDims) || len(dec) != len(src) {
+		return fmt.Errorf("%w: sealed chunk decodes to shape %v (%d elems), want %v (%d)",
+			ErrVerifyFailed, dims, len(dec), subDims, len(src))
+	}
+	for i := range subDims {
+		if dims[i] != subDims[i] {
+			return fmt.Errorf("%w: sealed chunk decodes to shape %v, want %v", ErrVerifyFailed, dims, subDims)
+		}
+	}
+	preserveZeros := algo == SZT || algo == ZFPT || algo == FPZIP || algo == ISABELA
+	checkBound := algo != ZFPP
+	const smallestNormal = 2.2250738585072014e-308 // 2^-1022
+	for i, o := range src {
+		d := dec[i]
+		switch {
+		case math.IsNaN(o):
+			if !math.IsNaN(d) {
+				return fmt.Errorf("%w: NaN at element %d decoded to %g", ErrVerifyFailed, i, d)
+			}
+		case math.IsInf(o, 0):
+			if !floatbits.Equal(d, o) {
+				return fmt.Errorf("%w: %g at element %d decoded to %g", ErrVerifyFailed, o, i, d)
+			}
+		case floatbits.IsZero(o):
+			if preserveZeros && !floatbits.IsZero(d) {
+				return fmt.Errorf("%w: zero at element %d perturbed to %g", ErrVerifyFailed, i, d)
+			}
+		case math.Abs(o) < smallestNormal:
+			// Subnormal original: no relative guarantee to assert.
+		default:
+			if checkBound && math.Abs(d-o) > relBound*(1+1e-9)*math.Abs(o) {
+				return fmt.Errorf("%w: bound %g violated at element %d: orig %g decoded %g",
+					ErrVerifyFailed, relBound, i, o, d)
+			}
+		}
+	}
+	return nil
 }
 
 // countingWriter counts bytes written through it.
@@ -615,6 +711,7 @@ drain:
 	stats.BytesIn = sr.Consumed()
 	stats.MaxInFlight = int(fl.max.Load())
 	stats.BuffersAllocated = allocated
+	stats.ParityFrames = sr.ParityRead()
 	if firstErr != nil {
 		return stats, firstErr
 	}
@@ -622,9 +719,10 @@ drain:
 }
 
 // IsStreamContainer reports whether buf starts a CompressStream
-// container.
+// container (either the parity-free or the parity-carrying version).
 func IsStreamContainer(buf []byte) bool {
-	return len(buf) >= 2 && buf[0] == streamfmt.Magic && buf[1] == streamfmt.Version
+	return len(buf) >= 2 && buf[0] == streamfmt.Magic &&
+		(buf[1] == streamfmt.Version || buf[1] == streamfmt.VersionParity)
 }
 
 // decompressStreamBuf decodes an in-memory stream container (the
