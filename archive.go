@@ -15,24 +15,42 @@ import (
 // (possibly with different algorithms and bounds) and individually
 // retrievable without decoding the others.
 //
-// Two layouts exist. v1 (magic 0xC7) packs blobs back to back with only
-// lengths in the directory, so offsets are implicit. v2 (magic 0xC9,
-// what ArchiveWriter now emits) records each blob's offset explicitly:
+// Three layouts exist. v1 (magic 0xC7) packs blobs back to back with
+// only lengths in the directory, so offsets are implicit. v2 (magic
+// 0xC9, what ArchiveWriter emits) records each blob's offset
+// explicitly, directory up front:
 //
 //	archive := magic(0xC9) version(0x01) uvarint(count) entry*
 //	           crc32be(blob area) blob area
 //	entry   := uvarint(name len) name uvarint(offset) uvarint(blob len)
 //
-// with offsets relative to the start of the blob area. OpenArchive reads
-// both, and validates v2 directories structurally before touching any
-// blob: every entry must lie inside the blob area and no two entries may
-// overlap, so a crafted directory cannot alias one blob's bytes into
-// another field or reach outside the container.
+// with offsets relative to the start of the blob area. v3 (magic 0xCA,
+// what ArchiveStreamWriter emits) moves the directory to the tail so
+// blobs can stream to the sink as fields complete, before their sizes
+// are known:
+//
+//	archive := magic(0xCA) version(0x01) blob area dir trailer
+//	dir     := uvarint(count) entry*            // same entry grammar as v2
+//	trailer := crc32be(dir) crc32be(blob area) u64be(dir len)
+//
+// OpenArchive reads all three, and validates v2/v3 directories
+// structurally before touching any blob: every entry must lie inside
+// the blob area and no two entries may overlap, so a crafted directory
+// cannot alias one blob's bytes into another field or reach outside the
+// container. OpenArchiveStream (archive_stream.go) reads the v3 layout
+// off an io.ReadSeeker — trailer and directory only — and serves
+// per-field seekable StreamHandles without touching sibling blobs.
 
 const (
 	archiveMagic   = 0xC7 // v1: implicit sequential offsets
-	archiveMagicV2 = 0xC9 // v2: explicit per-entry offsets
+	archiveMagicV2 = 0xC9 // v2: explicit per-entry offsets, directory first
+	archiveMagicV3 = 0xCA // v3: explicit per-entry offsets, directory sealed at the tail
 	archiveV2Ver   = 0x01
+	archiveV3Ver   = 0x01
+
+	// archiveV3TrailerLen is the fixed tail: directory CRC, blob-area
+	// CRC, directory length.
+	archiveV3TrailerLen = 4 + 4 + 8
 
 	maxArchiveFields = 1 << 20
 	maxFieldName     = 4096
@@ -133,6 +151,11 @@ func OpenArchiveLimits(buf []byte, limits *DecodeLimits) (_ *ArchiveReader, err 
 			return nil, fmt.Errorf("%w: archive v2 version 0x%02x", ErrUnsupportedFormat, buf[1])
 		}
 		return openArchiveV2(buf, limits)
+	case archiveMagicV3:
+		if buf[1] != archiveV3Ver {
+			return nil, fmt.Errorf("%w: archive v3 version 0x%02x", ErrUnsupportedFormat, buf[1])
+		}
+		return openArchiveV3(buf, limits)
 	default:
 		return nil, fmt.Errorf("%w: leading byte 0x%02x is not an archive", ErrUnsupportedFormat, buf[0])
 	}
@@ -210,47 +233,95 @@ func openArchiveV1(buf []byte, limits *DecodeLimits) (*ArchiveReader, error) {
 	return r, nil
 }
 
-func openArchiveV2(buf []byte, limits *DecodeLimits) (*ArchiveReader, error) {
-	count, off, err := readDirCount(buf, 2, 4, limits)
-	if err != nil {
-		return nil, err
-	}
-	r := &ArchiveReader{byName: make(map[string][]byte, count), limits: limits}
-	type extent struct {
-		lo, hi uint64
-		name   string
-	}
-	extents := make([]extent, count)
-	offsets := make([]uint64, count)
-	lengths := make([]uint64, count)
+// dirEntry is one parsed v2/v3 directory entry: a field name plus its
+// blob extent, offset relative to the blob-area start.
+type dirEntry struct {
+	name     string
+	off, len uint64
+}
+
+// parseDirEntries parses count explicit-offset entries (the shared
+// v2/v3 entry grammar) at buf[off:], enforcing name bounds, uniqueness,
+// and MaxChunkBytes per blob. extentCap is the largest plausible blob
+// offset or length — the container size — rejecting absurd values
+// before validateExtents proves the precise geometry. It returns the
+// entries and the offset just past the directory.
+func parseDirEntries(buf []byte, off, count int, extentCap uint64, limits *DecodeLimits) ([]dirEntry, int, error) {
+	entries := make([]dirEntry, count)
+	seen := make(map[string]bool, count)
 	for i := 0; i < count; i++ {
 		nlen, k := bitio.Uvarint(buf[off:])
 		if k == 0 || nlen == 0 || nlen > maxFieldName || nlen > uint64(len(buf)-off-k) {
-			return nil, fmt.Errorf("%w: archive entry %d name", ErrCorrupt, i)
+			return nil, 0, fmt.Errorf("%w: archive entry %d name", ErrCorrupt, i)
 		}
 		off += k
 		name := string(buf[off : off+int(nlen)])
 		off += int(nlen)
 		boff, k := bitio.Uvarint(buf[off:])
-		if k == 0 || boff > uint64(len(buf)) {
-			return nil, fmt.Errorf("%w: archive entry %d offset", ErrCorrupt, i)
+		if k == 0 || boff > extentCap {
+			return nil, 0, fmt.Errorf("%w: archive entry %d offset", ErrCorrupt, i)
 		}
 		off += k
 		blen, k := bitio.Uvarint(buf[off:])
-		if k == 0 || blen > uint64(len(buf)) {
-			return nil, fmt.Errorf("%w: archive entry %d length", ErrCorrupt, i)
+		if k == 0 || blen > extentCap {
+			return nil, 0, fmt.Errorf("%w: archive entry %d length", ErrCorrupt, i)
 		}
 		if err := limits.checkChunkBytes(int64(blen)); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		off += k
-		if _, dup := r.byName[name]; dup {
-			return nil, fmt.Errorf("%w: duplicate field %q", ErrCorrupt, name)
+		if seen[name] {
+			return nil, 0, fmt.Errorf("%w: duplicate field %q", ErrCorrupt, name)
 		}
-		r.names = append(r.names, name)
-		r.byName[name] = nil
-		offsets[i], lengths[i] = boff, blen
-		extents[i] = extent{boff, boff + blen, name}
+		seen[name] = true
+		entries[i] = dirEntry{name: name, off: boff, len: blen}
+	}
+	return entries, off, nil
+}
+
+// validateExtents proves a parsed directory is geometrically honest:
+// every entry lies inside the areaSize-byte blob area and no two
+// entries overlap — a directory aliasing two fields onto the same bytes
+// or reaching outside the container is forged, not damaged.
+func validateExtents(entries []dirEntry, areaSize uint64) error {
+	for i := range entries {
+		hi := entries[i].off + entries[i].len
+		if hi > areaSize || hi < entries[i].off {
+			return fmt.Errorf("%w: field %q at [%d,%d) outside the %d-byte blob area",
+				ErrCorrupt, entries[i].name, entries[i].off, hi, areaSize)
+		}
+	}
+	sorted := append([]dirEntry(nil), entries...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].off < sorted[b].off })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].off < sorted[i-1].off+sorted[i-1].len {
+			return fmt.Errorf("%w: fields %q and %q overlap in the blob area",
+				ErrCorrupt, sorted[i-1].name, sorted[i].name)
+		}
+	}
+	return nil
+}
+
+// newArchiveReader builds a reader over a validated blob area.
+func newArchiveReader(entries []dirEntry, area []byte, limits *DecodeLimits) *ArchiveReader {
+	r := &ArchiveReader{byName: make(map[string][]byte, len(entries)), limits: limits}
+	for _, e := range entries {
+		blob := area[e.off : e.off+e.len]
+		r.names = append(r.names, e.name)
+		r.blobs = append(r.blobs, blob)
+		r.byName[e.name] = blob
+	}
+	return r
+}
+
+func openArchiveV2(buf []byte, limits *DecodeLimits) (*ArchiveReader, error) {
+	count, off, err := readDirCount(buf, 2, 4, limits)
+	if err != nil {
+		return nil, err
+	}
+	entries, off, err := parseDirEntries(buf, off, count, uint64(len(buf)), limits)
+	if err != nil {
+		return nil, err
 	}
 	if off+4 > len(buf) {
 		return nil, fmt.Errorf("%w (archive checksum)", ErrTruncated)
@@ -258,32 +329,71 @@ func openArchiveV2(buf []byte, limits *DecodeLimits) (*ArchiveReader, error) {
 	wantCRC := binary.BigEndian.Uint32(buf[off:])
 	off += 4
 	area := buf[off:]
-	// Every entry must lie inside the blob area…
-	for i := range extents {
-		if extents[i].hi > uint64(len(area)) || extents[i].hi < extents[i].lo {
-			return nil, fmt.Errorf("%w: field %q at [%d,%d) outside the %d-byte blob area",
-				ErrCorrupt, extents[i].name, extents[i].lo, extents[i].hi, len(area))
-		}
-	}
-	// …and no two entries may overlap: a directory aliasing two fields
-	// onto the same bytes is forged, not damaged.
-	sorted := append([]extent(nil), extents...)
-	sort.Slice(sorted, func(a, b int) bool { return sorted[a].lo < sorted[b].lo })
-	for i := 1; i < len(sorted); i++ {
-		if sorted[i].lo < sorted[i-1].hi {
-			return nil, fmt.Errorf("%w: fields %q and %q overlap in the blob area",
-				ErrCorrupt, sorted[i-1].name, sorted[i].name)
-		}
+	if err := validateExtents(entries, uint64(len(area))); err != nil {
+		return nil, err
 	}
 	if crc32.ChecksumIEEE(area) != wantCRC {
 		return nil, fmt.Errorf("%w: archive checksum mismatch", ErrCorrupt)
 	}
-	for i := 0; i < count; i++ {
-		blob := area[offsets[i] : offsets[i]+lengths[i]]
-		r.blobs = append(r.blobs, blob)
-		r.byName[r.names[i]] = blob
+	return newArchiveReader(entries, area, limits), nil
+}
+
+// openArchiveV3 parses the tail-directory layout from a full in-memory
+// buffer, verifying both trailer CRCs (directory and blob area) before
+// any blob is served — the whole-container trust model of v1/v2. The
+// random-access path over the same layout is OpenArchiveStream, which
+// verifies the directory CRC only and leans on the per-chunk CRCs of
+// the stream containers inside.
+func openArchiveV3(buf []byte, limits *DecodeLimits) (*ArchiveReader, error) {
+	entries, area, err := parseArchiveV3(buf, limits, true)
+	if err != nil {
+		return nil, err
 	}
-	return r, nil
+	return newArchiveReader(entries, area, limits), nil
+}
+
+// parseArchiveV3 locates and verifies a v3 trailer + directory in buf
+// (magic and version already checked), returning the parsed entries and
+// the blob area. checkBlobCRC selects the whole-area checksum pass.
+func parseArchiveV3(buf []byte, limits *DecodeLimits, checkBlobCRC bool) ([]dirEntry, []byte, error) {
+	// Smallest valid container: magic, version, empty directory (one
+	// count byte), trailer.
+	if len(buf) < 2+1+archiveV3TrailerLen {
+		return nil, nil, fmt.Errorf("%w: %d-byte archive", ErrTruncated, len(buf))
+	}
+	trailer := buf[len(buf)-archiveV3TrailerLen:]
+	dirCRC := binary.BigEndian.Uint32(trailer[0:])
+	blobCRC := binary.BigEndian.Uint32(trailer[4:])
+	dirLen := binary.BigEndian.Uint64(trailer[8:])
+	if dirLen < 1 || dirLen > uint64(len(buf)-2-archiveV3TrailerLen) {
+		return nil, nil, fmt.Errorf("%w: archive directory of %d bytes in a %d-byte container",
+			ErrCorrupt, dirLen, len(buf))
+	}
+	dirOff := len(buf) - archiveV3TrailerLen - int(dirLen)
+	dir := buf[dirOff : len(buf)-archiveV3TrailerLen]
+	if crc32.ChecksumIEEE(dir) != dirCRC {
+		return nil, nil, fmt.Errorf("%w: archive directory checksum mismatch", ErrCorrupt)
+	}
+	count, off, err := readDirCount(dir, 0, 4, limits)
+	if err != nil {
+		return nil, nil, err
+	}
+	entries, off, err := parseDirEntries(dir, off, count, uint64(len(buf)), limits)
+	if err != nil {
+		return nil, nil, err
+	}
+	if off != len(dir) {
+		return nil, nil, fmt.Errorf("%w: %d trailing bytes in the %d-entry archive directory",
+			ErrCorrupt, len(dir)-off, count)
+	}
+	area := buf[2:dirOff]
+	if err := validateExtents(entries, uint64(len(area))); err != nil {
+		return nil, nil, err
+	}
+	if checkBlobCRC && crc32.ChecksumIEEE(area) != blobCRC {
+		return nil, nil, fmt.Errorf("%w: archive checksum mismatch", ErrCorrupt)
+	}
+	return entries, area, nil
 }
 
 // Fields returns the field names in archive order.

@@ -526,3 +526,68 @@ func BenchmarkAblationPWRBlockSide(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkArchiveStreamWrite measures the streaming-archive writer on
+// a two-field bundle — the per-field overhead over a bare stream is the
+// directory bookkeeping, which should be noise.
+func BenchmarkArchiveStreamWrite(b *testing.B) {
+	f, raw := benchStreamField(b)
+	b.SetBytes(int64(2 * len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		aw, err := repro.NewArchiveStreamWriter(&buf, repro.WithChunkRows(f.Dims[0]/benchStreamChunks))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, name := range []string{"a", "b"} {
+			if _, err := aw.AddField(name, bytes.NewReader(raw), f.Dims, 1e-2, repro.SZT); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := aw.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkArchiveStreamField measures opening one field of a sealed
+// archive and reading a quarter of its rows — the random-access path a
+// post-hoc analysis tool takes.
+func BenchmarkArchiveStreamField(b *testing.B) {
+	f, raw := benchStreamField(b)
+	var buf bytes.Buffer
+	aw, err := repro.NewArchiveStreamWriter(&buf, repro.WithChunkRows(f.Dims[0]/benchStreamChunks))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range []string{"a", "b"} {
+		if _, err := aw.AddField(name, bytes.NewReader(raw), f.Dims, 1e-2, repro.SZT); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := aw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	arch := buf.Bytes()
+	rows := uint64(f.Dims[0] / 4)
+	stride := len(f.Data) / f.Dims[0]
+	dst := make([]float64, rows*uint64(stride))
+	b.SetBytes(int64(len(dst) * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		as, err := repro.OpenArchiveStream(bytes.NewReader(arch))
+		if err != nil {
+			b.Fatal(err)
+		}
+		h, err := as.Field("b")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := h.ReadRows(dst, rows, rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

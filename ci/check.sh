@@ -66,7 +66,7 @@ go test -race -timeout 20m ./...
 
 if [[ "${FUZZTIME}" != "0" ]]; then
     step "fuzz smoke (${FUZZTIME} per target)"
-    for target in FuzzDecompress FuzzDecompressParallel FuzzOpenArchive FuzzHeaderMutation FuzzCompressRoundTrip FuzzDecompressStream FuzzStreamRoundTrip FuzzStreamSalvage FuzzOpenStream FuzzReadRows; do
+    for target in FuzzDecompress FuzzDecompressParallel FuzzOpenArchive FuzzHeaderMutation FuzzCompressRoundTrip FuzzDecompressStream FuzzStreamRoundTrip FuzzStreamSalvage FuzzOpenStream FuzzReadRows FuzzOpenArchiveStream; do
         echo "-- ${target}"
         go test -run='^$' -fuzz="^${target}\$" -fuzztime="${FUZZTIME}" .
     done

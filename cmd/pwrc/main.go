@@ -16,11 +16,20 @@
 //
 //	pwrc -c -stream -algo sz_t -rel 1e-3 -dims 4096,512,512 -in huge.f64 -out huge.szs
 //	pwrc -d -stream -in huge.szs -out huge.out.f64
+//
+// -mem-budget caps the streaming pipeline's resident buffer memory,
+// deriving chunk size and worker count from the byte budget. Combined
+// with -archive, -stream bundles a whole manifest into one v3 streaming
+// archive (or serves single fields out of one without touching the
+// rest):
+//
+//	pwrc -c -archive -stream -manifest fields/MANIFEST.txt -rel 1e-3 -out snap.arcs -mem-budget 67108864
+//	pwrc -d -archive -stream -in snap.arcs -outdir restored/
+//	pwrc -d -archive -stream -in snap.arcs -field baryon_density -out baryon.f64
 package main
 
 import (
 	"bufio"
-	"context"
 	"encoding/binary"
 	"flag"
 	"fmt"
@@ -65,6 +74,8 @@ func main() {
 		chunkRows  = flag.Int("chunk-rows", 0, "rows of the slowest dimension per streamed chunk (default ~256Ki elements)")
 		parity     = flag.Int("parity", 0, "with -c -stream: emit one XOR parity frame per k data chunks so salvage can repair a lost chunk per group (~1/k size overhead; 0 = no parity)")
 		maxElems   = flag.Int64("max-elements", 1<<33, "with -d -stream: refuse containers declaring more than n field elements — a hostile header cannot demand unbounded output (0 = unlimited)")
+		memBudget  = flag.Int64("mem-budget", 0, "with -stream: target peak resident buffer memory in bytes; unset chunk-rows/worker knobs are derived from it (0 = no budget)")
+		field      = flag.String("field", "", "with -d -archive -stream: extract only this field (manifest name or full entry)")
 	)
 	flag.Parse()
 
@@ -83,24 +94,50 @@ func main() {
 	if *parity != 0 && !(*stream && *compress) {
 		fatalf("-parity requires -c -stream")
 	}
+	if *memBudget != 0 && !*stream {
+		fatalf("-mem-budget requires -stream")
+	}
+	if *field != "" && !(*archive && *stream && *decompress) {
+		fatalf("-field requires -d -archive -stream")
+	}
 
 	if *archive {
-		algo, err := parseAlgo(*algoName)
-		check(err)
 		switch {
 		case *compress:
+			algo, err := parseAlgo(*algoName)
+			check(err)
 			if *manifest == "" || *out == "" {
 				fatalf("archive compression needs -manifest and -out")
 			}
 			if !(*rel > 0 && *rel < 1) {
 				fatalf("archive compression needs -rel in (0,1)")
 			}
-			check(compressArchive(*manifest, algo, *rel, nil, *out, *f32))
-		default:
-			if *in == "" || *outdir == "" {
-				fatalf("archive extraction needs -in and -outdir")
+			if *stream {
+				copts, err := parseBase(*base)
+				check(err)
+				sopts := append(streamFlagOptions(*workers, *chunkRows, *parity, *verify, *memBudget),
+					repro.WithCompressorOptions(copts))
+				check(streamCompressArchive(*manifest, algo, *rel, sopts, *out, *f32))
+			} else {
+				check(compressArchive(*manifest, algo, *rel, nil, *out, *f32))
 			}
-			check(extractArchive(*in, *outdir, *f32))
+		default:
+			if *in == "" {
+				fatalf("archive extraction needs -in")
+			}
+			if *stream {
+				if *outdir == "" && (*field == "" || *out == "") {
+					fatalf("streaming archive extraction needs -outdir, or -field with -out")
+				}
+				check(streamExtractArchive(*in, *outdir, *field, *out,
+					streamFlagOptions(*workers, 0, 0, false, *memBudget),
+					decodeLimits(*maxElems), *f32))
+			} else {
+				if *outdir == "" {
+					fatalf("archive extraction needs -in and -outdir")
+				}
+				check(extractArchive(*in, *outdir, *f32))
+			}
 		}
 		return
 	}
@@ -115,15 +152,16 @@ func main() {
 		}
 		if *decompress {
 			lim := decodeLimits(*maxElems)
+			dopts := streamFlagOptions(*workers, 0, 0, false, *memBudget)
 			switch {
 			case *salvage:
 				streamSalvageFile(*in, *out, lim)
 			case *rowRange != "":
 				start, count, err := parseRange(*rowRange)
 				check(err)
-				streamReadRangeFile(*in, *out, start, count, *workers, lim)
+				streamReadRangeFile(*in, *out, start, count, lim, dopts)
 			default:
-				streamDecompressFile(*in, *out, lim)
+				streamDecompressFile(*in, *out, lim, dopts)
 			}
 			return
 		}
@@ -131,15 +169,14 @@ func main() {
 		check(err)
 		algo, err := parseAlgo(*algoName)
 		check(err)
-		opts, err := parseBase(*base)
+		copts, err := parseBase(*base)
 		check(err)
 		if !(*rel > 0 && *rel < 1) {
 			fatalf("%v needs -rel in (0,1)", algo)
 		}
-		streamCompressFile(*in, *out, dims, *rel, algo, &repro.StreamOptions{
-			Workers: *workers, ChunkRows: *chunkRows, Options: opts,
-			ParityK: *parity, VerifyOnWrite: *verify,
-		})
+		sopts := append(streamFlagOptions(*workers, *chunkRows, *parity, *verify, *memBudget),
+			repro.WithCompressorOptions(copts))
+		streamCompressFile(*in, *out, dims, *rel, algo, sopts, *parity, *verify)
 		return
 	}
 
@@ -222,11 +259,35 @@ func parseBase(s string) (*repro.Options, error) {
 	return opts, nil
 }
 
+// streamFlagOptions translates the streaming CLI knobs into the shared
+// functional-options form every streaming entry point consumes; zero
+// values stay unset so library defaults (or a -mem-budget derivation)
+// apply.
+func streamFlagOptions(workers, chunkRows, parityK int, verify bool, memBudget int64) []repro.StreamOption {
+	var o []repro.StreamOption
+	if workers > 0 {
+		o = append(o, repro.WithWorkers(workers))
+	}
+	if chunkRows > 0 {
+		o = append(o, repro.WithChunkRows(chunkRows))
+	}
+	if parityK != 0 {
+		o = append(o, repro.WithParity(parityK))
+	}
+	if verify {
+		o = append(o, repro.WithVerifyOnWrite())
+	}
+	if memBudget != 0 {
+		o = append(o, repro.WithMemoryBudget(memBudget))
+	}
+	return o
+}
+
 // streamCompressFile compresses in -> out through the bounded-memory
 // pipeline without ever loading the field. The container is written to
 // a same-directory temporary and only renamed over out once sealed, so
 // a crash or I/O failure mid-stream never leaves a torn container.
-func streamCompressFile(in, out string, dims []int, rel float64, algo repro.Algorithm, opts *repro.StreamOptions) {
+func streamCompressFile(in, out string, dims []int, rel float64, algo repro.Algorithm, opts []repro.StreamOption, parityK int, verifyOn bool) {
 	src, err := os.Open(in)
 	check(err)
 	defer src.Close() //lint:allow errdrop read-only input
@@ -235,7 +296,7 @@ func streamCompressFile(in, out string, dims []int, rel float64, algo repro.Algo
 	defer dst.Abort()
 	t0 := time.Now()
 	r := faultio.Retry(bufio.NewReaderSize(src, 1<<20), inputRetries)
-	st, err := repro.CompressStream(r, dst, dims, rel, algo, opts)
+	st, err := repro.CompressStreamOpts(r, dst, dims, rel, algo, opts...)
 	if err != nil {
 		dst.Abort() // fatalf exits without running defers
 		fatalf("stream compress: %v", err)
@@ -251,10 +312,10 @@ func streamCompressFile(in, out string, dims []int, rel float64, algo repro.Algo
 		st.Chunks, st.MaxInFlight, st.BuffersAllocated,
 		st.ReadWall.Round(time.Millisecond), st.CodecWall.Round(time.Millisecond),
 		st.WriteWall.Round(time.Millisecond))
-	if opts.ParityK > 0 {
-		fmt.Printf("parity: %d frames (1 per %d chunks)\n", st.ParityFrames, opts.ParityK)
+	if parityK > 0 {
+		fmt.Printf("parity: %d frames (1 per %d chunks)\n", st.ParityFrames, parityK)
 	}
-	if opts.VerifyOnWrite {
+	if verifyOn {
 		fmt.Printf("verify: %d chunks decode-verified before commit\n", st.VerifiedChunks)
 	}
 }
@@ -270,7 +331,7 @@ func decodeLimits(maxElems int64) *repro.DecodeLimits {
 	return &repro.DecodeLimits{MaxElements: maxElems}
 }
 
-func streamDecompressFile(in, out string, lim *repro.DecodeLimits) {
+func streamDecompressFile(in, out string, lim *repro.DecodeLimits, opts []repro.StreamOption) {
 	src, err := os.Open(in)
 	check(err)
 	defer src.Close() //lint:allow errdrop read-only input
@@ -278,7 +339,8 @@ func streamDecompressFile(in, out string, lim *repro.DecodeLimits) {
 	check(err)
 	w := bufio.NewWriterSize(dst, 1<<20)
 	t0 := time.Now()
-	st, err := repro.DecompressStreamCtx(context.Background(), faultio.Retry(src, inputRetries), w, lim)
+	st, err := repro.DecompressStreamOpts(faultio.Retry(src, inputRetries), w,
+		append(opts, repro.WithLimits(lim))...)
 	if err == nil {
 		err = w.Flush()
 	}
@@ -313,11 +375,11 @@ func parseRange(s string) (start, count uint64, err error) {
 // stream container through the seekable index: only the touched chunks
 // are fetched and decoded, so the cost scales with the range, not the
 // container.
-func streamReadRangeFile(in, out string, start, count uint64, workers int, lim *repro.DecodeLimits) {
+func streamReadRangeFile(in, out string, start, count uint64, lim *repro.DecodeLimits, opts []repro.StreamOption) {
 	src, err := os.Open(in)
 	check(err)
 	defer src.Close() //lint:allow errdrop read-only input
-	h, err := repro.OpenStream(src, repro.WithWorkers(workers), repro.WithLimits(lim))
+	h, err := repro.OpenStream(src, append(opts, repro.WithLimits(lim))...)
 	if err != nil {
 		fatalf("open stream: %v", err)
 	}

@@ -145,3 +145,74 @@ func TestStreamCtxNilBehavesAsBackground(t *testing.T) {
 		t.Fatal("nil-ctx round trip broken")
 	}
 }
+
+// TestArchiveStreamCtxCancelled extends the cancellation contract to
+// the archive path (WithContext is the one way in): a writer default of
+// a cancelled context fails AddField; a mid-stream cancellation stops
+// the pipeline before the input is consumed; and a handle from
+// OpenArchiveStream honors ReadRowsCtx cancellation.
+func TestArchiveStreamCtxCancelled(t *testing.T) {
+	defer testutil.NoLeak(t)()
+	data, dims := bigField()
+	raw := rawLE(data)
+
+	// Pre-cancelled context as the writer-wide default.
+	pre, cancelPre := context.WithCancel(context.Background())
+	cancelPre()
+	var sink bytes.Buffer
+	aw, err := NewArchiveStreamWriter(&sink, WithContext(pre), WithChunkRows(8), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := aw.AddField("f", bytes.NewReader(raw), dims, 1e-2, SZT); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled AddField err = %v, want context.Canceled", err)
+	}
+
+	// Mid-stream cancellation via a per-field option.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var sink2 bytes.Buffer
+	aw2, err := NewArchiveStreamWriter(&sink2, WithChunkRows(8), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &cancelAfterReader{r: bytes.NewReader(raw), n: int64(len(raw) / 4), cancel: cancel}
+	st, err := aw2.AddField("f", src, dims, 1e-2, SZT, WithContext(ctx))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-stream AddField err = %v, want context.Canceled", err)
+	}
+	if st != nil && st.BytesIn >= int64(len(raw)) {
+		t.Errorf("archive pipeline consumed the whole input after cancellation")
+	}
+
+	// Seekable read path: a cancelled context fails ReadRowsCtx on a
+	// healthy archive.
+	var ok bytes.Buffer
+	aw3, err := NewArchiveStreamWriter(&ok, WithChunkRows(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := aw3.AddField("f", bytes.NewReader(raw), dims, 1e-2, SZT); err != nil {
+		t.Fatal(err)
+	}
+	if err := aw3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	as, err := OpenArchiveStream(bytes.NewReader(ok.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := as.Field("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead, cancelDead := context.WithCancel(context.Background())
+	cancelDead()
+	dst := make([]float64, len(data))
+	if err := h.ReadRowsCtx(dead, dst, 0, h.Rows()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ReadRowsCtx err = %v, want context.Canceled", err)
+	}
+	if err := h.ReadRows(dst, 0, h.Rows()); err != nil {
+		t.Fatalf("handle unusable after a cancelled read: %v", err)
+	}
+}

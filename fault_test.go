@@ -66,6 +66,22 @@ func faultCorpus(t *testing.T) map[string][]byte {
 		t.Fatal(err)
 	}
 	corpus["archive"] = aw.Bytes()
+
+	var v3 bytes.Buffer
+	av3, err := NewArchiveStreamWriter(&v3, WithChunkRows(2), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := av3.AddField("f0", bytes.NewReader(rawLE(data)), dims, 1e-2, SZT); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := av3.AddField("f1", bytes.NewReader(rawLE(data)), dims, 1e-2, SZT); err != nil {
+		t.Fatal(err)
+	}
+	if err := av3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	corpus["archive_v3"] = v3.Bytes()
 	return corpus
 }
 
@@ -149,6 +165,27 @@ func bufEntries() []decodeEntry {
 					shapeConsistent(t, desc+"/"+name, data, dims)
 				} else if !typedOK(ferr) {
 					t.Fatalf("%s: field %q: untyped error %v", desc, name, ferr)
+				}
+			}
+			return nil
+		}},
+		{"OpenArchiveStream", func(t *testing.T, desc string, buf []byte) error {
+			as, err := OpenArchiveStream(bytes.NewReader(buf),
+				WithLimits(&DecodeLimits{MaxElements: 1 << 16, MaxChunkBytes: 1 << 20}))
+			if err != nil {
+				return err
+			}
+			for _, name := range as.Fields() {
+				h, ferr := as.Field(name)
+				if ferr != nil {
+					if !typedOK(ferr) {
+						t.Fatalf("%s: field %q: untyped error %v", desc, name, ferr)
+					}
+					continue
+				}
+				dst := make([]float64, h.Rows()*uint64(h.RowStride()))
+				if rerr := h.ReadRows(dst, 0, h.Rows()); rerr != nil && !typedOK(rerr) {
+					t.Fatalf("%s: field %q read: untyped error %v", desc, name, rerr)
 				}
 			}
 			return nil

@@ -304,3 +304,83 @@ func TestGoldenParityRepair(t *testing.T) {
 		}
 	}
 }
+
+// TestGoldenArchiveV3 pins the v3 streaming-archive layout (tail
+// directory + trailer) to committed bytes. The fixture's two fields are
+// written with the same chunking as the stream and stream_parity
+// fixtures, so their decodes must match those manifest CRCs — drift in
+// the v3 directory grammar, the extent lifting, or the section read
+// path fails here against bytes written by the old code. Regenerated by
+// the same -update-golden run as the rest.
+func TestGoldenArchiveV3(t *testing.T) {
+	path := filepath.Join(goldenDir, "archive_v3.bin")
+	if *updateGolden {
+		f := goldenField()
+		raw := make([]byte, len(f.Data)*8)
+		for i, v := range f.Data {
+			binary.LittleEndian.PutUint64(raw[i*8:], math.Float64bits(v))
+		}
+		var buf bytes.Buffer
+		aw, err := repro.NewArchiveStreamWriter(&buf, repro.WithChunkRows(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := aw.AddField("density", bytes.NewReader(raw), f.Dims, 1e-2, repro.SZT); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := aw.AddField("density_parity", bytes.NewReader(raw), f.Dims, 1e-2, repro.SZT,
+			repro.WithParity(2)); err != nil {
+			t.Fatal(err)
+		}
+		if err := aw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", path)
+	}
+
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("fixture missing (run -update-golden to create): %v", err)
+	}
+	manifest := readManifest(t)
+	wantCRC := map[string]uint32{
+		"density":        manifest["stream"],
+		"density_parity": manifest["stream_parity"],
+	}
+
+	ar, err := repro.OpenArchive(buf)
+	if err != nil {
+		t.Fatalf("format drift: committed v3 archive no longer opens in-memory: %v", err)
+	}
+	as, err := repro.OpenArchiveStream(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("format drift: committed v3 archive no longer opens seekably: %v", err)
+	}
+	for name, want := range wantCRC {
+		dec, dims, err := ar.Field(name)
+		if err != nil {
+			t.Fatalf("field %q no longer decodes in-memory: %v", name, err)
+		}
+		if got := decodedCRC(dec); got != want {
+			t.Fatalf("field %q in-memory CRC %08x, manifest says %08x", name, got, want)
+		}
+		h, err := as.Field(name)
+		if err != nil {
+			t.Fatalf("field %q no longer opens seekably: %v", name, err)
+		}
+		if int(h.Rows()) != dims[0] {
+			t.Fatalf("field %q geometry drifted: %d rows, want %d", name, h.Rows(), dims[0])
+		}
+		got := make([]float64, h.Rows()*uint64(h.RowStride()))
+		if err := h.ReadRows(got, 0, h.Rows()); err != nil {
+			t.Fatalf("field %q full-range read: %v", name, err)
+		}
+		if crc := decodedCRC(got); crc != want {
+			t.Fatalf("field %q seekable CRC %08x, manifest says %08x", name, crc, want)
+		}
+		goldenRangeSweep(t, h, dec, uint64(h.RowStride()))
+	}
+}

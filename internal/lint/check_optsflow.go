@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// optsflowCheck audits the options plumbing at exported entry points: a
+// function that accepts a context.Context or a *DecodeLimits has
+// promised its caller cancellation (or a decode ceiling) — if the
+// parameter is never referenced in the body, the promise is silently
+// broken. The streaming API routes every such knob through the shared
+// StreamConfig core (WithContext / WithLimits), so a dropped parameter
+// is almost always a wrapper that forgot to thread it through, exactly
+// the regression the Ctx-variant collapse could reintroduce.
+//
+// A parameter named _ is an explicit statement that the value is
+// unused and is not flagged; a deliberately ignored named parameter
+// (an interface-mandated signature, say) carries //lint:allow optsflow
+// with the justification.
+type optsflowCheck struct{}
+
+func (optsflowCheck) Name() string { return "optsflow" }
+func (optsflowCheck) Doc() string {
+	return "flag exported functions whose context.Context or *DecodeLimits parameter is never used (dropped instead of threaded into the options core)"
+}
+
+func (optsflowCheck) Run(pkg *Package) []Finding {
+	var out []Finding
+	forEachFuncDecl(pkg, func(f *ast.File, d *ast.FuncDecl) {
+		if pkg.IsTestFile(f) || !d.Name.IsExported() || d.Type.Params == nil {
+			return
+		}
+		for _, field := range d.Type.Params.List {
+			t := pkg.Info.Types[field.Type].Type
+			kind := ""
+			switch {
+			case isContextType(t):
+				kind = "context.Context"
+			case isDecodeLimitsType(t):
+				kind = "*DecodeLimits"
+			default:
+				continue
+			}
+			for _, name := range field.Names {
+				if name.Name == "_" {
+					continue
+				}
+				obj := pkg.Info.Defs[name]
+				if obj == nil || paramUsed(pkg, d.Body, obj) {
+					continue
+				}
+				out = append(out, pkg.Module.newFinding("optsflow", name.Pos(),
+					"exported %s accepts %s %q but never uses it; thread it into the shared options core (WithContext/WithLimits) or the caller's cancellation/ceiling is silently dropped",
+					d.Name.Name, kind, name.Name))
+			}
+		}
+	})
+	return out
+}
+
+// paramUsed reports whether obj is referenced anywhere in body.
+func paramUsed(pkg *Package, body *ast.BlockStmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Name() == "Context" &&
+		obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isDecodeLimitsType reports whether t is a pointer to a named
+// DecodeLimits type (matched by name so source fixtures work).
+func isDecodeLimitsType(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	return ok && n.Obj() != nil && n.Obj().Name() == "DecodeLimits"
+}

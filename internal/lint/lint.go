@@ -20,6 +20,10 @@
 //	ctxflow    — goroutine channel sends must select against a
 //	             cancellation receive (stop channel, ctx.Done()) or a
 //	             default, so worker pools can be torn down.
+//	optsflow   — exported entry points accepting a context.Context or
+//	             *DecodeLimits must actually use it (thread it into the
+//	             shared options core); a dropped parameter silently
+//	             voids the caller's cancellation or decode ceiling.
 //
 // Five further checks run on a per-function dataflow engine (cfg.go): a
 // statement-level control-flow graph with reaching definitions and
@@ -123,6 +127,7 @@ func AllChecks() []Check {
 		decodeboundCheck{},
 		goroleakCheck{},
 		ctxflowCheck{},
+		optsflowCheck{},
 		allochotCheck{},
 		encdecpairCheck{},
 		limitreachCheck{},

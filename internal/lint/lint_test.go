@@ -407,3 +407,73 @@ func TestFindingString(t *testing.T) {
 		t.Errorf("String() = %q", s)
 	}
 }
+
+func TestOptsflowDroppedContext(t *testing.T) {
+	findings, _ := runCheck(t, "optsflow", map[string]string{
+		"a.go": `package fixture
+
+import "context"
+
+func process() {}
+
+// DecompressCtx promises cancellation but never consults ctx.
+func DecompressCtx(ctx context.Context, n int) int {
+	process()
+	return n
+}
+`,
+	})
+	wantOne(t, findings, 8, "never uses it")
+}
+
+func TestOptsflowDroppedLimits(t *testing.T) {
+	findings, _ := runCheck(t, "optsflow", map[string]string{
+		"a.go": `package fixture
+
+type DecodeLimits struct{ MaxElements int64 }
+
+func OpenLimits(buf []byte, lim *DecodeLimits) int {
+	return len(buf)
+}
+`,
+	})
+	wantOne(t, findings, 5, "*DecodeLimits")
+}
+
+func TestOptsflowThreadedAndExemptForms(t *testing.T) {
+	findings, suppressed := runCheck(t, "optsflow", map[string]string{
+		"a.go": `package fixture
+
+import "context"
+
+type DecodeLimits struct{ MaxElements int64 }
+
+type config struct {
+	ctx context.Context
+	lim *DecodeLimits
+}
+
+// Threaded: both parameters reach the options core.
+func DecodeCtx(ctx context.Context, lim *DecodeLimits) config {
+	return config{ctx: ctx, lim: lim}
+}
+
+// Blank parameter: explicitly unused, not flagged.
+func Probe(_ context.Context) {}
+
+// Unexported: internal plumbing is out of scope.
+func drop(ctx context.Context) {}
+
+// Audited: interface-mandated signature.
+func Shim(ctx context.Context) {} //lint:allow optsflow satisfies handler interface
+`,
+		"a_test.go": `package fixture
+
+import "context"
+
+// Test files are exempt even for exported helpers.
+func HelperForTests(ctx context.Context) {}
+`,
+	})
+	wantClean(t, findings, suppressed, 1)
+}

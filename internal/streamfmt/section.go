@@ -1,0 +1,82 @@
+package streamfmt
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Section is an io.ReadSeeker over one byte extent of a shared
+// ReadSeeker — the view a streaming archive hands OpenStream so one
+// field's container can be indexed and range-read without the handle
+// ever observing sibling fields' bytes. Each section carries its own
+// logical position; the underlying seeker's position is re-established
+// under the shared mutex on every read, so sections over the same
+// source are safe to use from concurrent goroutines (reads serialize on
+// the mutex, positions never interleave).
+type Section struct {
+	mu  *sync.Mutex
+	src io.ReadSeeker
+	off int64 // extent start in the underlying source
+	n   int64 // extent length
+	pos int64 // logical position within the extent
+}
+
+// NewSection returns a section over src's bytes [off, off+n). mu guards
+// src's position and must be shared by every section (and any other
+// reader) over the same source.
+func NewSection(mu *sync.Mutex, src io.ReadSeeker, off, n int64) *Section {
+	return &Section{mu: mu, src: src, off: off, n: n}
+}
+
+// Size returns the extent length in bytes.
+func (s *Section) Size() int64 { return s.n }
+
+// Read reads from the section at its logical position, returning io.EOF
+// at the extent end. The underlying seek+read pair runs under the
+// shared mutex.
+func (s *Section) Read(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pos >= s.n {
+		return 0, io.EOF
+	}
+	if rem := s.n - s.pos; int64(len(p)) > rem {
+		p = p[:rem]
+	}
+	if _, err := s.src.Seek(s.off+s.pos, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("streamfmt: seeking section offset %d: %w", s.pos, err)
+	}
+	n, err := s.src.Read(p)
+	s.pos += int64(n)
+	if err == io.EOF && s.pos < s.n {
+		// The source ended inside the extent the caller promised exists.
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+// Seek sets the logical position, with io.SeekEnd relative to the
+// extent end. Seeking beyond the extent end is allowed (a subsequent
+// Read returns io.EOF), matching bytes.Reader semantics; seeking before
+// the start is an error.
+func (s *Section) Seek(offset int64, whence int) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var abs int64
+	switch whence {
+	case io.SeekStart:
+		abs = offset
+	case io.SeekCurrent:
+		abs = s.pos + offset
+	case io.SeekEnd:
+		abs = s.n + offset
+	default:
+		return 0, fmt.Errorf("streamfmt: invalid seek whence %d", whence)
+	}
+	if abs < 0 {
+		return 0, fmt.Errorf("streamfmt: seek to %d before section start", abs)
+	}
+	s.pos = abs
+	return abs, nil
+}

@@ -44,6 +44,15 @@ func (l *DecodeLimits) streamLimits() streamfmt.Limits {
 	return streamfmt.Limits{MaxElements: l.MaxElements, MaxChunkBytes: l.MaxChunkBytes}
 }
 
+// maxChunkBytes returns the chunk/blob byte cap (0 = unlimited),
+// nil-safe.
+func (l *DecodeLimits) maxChunkBytes() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.MaxChunkBytes
+}
+
 // checkElements enforces MaxElements against a declared element count.
 func (l *DecodeLimits) checkElements(n int64) error {
 	if l != nil && l.MaxElements > 0 && n > l.MaxElements {

@@ -1,0 +1,336 @@
+package repro
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/testutil"
+)
+
+// TestStreamAPIEquivalence proves the deprecated positional entry
+// points are pure wrappers: for every legacy variant, the container (or
+// decoded output) is byte-identical to the functional-options core
+// called with the translated options.
+func TestStreamAPIEquivalence(t *testing.T) {
+	defer testutil.NoLeak(t)()
+	f := datagen.NYX(12, 21)[0]
+	raw := rawLE(f.Data)
+	raw32 := make([]byte, 0, len(f.Data)*4)
+	for _, v := range f.Data {
+		raw32 = rawLE32Append(raw32, float32(v))
+	}
+	ctx := context.Background()
+	legacy := &StreamOptions{Workers: 2, ChunkRows: 3, ParityK: 2, VerifyOnWrite: true}
+	shared := []StreamOption{WithWorkers(2), WithChunkRows(3), WithParity(2), WithVerifyOnWrite()}
+
+	newStream := func(f32 bool, extra ...StreamOption) []byte {
+		var w bytes.Buffer
+		opts := append(append([]StreamOption{}, shared...), extra...)
+		src := raw
+		if f32 {
+			src = raw32
+			opts = append(opts, WithFloat32())
+		}
+		if _, err := CompressStreamOpts(bytes.NewReader(src), &w, f.Dims, 1e-3, SZT, opts...); err != nil {
+			t.Fatal(err)
+		}
+		return w.Bytes()
+	}
+	want := newStream(false)
+	want32 := newStream(true)
+	if !bytes.Equal(want, want32) {
+		t.Fatal("float32 path is not width-independent")
+	}
+
+	compressCases := []struct {
+		name string
+		run  func() ([]byte, error)
+	}{
+		{"CompressStream", func() ([]byte, error) {
+			var w bytes.Buffer
+			_, err := CompressStream(bytes.NewReader(raw), &w, f.Dims, 1e-3, SZT, legacy)
+			return w.Bytes(), err
+		}},
+		{"CompressStreamCtx", func() ([]byte, error) {
+			var w bytes.Buffer
+			_, err := CompressStreamCtx(ctx, bytes.NewReader(raw), &w, f.Dims, 1e-3, SZT, legacy)
+			return w.Bytes(), err
+		}},
+		{"CompressStream32", func() ([]byte, error) {
+			var w bytes.Buffer
+			_, err := CompressStream32(bytes.NewReader(raw32), &w, f.Dims, 1e-3, SZT, legacy)
+			return w.Bytes(), err
+		}},
+		{"CompressStream32Ctx", func() ([]byte, error) {
+			var w bytes.Buffer
+			_, err := CompressStream32Ctx(ctx, bytes.NewReader(raw32), &w, f.Dims, 1e-3, SZT, legacy)
+			return w.Bytes(), err
+		}},
+	}
+	for _, tc := range compressCases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := tc.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s output differs from CompressStreamOpts (%d vs %d bytes)", tc.name, len(got), len(want))
+			}
+		})
+	}
+
+	// Decompress wrappers against the options core.
+	var wantOut bytes.Buffer
+	lim := &DecodeLimits{MaxElements: 1 << 20, MaxChunkBytes: 1 << 20}
+	if _, err := DecompressStreamOpts(bytes.NewReader(want), &wantOut, WithLimits(lim)); err != nil {
+		t.Fatal(err)
+	}
+	decompressCases := []struct {
+		name string
+		run  func() ([]byte, error)
+	}{
+		{"DecompressStream", func() ([]byte, error) {
+			var w bytes.Buffer
+			_, err := DecompressStream(bytes.NewReader(want), &w)
+			return w.Bytes(), err
+		}},
+		{"DecompressStreamCtx", func() ([]byte, error) {
+			var w bytes.Buffer
+			_, err := DecompressStreamCtx(ctx, bytes.NewReader(want), &w, lim)
+			return w.Bytes(), err
+		}},
+	}
+	for _, tc := range decompressCases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := tc.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, wantOut.Bytes()) {
+				t.Errorf("%s output differs from DecompressStreamOpts", tc.name)
+			}
+		})
+	}
+	var out32 bytes.Buffer
+	if _, err := DecompressStream32(bytes.NewReader(want), &out32); err != nil {
+		t.Fatal(err)
+	}
+	var out32ctx bytes.Buffer
+	if _, err := DecompressStream32Ctx(ctx, bytes.NewReader(want), &out32ctx, lim); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out32.Bytes(), out32ctx.Bytes()) || len(out32.Bytes()) != len(f.Data)*4 {
+		t.Error("32-bit decompress wrappers disagree")
+	}
+
+	// Parallel wrappers.
+	popts := &ParallelOptions{Workers: 2, Chunks: 3, Verify: true, Ctx: ctx}
+	oldPar, err := CompressParallel(f.Data, f.Dims, 1e-3, SZT, popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newPar, err := CompressParallelOpts(f.Data, f.Dims, 1e-3, SZT,
+		WithWorkers(2), WithChunks(3), WithVerifyOnWrite(), WithContext(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(oldPar, newPar) {
+		t.Error("CompressParallel output differs from CompressParallelOpts")
+	}
+	oldDec, _, err := DecompressParallel(oldPar, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxDec, _, err := DecompressParallelCtx(ctx, oldPar, 2, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newDec, _, err := DecompressParallelOpts(oldPar, WithWorkers(2), WithLimits(lim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range oldDec {
+		if oldDec[i] != newDec[i] || ctxDec[i] != newDec[i] {
+			t.Fatalf("parallel decode mismatch at %d", i)
+		}
+	}
+}
+
+// rawLE32Append appends one float32 in little-endian raw layout.
+func rawLE32Append(dst []byte, v float32) []byte {
+	bits := math.Float32bits(v)
+	return append(dst, byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24))
+}
+
+// TestBudgetDerivation pins the WithMemoryBudget arithmetic:
+// budget ≥ chunkRows × rowStride × (8×(workers+2) + elemSize).
+func TestBudgetDerivation(t *testing.T) {
+	t.Run("chunkRows", func(t *testing.T) {
+		// 1 MiB budget, 1024-float rows, float64 I/O, 4 workers:
+		// perRow = 1024 × (8×6 + 8) = 57344 → 18 rows.
+		if got := budgetChunkRows(1<<20, 1024, 8, 4); got != 18 {
+			t.Errorf("budgetChunkRows = %d, want 18", got)
+		}
+		// One row does not fit: 0 signals "shed workers".
+		if got := budgetChunkRows(1<<10, 1024, 8, 4); got != 0 {
+			t.Errorf("budgetChunkRows under-row = %d, want 0", got)
+		}
+		// A huge budget still respects the chunk-elems ceiling.
+		if got := budgetChunkRows(1<<62, 1024, 8, 1); int64(got)*1024 > budgetMaxChunkElems {
+			t.Errorf("budgetChunkRows = %d rows exceeds the chunk-elems cap", got)
+		}
+	})
+	t.Run("workers", func(t *testing.T) {
+		// chunkElems 4096 float64: per = 32768, fixed = 32768+65536.
+		// budget 1 MiB → (1048576-98304)/32768 = 29 → clamped to maxW.
+		if got := budgetWorkersFor(1<<20, 4096, 8, 8); got != 8 {
+			t.Errorf("budgetWorkersFor = %d, want clamp to 8", got)
+		}
+		if got := budgetWorkersFor(1<<20, 4096, 8, 64); got != 29 {
+			t.Errorf("budgetWorkersFor = %d, want 29", got)
+		}
+		// Floor of one worker however tight the budget.
+		if got := budgetWorkersFor(1, 4096, 8, 8); got != 1 {
+			t.Errorf("budgetWorkersFor floor = %d, want 1", got)
+		}
+	})
+	t.Run("tune", func(t *testing.T) {
+		// Both knobs unset: prefer full workers, shrink rows.
+		cfg := &StreamConfig{MemoryBudget: 1 << 20}
+		cr, w := tuneCompressBudget(cfg, 1024, 8, 4)
+		if w != 4 || cr != 18 {
+			t.Errorf("tune(unset) = (%d rows, %d workers), want (18, 4)", cr, w)
+		}
+		// Budget below one row at any width: floor (1, 1).
+		cfg = &StreamConfig{MemoryBudget: 16}
+		if cr, w = tuneCompressBudget(cfg, 1024, 8, 4); cr != 1 || w != 1 {
+			t.Errorf("tune(tiny) = (%d, %d), want (1, 1)", cr, w)
+		}
+		// Explicit chunk rows: budget sizes workers only.
+		cfg = &StreamConfig{MemoryBudget: 1 << 20, ChunkRows: 4}
+		if cr, w = tuneCompressBudget(cfg, 1024, 8, 64); cr != 4 || w != 29 {
+			t.Errorf("tune(rows=4) = (%d, %d), want (4, 29)", cr, w)
+		}
+		// Explicit workers: budget sizes rows only.
+		cfg = &StreamConfig{MemoryBudget: 1 << 20, Workers: 4}
+		if cr, w = tuneCompressBudget(cfg, 1024, 8, 4); cr != 18 || w != 4 {
+			t.Errorf("tune(workers=4) = (%d, %d), want (18, 4)", cr, w)
+		}
+		// Both explicit: the budget defers entirely.
+		cfg = &StreamConfig{MemoryBudget: 1 << 10, ChunkRows: 7, Workers: 3}
+		if cr, w = tuneCompressBudget(cfg, 1024, 8, 3); cr != 7 || w != 3 {
+			t.Errorf("tune(explicit) = (%d, %d), want (7, 3)", cr, w)
+		}
+		// No budget: passthrough.
+		cfg = &StreamConfig{ChunkRows: 5}
+		if cr, w = tuneCompressBudget(cfg, 1024, 8, 2); cr != 5 || w != 2 {
+			t.Errorf("tune(no budget) = (%d, %d), want (5, 2)", cr, w)
+		}
+	})
+}
+
+// TestMemoryBudgetErrors pins the typed rejection of negative budgets
+// on both pipeline directions.
+func TestMemoryBudgetErrors(t *testing.T) {
+	defer testutil.NoLeak(t)()
+	f := datagen.NYX(8, 2)[0]
+	var w bytes.Buffer
+	if _, err := CompressStreamOpts(bytes.NewReader(rawLE(f.Data)), &w, f.Dims, 1e-3, SZT, WithMemoryBudget(-1)); err == nil {
+		t.Error("negative budget accepted on compress")
+	}
+	w.Reset()
+	if _, err := CompressStreamOpts(bytes.NewReader(rawLE(f.Data)), &w, f.Dims, 1e-3, SZT); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecompressStreamOpts(bytes.NewReader(w.Bytes()), &bytes.Buffer{}, WithMemoryBudget(-1)); err == nil {
+		t.Error("negative budget accepted on decompress")
+	}
+}
+
+// TestDefaultChunkRowsRespectsMaxChunkBytes covers the fixed sizing
+// rule: a container written under DecodeLimits L must decode under the
+// same L, so the default chunk geometry caps raw chunk bytes at
+// L.MaxChunkBytes.
+func TestDefaultChunkRowsRespectsMaxChunkBytes(t *testing.T) {
+	defer testutil.NoLeak(t)()
+	// Unit: 64 KiB cap → 8192 elems → 8 rows of 1024.
+	if got := defaultChunkRows(1000, 1024, 64<<10); got != 8 {
+		t.Errorf("defaultChunkRows(cap 64Ki) = %d, want 8", got)
+	}
+	// No cap: the 256Ki-element target.
+	if got := defaultChunkRows(1000, 1024, 0); got != 256 {
+		t.Errorf("defaultChunkRows(no cap) = %d, want 256", got)
+	}
+	// Floor of one row even when a row exceeds the cap.
+	if got := defaultChunkRows(1000, 1024, 8); got != 1 {
+		t.Errorf("defaultChunkRows(tiny cap) = %d, want 1", got)
+	}
+
+	// Integration: the same limits that guided the write accept the
+	// container on read. 512 rows × 256 floats = 1 MiB of raw data with
+	// a 16 KiB chunk cap would have overflowed the old 256Ki-element
+	// default (2 MiB chunks).
+	f := make([]float64, 512*256)
+	for i := range f {
+		f[i] = 40*math.Sin(float64(i)/23) + 90
+	}
+	lim := &DecodeLimits{MaxElements: 1 << 20, MaxChunkBytes: 16 << 10}
+	var w bytes.Buffer
+	if _, err := CompressStreamOpts(bytes.NewReader(rawLE(f)), &w, []int{512, 256}, 1e-3, SZT, WithLimits(lim)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecompressStreamOpts(bytes.NewReader(w.Bytes()), &bytes.Buffer{}, WithLimits(lim)); err != nil {
+		t.Fatalf("round trip under the writing limits: %v", err)
+	}
+}
+
+// TestConfigReuseIsSafe guards the resolve step against aliasing: the
+// same option slice resolved twice (an ArchiveStreamWriter reusing its
+// defaults across AddField calls) must not accumulate state.
+func TestConfigReuseIsSafe(t *testing.T) {
+	defer testutil.NoLeak(t)()
+	opts := []StreamOption{WithChunkRows(1 << 20), WithMemoryBudget(1 << 20)}
+	f := datagen.NYX(8, 9)[0]
+	for i := 0; i < 2; i++ {
+		var w bytes.Buffer
+		if _, err := CompressStreamOpts(bytes.NewReader(rawLE(f.Data)), &w, f.Dims, 1e-3, SZT, opts...); err != nil {
+			t.Fatalf("pass %d: %v", i, err)
+		}
+		cfg := resolveStreamConfig(opts)
+		if cfg.ChunkRows != 1<<20 {
+			t.Fatalf("pass %d mutated the resolved ChunkRows to %d", i, cfg.ChunkRows)
+		}
+	}
+}
+
+// TestNilOptionTolerated pins resolveStreamConfig's contract that nil
+// entries (conditional wrapper slices) are skipped.
+func TestNilOptionTolerated(t *testing.T) {
+	cfg := resolveStreamConfig([]StreamOption{nil, WithWorkers(3), nil})
+	if cfg.Workers != 3 || cfg.Ctx == nil {
+		t.Fatalf("resolve with nils: %+v", cfg)
+	}
+}
+
+// TestParityErrorPreserved ensures the legacy struct path still rejects
+// a negative ParityK (the translation must not silently drop it).
+func TestParityErrorPreserved(t *testing.T) {
+	defer testutil.NoLeak(t)()
+	f := datagen.NYX(8, 4)[0]
+	var w bytes.Buffer
+	_, err := CompressStream(bytes.NewReader(rawLE(f.Data)), &w, f.Dims, 1e-3, SZT, &StreamOptions{ParityK: -1})
+	if err == nil {
+		t.Fatal("negative ParityK accepted through the legacy wrapper")
+	}
+	var w2 bytes.Buffer
+	_, err2 := CompressStreamOpts(bytes.NewReader(rawLE(f.Data)), &w2, f.Dims, 1e-3, SZT, WithParity(-1))
+	if err2 == nil {
+		t.Fatal("negative ParityK accepted through the options core")
+	}
+	if err.Error() != err2.Error() {
+		t.Errorf("wrapper and core disagree on the ParityK error: %q vs %q", err, err2)
+	}
+}

@@ -30,7 +30,14 @@ const parallelMagic = 0xC6
 // ErrBadChunking reports invalid parallel-compression parameters.
 var ErrBadChunking = errors.New("repro: invalid chunking")
 
-// ParallelOptions tunes CompressParallel.
+// ParallelOptions tunes the deprecated positional CompressParallel
+// entry point.
+//
+// Deprecated: use the StreamOption functional options (WithWorkers,
+// WithChunks, WithVerifyOnWrite, WithCompressorOptions, WithContext)
+// with CompressParallelOpts. The struct is retained so existing callers
+// keep compiling; it is translated into the same options internally, so
+// output is bit-identical.
 type ParallelOptions struct {
 	// Workers is the worker-pool size (default GOMAXPROCS).
 	Workers int
@@ -50,27 +57,39 @@ type ParallelOptions struct {
 	Ctx context.Context
 }
 
-// CompressParallel compresses data under a point-wise relative bound using
-// multiple cores. The stream interleaves independently decodable chunks
-// and is decoded by DecompressParallel (also in parallel).
+// CompressParallelOpts compresses data under a point-wise relative
+// bound using multiple cores. The stream interleaves independently
+// decodable chunks and is decoded by DecompressParallelOpts (also in
+// parallel). It consumes the shared StreamOption set: WithWorkers and
+// WithChunks size the pool and the container layout, WithVerifyOnWrite
+// decode-verifies each chunk before the container is assembled,
+// WithCompressorOptions passes through per-chunk compressor options,
+// and WithContext cancels the pool after at most the chunks already in
+// flight.
+func CompressParallelOpts(data []float64, dims []int, relBound float64, algo Algorithm, opts ...StreamOption) ([]byte, error) {
+	return compressParallel(resolveStreamConfig(opts), data, dims, relBound, algo)
+}
+
+// CompressParallel compresses data into a parallel container.
+//
+// Deprecated: use CompressParallelOpts; this wrapper translates popts
+// into the equivalent StreamOption values and delegates, so its output
+// is bit-identical.
 func CompressParallel(data []float64, dims []int, relBound float64, algo Algorithm, popts *ParallelOptions) ([]byte, error) {
+	return CompressParallelOpts(data, dims, relBound, algo, popts.streamOptions()...)
+}
+
+// compressParallel is the pool behind the parallel compress entry
+// points, driven by a resolved StreamConfig.
+func compressParallel(cfg *StreamConfig, data []float64, dims []int, relBound float64, algo Algorithm) ([]byte, error) {
 	if err := grid.Validate(dims, len(data)); err != nil {
 		return nil, err
 	}
-	ctx := context.Background()
-	workers := runtime.GOMAXPROCS(0)
-	chunks := 0
-	verify := false
-	var opts *Options
-	if popts != nil {
-		if popts.Workers > 0 {
-			workers = popts.Workers
-		}
-		chunks = popts.Chunks
-		verify = popts.Verify
-		opts = popts.Options
-		ctx = orDefault(popts.Ctx)
-	}
+	ctx := orDefault(cfg.Ctx)
+	workers := cfg.defaultWorkers()
+	chunks := cfg.Chunks
+	verify := cfg.VerifyOnWrite
+	opts := cfg.Compressor
 	if chunks <= 0 {
 		chunks = workers
 	}
@@ -154,18 +173,39 @@ func runPool(ctx context.Context, workers, n int, fn func(int)) {
 	wg.Wait()
 }
 
+// DecompressParallelOpts decodes a CompressParallel container using the
+// shared StreamOption set: WithWorkers sizes the pool (default
+// GOMAXPROCS), WithLimits is enforced before any input-derived
+// allocation or chunk decode, and WithContext cancels the pool after at
+// most the chunks already in flight.
+func DecompressParallelOpts(buf []byte, opts ...StreamOption) ([]float64, []int, error) {
+	return decompressParallel(resolveStreamConfig(opts), buf)
+}
+
 // DecompressParallel decodes a CompressParallel stream using up to
 // `workers` goroutines (0 = GOMAXPROCS).
+//
+// Deprecated: use DecompressParallelOpts with WithWorkers.
 func DecompressParallel(buf []byte, workers int) ([]float64, []int, error) {
-	return DecompressParallelCtx(context.Background(), buf, workers, nil)
+	return DecompressParallelOpts(buf, WithWorkers(workers))
 }
 
 // DecompressParallelCtx is DecompressParallel under a context and decode
-// limits (nil = unlimited), both enforced before any input-derived
-// allocation or chunk decode.
-func DecompressParallelCtx(ctx context.Context, buf []byte, workers int, limits *DecodeLimits) (_ []float64, _ []int, err error) {
+// limits (nil = unlimited).
+//
+// Deprecated: use DecompressParallelOpts with WithContext, WithWorkers,
+// and WithLimits.
+func DecompressParallelCtx(ctx context.Context, buf []byte, workers int, limits *DecodeLimits) ([]float64, []int, error) {
+	return DecompressParallelOpts(buf, WithContext(ctx), WithWorkers(workers), WithLimits(limits))
+}
+
+// decompressParallel is the decode pool behind the parallel decode
+// entry points, driven by a resolved StreamConfig.
+func decompressParallel(cfg *StreamConfig, buf []byte) (_ []float64, _ []int, err error) {
 	defer recoverDecode(&err)
-	ctx = orDefault(ctx)
+	ctx := orDefault(cfg.Ctx)
+	limits := cfg.Limits
+	workers := cfg.Workers
 	if len(buf) < 2 {
 		return nil, nil, fmt.Errorf("%w: %d-byte parallel container", ErrTruncated, len(buf))
 	}

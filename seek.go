@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,35 +31,6 @@ import (
 // ErrTruncated/ErrCorrupted — the permissive prefix-scanning mode is
 // only available as the explicit DecompressStreamSalvage path.
 
-// StreamOption configures OpenStream.
-type StreamOption func(*streamConfig)
-
-type streamConfig struct {
-	workers int
-	limits  *DecodeLimits
-	ctx     context.Context
-}
-
-// WithWorkers sets the decode worker-pool size for the handle's range
-// reads (default GOMAXPROCS, clamped to the touched chunk count).
-func WithWorkers(n int) StreamOption {
-	return func(c *streamConfig) { c.workers = n }
-}
-
-// WithLimits applies DecodeLimits to the handle: MaxElements against
-// the header geometry and MaxChunkBytes against every index-declared
-// chunk length, both enforced before any input-derived allocation —
-// exactly as on the forward DecompressStream path.
-func WithLimits(l *DecodeLimits) StreamOption {
-	return func(c *streamConfig) { c.limits = l }
-}
-
-// WithContext sets the handle's default context: ReadRows/ReadRows32
-// honor it for cancellation. ReadRowsCtx overrides it per call.
-func WithContext(ctx context.Context) StreamOption {
-	return func(c *streamConfig) { c.ctx = ctx }
-}
-
 // StreamHandle provides random row access to a stream container. Range
 // reads serialize on the handle (the underlying ReadSeeker has a single
 // position); open one handle per concurrent reader for parallel ranges.
@@ -68,25 +38,23 @@ type StreamHandle struct {
 	mu    sync.Mutex
 	src   io.ReadSeeker
 	ix    *streamfmt.StreamIndex
-	cfg   streamConfig
+	cfg   *StreamConfig
 	stats StreamStats
 }
 
 // OpenStream opens a seekable view of the stream container in src,
 // parsing the header and the tail index frame only. The container's
 // chunk payloads are not read, let alone decoded, until a range read
-// touches them.
+// touches them. It takes the same StreamOption set as the other entry
+// points: WithLimits is enforced against the header geometry and every
+// index-declared chunk length before any input-derived allocation,
+// WithContext sets the default context for ReadRows/ReadRows32 (the
+// Ctx-suffixed read methods override it per call), and WithWorkers /
+// WithMemoryBudget size the per-read decode pool.
 func OpenStream(src io.ReadSeeker, opts ...StreamOption) (_ *StreamHandle, err error) {
 	defer recoverDecode(&err)
-	cfg := streamConfig{workers: runtime.GOMAXPROCS(0), ctx: context.Background()}
-	for _, o := range opts {
-		o(&cfg)
-	}
-	if cfg.workers < 1 {
-		cfg.workers = runtime.GOMAXPROCS(0)
-	}
-	cfg.ctx = orDefault(cfg.ctx)
-	ix, err := streamfmt.OpenIndex(src, cfg.limits.streamLimits())
+	cfg := resolveStreamConfig(opts)
+	ix, err := streamfmt.OpenIndex(src, cfg.Limits.streamLimits())
 	if err != nil {
 		return nil, err
 	}
@@ -128,7 +96,7 @@ func (h *StreamHandle) Stats() StreamStats {
 // byte-identical to the corresponding slice of a full DecompressStream
 // pass.
 func (h *StreamHandle) ReadRows(dst []float64, start, count uint64) error {
-	return h.ReadRowsCtx(h.cfg.ctx, dst, start, count)
+	return h.ReadRowsCtx(h.cfg.Ctx, dst, start, count)
 }
 
 // ReadRowsCtx is ReadRows under a context: cancellation stops the
@@ -151,7 +119,7 @@ func (h *StreamHandle) ReadRowsCtx(ctx context.Context, dst []float64, start, co
 // dst, mirroring DecompressStream32's width contract (narrowing adds at
 // most a 2⁻²⁴ relative rounding step on top of the stream's bound).
 func (h *StreamHandle) ReadRows32(dst []float32, start, count uint64) error {
-	return h.ReadRows32Ctx(h.cfg.ctx, dst, start, count)
+	return h.ReadRows32Ctx(h.cfg.Ctx, dst, start, count)
 }
 
 // ReadRows32Ctx is ReadRows32 under a context.
@@ -218,7 +186,12 @@ func (h *StreamHandle) readRows(ctx context.Context, start, count uint64, outByt
 	}
 	fr := h.ix.Frames(io.LimitReader(h.src, extent), c0, c1)
 
-	workers := h.cfg.workers
+	workers := h.cfg.defaultWorkers()
+	if h.cfg.Workers <= 0 && h.cfg.MemoryBudget > 0 {
+		// Chunk geometry is the container's; the budget tempers the
+		// decode pool width, exactly as on the forward decompress path.
+		workers = budgetWorkersFor(h.cfg.MemoryBudget, hdr.ChunkRows*hdr.RowStride(), 8, workers)
+	}
 	if workers > c1-c0 {
 		workers = c1 - c0
 	}

@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,7 +42,15 @@ import (
 // index frame and serves arbitrary row ranges at O(touched chunks)
 // cost through the same worker-pool machinery.
 
-// StreamOptions tunes CompressStream.
+// StreamOptions tunes the deprecated positional CompressStream entry
+// points.
+//
+// Deprecated: use the StreamOption functional options (WithWorkers,
+// WithChunkRows, WithParity, WithVerifyOnWrite, WithCompressorOptions,
+// WithMemoryBudget) with CompressStreamOpts/DecompressStreamOpts. The
+// struct is retained so existing callers keep compiling; it is
+// translated into the same options internally, so output is
+// bit-identical.
 type StreamOptions struct {
 	// Workers is the compression worker-pool size (default GOMAXPROCS).
 	Workers int
@@ -133,17 +140,30 @@ func (f *inflight) enter() {
 
 func (f *inflight) leave() { f.cur.Add(-1) }
 
-// defaultChunkRows targets ~256Ki elements (2 MiB of float64) per chunk.
-func defaultChunkRows(rows, rowStride int) int {
-	const targetElems = 256 << 10
-	cr := targetElems / rowStride
+// defaultChunkRows targets ~256Ki elements (2 MiB of float64) per
+// chunk, shrunk so a chunk's raw bytes stay within maxChunkBytes when
+// the caller compresses under DecodeLimits: a container written under
+// limits L must round-trip under the same L, and the decoder enforces
+// MaxChunkBytes against every frame payload. Raw size is the
+// conservative proxy for payload size (the codecs frame their output
+// within the raw footprint for all supported algorithms). The floor of
+// one row stands even when a single row exceeds the cap — chunks cannot
+// split rows — which the decode side then reports per frame.
+func defaultChunkRows(rows, rowStride int, maxChunkBytes int64) int {
+	targetElems := int64(256 << 10)
+	if maxChunkBytes > 0 {
+		if byElems := maxChunkBytes / 8; byElems < targetElems {
+			targetElems = byElems
+		}
+	}
+	cr := targetElems / int64(rowStride)
 	if cr < 1 {
 		cr = 1
 	}
-	if cr > rows {
-		cr = rows
+	if cr > int64(rows) {
+		cr = int64(rows)
 	}
-	return cr
+	return int(cr) // bounded by rows and the 256Ki-element target
 }
 
 // orDefault returns ctx, or context.Background for nil.
@@ -159,22 +179,36 @@ func ctxCause(ctx context.Context) error {
 	return fmt.Errorf("repro: stream cancelled: %w", context.Cause(ctx))
 }
 
-// CompressStream reads a raw little-endian float64 field of the given
+// CompressStreamOpts reads a raw little-endian float field of the given
 // dims from r, compresses it chunk by chunk under the point-wise
 // relative bound, and writes a framed stream container (decodable by
-// DecompressStream) to w. Peak memory is O(workers × chunk), not
-// O(field). The chunk payloads are ordinary Compress streams, so for
-// matching chunk boundaries the decoded field is element-wise identical
-// to Decompress of a CompressParallel stream.
-func CompressStream(r io.Reader, w io.Writer, dims []int, relBound float64, algo Algorithm, opts *StreamOptions) (*StreamStats, error) {
-	return CompressStreamCtx(context.Background(), r, w, dims, relBound, algo, opts)
+// DecompressStreamOpts) to w. Peak memory is O(workers × chunk), not
+// O(field) — and WithMemoryBudget turns that into an explicit byte
+// target by deriving the unset chunk-rows/worker knobs. The chunk
+// payloads are ordinary Compress streams, so for matching chunk
+// boundaries the decoded field is element-wise identical to Decompress
+// of a CompressParallel stream. Elements are float64 unless WithFloat32
+// selects the narrow input width (widened exactly, identical container
+// bytes).
+func CompressStreamOpts(r io.Reader, w io.Writer, dims []int, relBound float64, algo Algorithm, opts ...StreamOption) (*StreamStats, error) {
+	return compressStream(resolveStreamConfig(opts), r, w, dims, relBound, algo)
 }
 
-// CompressStreamCtx is CompressStream under a context: cancellation
-// tears down the reader and worker pool promptly (after at most the
-// chunks already in flight) and returns ctx's error.
+// CompressStream compresses a raw little-endian float64 field from r
+// into a stream container on w.
+//
+// Deprecated: use CompressStreamOpts; this wrapper translates opts into
+// the equivalent StreamOption values and delegates, so its output is
+// bit-identical.
+func CompressStream(r io.Reader, w io.Writer, dims []int, relBound float64, algo Algorithm, opts *StreamOptions) (*StreamStats, error) {
+	return CompressStreamOpts(r, w, dims, relBound, algo, opts.streamOptions()...)
+}
+
+// CompressStreamCtx is CompressStream under a context.
+//
+// Deprecated: use CompressStreamOpts with WithContext.
 func CompressStreamCtx(ctx context.Context, r io.Reader, w io.Writer, dims []int, relBound float64, algo Algorithm, opts *StreamOptions) (*StreamStats, error) {
-	return compressStreamCtx(ctx, r, w, dims, relBound, algo, opts, 8)
+	return CompressStreamOpts(r, w, dims, relBound, algo, append(opts.streamOptions(), WithContext(ctx))...)
 }
 
 // CompressStream32 is CompressStream for a raw little-endian float32
@@ -184,19 +218,23 @@ func CompressStreamCtx(ctx context.Context, r io.Reader, w io.Writer, dims []int
 // (float64 out) or DecompressStream32 (float32 out). Mirrors Compress32's
 // widening semantics: the point-wise relative bound applies to the
 // widened values, which equal the float32 inputs exactly.
+//
+// Deprecated: use CompressStreamOpts with WithFloat32.
 func CompressStream32(r io.Reader, w io.Writer, dims []int, relBound float64, algo Algorithm, opts *StreamOptions) (*StreamStats, error) {
-	return CompressStream32Ctx(context.Background(), r, w, dims, relBound, algo, opts)
+	return CompressStreamOpts(r, w, dims, relBound, algo, append(opts.streamOptions(), WithFloat32())...)
 }
 
 // CompressStream32Ctx is CompressStream32 under a context.
+//
+// Deprecated: use CompressStreamOpts with WithFloat32 and WithContext.
 func CompressStream32Ctx(ctx context.Context, r io.Reader, w io.Writer, dims []int, relBound float64, algo Algorithm, opts *StreamOptions) (*StreamStats, error) {
-	return compressStreamCtx(ctx, r, w, dims, relBound, algo, opts, 4)
+	return CompressStreamOpts(r, w, dims, relBound, algo, append(opts.streamOptions(), WithFloat32(), WithContext(ctx))...)
 }
 
-// compressStreamCtx is the shared pipeline; elemSize selects the raw
-// input element width (8 = float64, 4 = float32 widened on read).
-func compressStreamCtx(ctx context.Context, r io.Reader, w io.Writer, dims []int, relBound float64, algo Algorithm, opts *StreamOptions, elemSize int) (*StreamStats, error) {
-	ctx = orDefault(ctx)
+// compressStream is the pipeline behind every stream-compress entry
+// point, driven by a resolved StreamConfig.
+func compressStream(cfg *StreamConfig, r io.Reader, w io.Writer, dims []int, relBound float64, algo Algorithm) (*StreamStats, error) {
+	ctx := orDefault(cfg.Ctx)
 	if err := grid.Validate(dims, -1); err != nil {
 		return nil, err
 	}
@@ -205,25 +243,26 @@ func compressStreamCtx(ctx context.Context, r io.Reader, w io.Writer, dims []int
 	}
 	rows := dims[0]
 	rowStride := grid.Size(dims) / rows
-	workers := runtime.GOMAXPROCS(0)
-	chunkRows := 0
-	parityK := 0
-	verify := false
-	var copts *Options
-	if opts != nil {
-		if opts.Workers > 0 {
-			workers = opts.Workers
-		}
-		chunkRows = opts.ChunkRows
-		if opts.ParityK < 0 || opts.ParityK > streamfmt.MaxParityK {
-			return nil, fmt.Errorf("repro: parity group size %d out of [0,%d]", opts.ParityK, streamfmt.MaxParityK)
-		}
-		parityK = opts.ParityK
-		verify = opts.VerifyOnWrite
-		copts = opts.Options
+	if cfg.ParityK < 0 || cfg.ParityK > streamfmt.MaxParityK {
+		return nil, fmt.Errorf("repro: parity group size %d out of [0,%d]", cfg.ParityK, streamfmt.MaxParityK)
 	}
+	if cfg.MemoryBudget < 0 {
+		return nil, fmt.Errorf("repro: negative memory budget %d", cfg.MemoryBudget)
+	}
+	parityK := cfg.ParityK
+	verify := cfg.VerifyOnWrite
+	copts := cfg.Compressor
+	elemSize := 8
+	if cfg.Float32 {
+		elemSize = 4
+	}
+	tune := *cfg // clamp a copy: the caller's config may be reused across fields
+	if tune.ChunkRows > rows {
+		tune.ChunkRows = rows
+	}
+	chunkRows, workers := tuneCompressBudget(&tune, rowStride, elemSize, cfg.defaultWorkers())
 	if chunkRows <= 0 {
-		chunkRows = defaultChunkRows(rows, rowStride)
+		chunkRows = defaultChunkRows(rows, rowStride, cfg.Limits.maxChunkBytes())
 	}
 	if chunkRows > rows {
 		chunkRows = rows
@@ -479,22 +518,35 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// DecompressStream decodes a stream container from r, writing the field
-// as raw little-endian float64 bytes to w. Chunks are decompressed by a
-// worker pool and emitted in field order; peak memory is O(workers ×
-// chunk). The returned stats mirror CompressStream's.
+// DecompressStreamOpts decodes a stream container from r, writing the
+// field as raw little-endian float bytes (float64, or float32 under
+// WithFloat32) to w. Chunks are decompressed by a worker pool and
+// emitted in field order; peak memory is O(workers × chunk), and
+// WithMemoryBudget caps the worker count against the container's chunk
+// geometry. WithLimits is enforced against the header and every chunk
+// frame before the corresponding allocation; WithContext cancellation —
+// like an error from w — stops the reader from pulling further frames
+// beyond those already in flight, drains the worker pool, and returns
+// with no goroutines left behind.
+func DecompressStreamOpts(r io.Reader, w io.Writer, opts ...StreamOption) (*StreamStats, error) {
+	return decompressStream(resolveStreamConfig(opts), r, w)
+}
+
+// DecompressStream decodes a stream container from r into raw
+// little-endian float64 bytes on w.
+//
+// Deprecated: use DecompressStreamOpts; this wrapper delegates with the
+// equivalent options.
 func DecompressStream(r io.Reader, w io.Writer) (*StreamStats, error) {
-	return DecompressStreamCtx(context.Background(), r, w, nil)
+	return DecompressStreamOpts(r, w)
 }
 
 // DecompressStreamCtx is DecompressStream under a context and decode
-// limits. Cancellation — or an error from w — stops the reader from
-// pulling further frames beyond those already in flight, drains the
-// worker pool, and returns with no goroutines left behind. limits (nil
-// = unlimited) is enforced against the container header and every
-// chunk frame before the corresponding allocation.
+// limits.
+//
+// Deprecated: use DecompressStreamOpts with WithContext and WithLimits.
 func DecompressStreamCtx(ctx context.Context, r io.Reader, w io.Writer, limits *DecodeLimits) (*StreamStats, error) {
-	return decompressStreamCtx(ctx, r, w, limits, 8)
+	return DecompressStreamOpts(r, w, WithContext(ctx), WithLimits(limits))
 }
 
 // DecompressStream32 is DecompressStream with float32 output: chunks are
@@ -503,21 +555,34 @@ func DecompressStreamCtx(ctx context.Context, r io.Reader, w io.Writer, limits *
 // caller's choice, exactly as with Decompress vs Decompress32 — narrowing
 // adds at most a 2⁻²⁴ relative rounding step on top of the stream's
 // point-wise bound.
+//
+// Deprecated: use DecompressStreamOpts with WithFloat32.
 func DecompressStream32(r io.Reader, w io.Writer) (*StreamStats, error) {
-	return DecompressStream32Ctx(context.Background(), r, w, nil)
+	return DecompressStreamOpts(r, w, WithFloat32())
 }
 
 // DecompressStream32Ctx is DecompressStream32 under a context and decode
 // limits.
+//
+// Deprecated: use DecompressStreamOpts with WithFloat32, WithContext,
+// and WithLimits.
 func DecompressStream32Ctx(ctx context.Context, r io.Reader, w io.Writer, limits *DecodeLimits) (*StreamStats, error) {
-	return decompressStreamCtx(ctx, r, w, limits, 4)
+	return DecompressStreamOpts(r, w, WithFloat32(), WithContext(ctx), WithLimits(limits))
 }
 
-// decompressStreamCtx is the shared decode pipeline; elemSize selects the
-// raw output element width (8 = float64, 4 = narrow to float32).
-func decompressStreamCtx(ctx context.Context, r io.Reader, w io.Writer, limits *DecodeLimits, elemSize int) (_ *StreamStats, err error) {
+// decompressStream is the decode pipeline behind every stream-decode
+// entry point, driven by a resolved StreamConfig.
+func decompressStream(cfg *StreamConfig, r io.Reader, w io.Writer) (_ *StreamStats, err error) {
 	defer recoverDecode(&err)
-	ctx = orDefault(ctx)
+	ctx := orDefault(cfg.Ctx)
+	limits := cfg.Limits
+	elemSize := 8
+	if cfg.Float32 {
+		elemSize = 4
+	}
+	if cfg.MemoryBudget < 0 {
+		return nil, fmt.Errorf("repro: negative memory budget %d", cfg.MemoryBudget)
+	}
 	sr, err := streamfmt.NewReaderLimits(r, limits.streamLimits())
 	if err != nil {
 		return nil, err
@@ -526,7 +591,12 @@ func decompressStreamCtx(ctx context.Context, r io.Reader, w io.Writer, limits *
 	dims := hdr.Dims
 	rowStride := hdr.RowStride()
 	expChunks := hdr.Chunks()
-	workers := runtime.GOMAXPROCS(0)
+	workers := cfg.defaultWorkers()
+	if cfg.Workers <= 0 && cfg.MemoryBudget > 0 {
+		// The chunk geometry is the container's, so the budget can only
+		// temper the worker count here.
+		workers = budgetWorkersFor(cfg.MemoryBudget, hdr.ChunkRows*rowStride, elemSize, workers)
+	}
 	if workers > expChunks {
 		workers = expChunks
 	}
